@@ -1,0 +1,40 @@
+//! Criterion micro-benchmark for the bell-shaped density model
+//! (potential accumulation + gradient).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdp_dpgen::{generate, GenConfig};
+use sdp_geom::Point;
+use sdp_gp::DensityModel;
+use std::hint::black_box;
+
+fn bench_density(c: &mut Criterion) {
+    let d = generate(&GenConfig::named("dp_small", 1).expect("preset"));
+    let region = d.design.region();
+    let pos: Vec<Point> = (0..d.netlist.num_cells())
+        .map(|i| {
+            let k = i as f64;
+            region.clamp_point(Point::new(
+                region.x1() + (k * 7.31) % region.width(),
+                region.y1() + (k * 3.17) % region.height(),
+            ))
+        })
+        .collect();
+    let res = DensityModel::default_resolution(d.netlist.num_movable());
+    let mut model = DensityModel::new(&d.netlist, region, &pos, 0.9, res, res);
+    let mut grad = vec![Point::ORIGIN; pos.len()];
+
+    c.benchmark_group("density/dp_small")
+        .bench_function("eval_with_grad", |b| {
+            b.iter(|| {
+                grad.fill(Point::ORIGIN);
+                black_box(model.eval(&d.netlist, black_box(&pos), &mut grad))
+            })
+        });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_density
+}
+criterion_main!(benches);

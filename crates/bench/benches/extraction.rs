@@ -1,0 +1,32 @@
+//! Criterion benchmark for the full datapath-extraction pipeline and its
+//! signature stage alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdp_dpgen::{generate, GenConfig};
+use sdp_extract::{extract, signature::signatures, ExtractConfig};
+use std::hint::black_box;
+
+fn bench_extraction(c: &mut Criterion) {
+    let small = generate(&GenConfig::named("dp_small", 1).expect("preset"));
+    let medium = generate(&GenConfig::named("dp_medium", 1).expect("preset"));
+    let cfg = ExtractConfig::default();
+
+    let mut g = c.benchmark_group("extraction");
+    g.bench_function("signatures/dp_small", |b| {
+        b.iter(|| black_box(signatures(&small.netlist, cfg.rounds, cfg.max_net_degree)))
+    });
+    g.bench_function("full/dp_small", |b| {
+        b.iter(|| black_box(extract(&small.netlist, &cfg)))
+    });
+    g.bench_function("full/dp_medium", |b| {
+        b.iter(|| black_box(extract(&medium.netlist, &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_extraction
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmark for the end-to-end flows (baseline and
+//! structure-aware) on the smallest suite design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdp_core::{FlowConfig, StructurePlacer};
+use sdp_dpgen::{generate, GenConfig};
+use std::hint::black_box;
+
+fn bench_flow(c: &mut Criterion) {
+    let d = generate(&GenConfig::named("dp_tiny", 1).expect("preset"));
+
+    let mut g = c.benchmark_group("flow/dp_tiny");
+    g.bench_function("baseline", |b| {
+        b.iter(|| {
+            let placer = StructurePlacer::new(FlowConfig::fast().baseline());
+            black_box(placer.place(&d.netlist, &d.design, &d.placement))
+        })
+    });
+    g.bench_function("structure_aware", |b| {
+        b.iter(|| {
+            let placer = StructurePlacer::new(FlowConfig::fast());
+            black_box(placer.place(&d.netlist, &d.design, &d.placement))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_flow
+}
+criterion_main!(benches);

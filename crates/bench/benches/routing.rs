@@ -1,0 +1,30 @@
+//! Criterion benchmark for the global router (L-pattern + RRR) and the
+//! RUDY estimator on a placed design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdp_dpgen::{generate, GenConfig};
+use sdp_gp::{GlobalPlacer, GpConfig};
+use sdp_route::{route, rudy_map, RouteConfig};
+use std::hint::black_box;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut d = generate(&GenConfig::named("dp_small", 1).expect("preset"));
+    GlobalPlacer::new(GpConfig::fast()).place(&d.netlist, &d.design, &mut d.placement, None);
+    let cfg = RouteConfig::default();
+
+    let mut g = c.benchmark_group("routing/dp_small");
+    g.bench_function("route_full", |b| {
+        b.iter(|| black_box(route(&d.netlist, &d.placement, &d.design, &cfg)))
+    });
+    g.bench_function("rudy_32x32", |b| {
+        b.iter(|| black_box(rudy_map(&d.netlist, &d.placement, &d.design, 32, 32)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_routing
+}
+criterion_main!(benches);

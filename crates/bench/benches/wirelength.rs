@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the wirelength kernels: exact HPWL and
+//! the LSE/WA smooth models with gradients.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdp_dpgen::{generate, GenConfig};
+use sdp_geom::Point;
+use sdp_gp::wirelength::eval_wirelength;
+use sdp_gp::{hpwl, WirelengthModel};
+use std::hint::black_box;
+
+fn bench_wirelength(c: &mut Criterion) {
+    let d = generate(&GenConfig::named("dp_small", 1).expect("preset"));
+    // Spread positions deterministically so bounding boxes are non-trivial.
+    let pos: Vec<Point> = (0..d.netlist.num_cells())
+        .map(|i| {
+            let k = i as f64;
+            Point::new((k * 7.31) % 120.0, (k * 3.17) % 120.0)
+        })
+        .collect();
+    let mut grad = vec![Point::ORIGIN; pos.len()];
+
+    let mut g = c.benchmark_group("wirelength/dp_small");
+    g.bench_function("hpwl_exact", |b| {
+        b.iter(|| black_box(hpwl(&d.netlist, black_box(&pos))))
+    });
+    g.bench_function("lse_with_grad", |b| {
+        b.iter(|| {
+            grad.fill(Point::ORIGIN);
+            black_box(eval_wirelength(
+                WirelengthModel::Lse,
+                &d.netlist,
+                black_box(&pos),
+                2.0,
+                &mut grad,
+            ))
+        })
+    });
+    g.bench_function("wa_with_grad", |b| {
+        b.iter(|| {
+            grad.fill(Point::ORIGIN);
+            black_box(eval_wirelength(
+                WirelengthModel::Wa,
+                &d.netlist,
+                black_box(&pos),
+                2.0,
+                &mut grad,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_wirelength
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates every table and figure of the reconstructed evaluation.
+//!
+//! ```text
+//! cargo run --release -p sdp-bench --bin tables            # all, full effort
+//! cargo run --release -p sdp-bench --bin tables -- t3 f2   # a subset
+//! cargo run --release -p sdp-bench --bin tables -- --quick # smoke profile
+//! ```
+
+use sdp_bench::{all_ids, run_experiment, Mode};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mode = if quick { Mode::Quick } else { Mode::Full };
+    let requested: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let ids: Vec<&str> = if requested.is_empty() {
+        all_ids().to_vec()
+    } else {
+        let mut ids = Vec::new();
+        for r in &requested {
+            match all_ids().iter().find(|&&k| k == r) {
+                Some(&k) => ids.push(k),
+                None => {
+                    eprintln!("unknown experiment `{r}`; known: {}", all_ids().join(" "));
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        ids
+    };
+
+    println!(
+        "sdplace evaluation harness — mode: {}\n",
+        if quick { "quick" } else { "full" }
+    );
+    for id in ids {
+        let r = run_experiment(id, mode).expect("validated above");
+        println!("=== {} — {} ({:.1}s) ===", r.id.to_uppercase(), r.title, r.seconds);
+        println!("{}", r.table);
+        println!("expected shape: {}\n", r.expected);
+    }
+    ExitCode::SUCCESS
+}

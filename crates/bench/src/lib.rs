@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+
+//! The experiment harness: one function per table/figure of the
+//! reconstructed evaluation (see `DESIGN.md` §4).
+//!
+//! Every experiment returns an [`ExperimentResult`] — a rendered ASCII
+//! table plus the *expected shape* the reconstructed paper evaluation
+//! predicts — so the `tables` binary and `EXPERIMENTS.md` stay in sync.
+//! All seeds are pinned; rerunning regenerates identical numbers.
+
+pub mod experiments;
+
+pub use experiments::{all_ids, run_experiment, ExperimentResult, Mode};

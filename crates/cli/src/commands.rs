@@ -1,0 +1,25 @@
+//! Subcommand implementations.
+
+pub mod eval;
+pub mod extract;
+pub mod gen;
+pub mod place;
+pub mod route;
+
+use sdp_netlist::BookshelfCase;
+use std::path::Path;
+
+/// Loads a Bookshelf bundle, mapping errors to CLI messages.
+pub fn load_case(path: &str) -> Result<BookshelfCase, String> {
+    sdp_netlist::read_bookshelf(path).map_err(|e| format!("reading `{path}`: {e}"))
+}
+
+/// Splits an `--out` prefix into `(directory, name)`.
+pub fn split_out(prefix: &str) -> Result<(&Path, &str), String> {
+    let p = Path::new(prefix);
+    let name = p
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| format!("--out `{prefix}` has no file name component"))?;
+    Ok((p.parent().unwrap_or(Path::new(".")), name))
+}

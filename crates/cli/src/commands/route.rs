@@ -1,0 +1,34 @@
+//! `sdplace route` — globally route a placed bundle.
+
+use crate::args::Args;
+use crate::commands::load_case;
+use sdp_eval::Table;
+use sdp_route::{route, rudy_map, RouteConfig};
+
+/// Runs the subcommand.
+pub fn run(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let path = args.positional(0).ok_or("route needs a .aux path")?;
+    let case = load_case(path)?;
+    let config = RouteConfig {
+        tracks_per_gcell: args.number("tracks")?.unwrap_or(12),
+        ..RouteConfig::default()
+    };
+
+    let report = route(&case.netlist, &case.placement, &case.design, &config);
+    let mut t = Table::new(["metric", "value"]);
+    t.row(["segments", &report.segments.to_string()]);
+    t.row(["routed wirelength", &format!("{:.0}", report.wirelength)]);
+    t.row(["overflow", &report.overflow.to_string()]);
+    t.row(["overflowed edges", &report.overflowed_edges.to_string()]);
+    t.row(["max utilization", &format!("{:.2}", report.max_utilization)]);
+    t.row(["rrr iterations", &report.iterations.to_string()]);
+    println!("{t}");
+    if let Some(svg) = args.value("svg") {
+        let (grid, demand) = rudy_map(&case.netlist, &case.placement, &case.design, 64, 64);
+        sdp_eval::write_heatmap_svg(svg, grid.region(), grid.nx(), grid.ny(), &demand)
+            .map_err(|e| e.to_string())?;
+        println!("wrote congestion heat map {svg}");
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! `sdplace` — the command-line interface to the structure-aware
+//! placement flow.
+//!
+//! ```text
+//! sdplace gen dp_small --seed 7 --out /tmp/bs/dp_small
+//! sdplace extract /tmp/bs/dp_small.aux
+//! sdplace place   /tmp/bs/dp_small.aux --out /tmp/bs/placed --svg /tmp/place.svg
+//! sdplace place   /tmp/bs/dp_small.aux --baseline
+//! sdplace route   /tmp/bs/placed.aux
+//! sdplace eval    /tmp/bs/placed.aux
+//! ```
+//!
+//! Every subcommand works on standard Bookshelf bundles, so the tool
+//! composes with external generators and evaluators.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+sdplace — structure-aware placement for datapath-intensive designs
+
+USAGE:
+  sdplace gen <preset | --gates N --fraction F> [--seed S] --out PATH
+  sdplace extract <case.aux> [--rounds K]
+  sdplace place <case.aux> [--baseline | --rigid] [--fast] [--abacus]
+                [--seed S] [--out PATH] [--svg FILE]
+  sdplace route <case.aux> [--tracks N]
+  sdplace eval <case.aux>
+
+SUBCOMMANDS:
+  gen      generate a benchmark (presets: dp_tiny dp_small dp_medium
+           dp_large dp_huge; or --gates/--fraction for a custom sweep
+           design) and write it as a Bookshelf bundle
+  extract  run datapath extraction and print the group inventory
+  place    run the placement flow (default: structure-aware soft profile)
+           and optionally write the placed bundle / an SVG rendering
+  route    globally route a placed bundle and report wirelength/overflow
+  eval     report HPWL, Steiner WL, and alignment metrics of a bundle
+
+OPTIONS:
+  --out PATH      output bundle path prefix (directory/name, no extension)
+  --seed S        generator / placer seed                  [default: 1]
+  --baseline      disable structure awareness (oblivious placer)
+  --rigid         maximal-regularity profile (snap + row-lock groups)
+  --fast          reduced-effort placer profile
+  --abacus        Abacus legalizer (displacement-optimal rows)
+  --rounds K      signature refinement depth for extract   [default: 1]
+  --gates N       custom design size (with gen)
+  --fraction F    custom datapath fraction in [0,1] (with gen)
+  --tracks N      routing tracks per gcell edge            [default: 12]
+  --svg FILE      write an SVG rendering (place: cells+groups; route:
+                  RUDY congestion heat map)
+";
+
+fn main() -> ExitCode {
+    // Dying mid-pipe (`sdplace eval … | head`) raises a broken-pipe panic
+    // from println!; exit quietly like other Unix tools instead.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info.payload().downcast_ref::<String>().cloned();
+        if msg.as_deref().is_some_and(|m| m.contains("Broken pipe")) {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "gen" => commands::gen::run(rest),
+        "extract" => commands::extract::run(rest),
+        "place" => commands::place::run(rest),
+        "route" => commands::route::run(rest),
+        "eval" => commands::eval::run(rest),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

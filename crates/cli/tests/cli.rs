@@ -1,0 +1,113 @@
+//! Integration tests driving the `sdplace` binary end to end through its
+//! actual command-line interface.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn sdplace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sdplace"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join("sdp_cli_tests").join(name)
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = sdplace(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("place"));
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = sdplace(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn gen_extract_place_route_eval_pipeline() {
+    let prefix = tmp("pipe/case");
+    let prefix_s = prefix.to_str().expect("utf-8 tmp path");
+
+    let out = sdplace(&["gen", "dp_tiny", "--seed", "3", "--out", prefix_s]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let aux = format!("{prefix_s}.aux");
+
+    let out = sdplace(&["extract", &aux]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("groups"));
+
+    let placed = tmp("pipe/placed");
+    let placed_s = placed.to_str().expect("utf-8");
+    let svg = tmp("pipe/view.svg");
+    let out = sdplace(&[
+        "place",
+        &aux,
+        "--fast",
+        "--out",
+        placed_s,
+        "--svg",
+        svg.to_str().expect("utf-8"),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("legal violations | 0"));
+    assert!(svg.exists(), "svg written");
+
+    let placed_aux = format!("{placed_s}.aux");
+    let out = sdplace(&["route", &placed_aux]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("routed wirelength"));
+
+    let out = sdplace(&["eval", &placed_aux]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Steiner WL"));
+    assert!(text.contains("netlist issues"));
+}
+
+#[test]
+fn place_baseline_and_rigid_conflict() {
+    let out = sdplace(&["place", "whatever.aux", "--baseline", "--rigid"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+}
+
+#[test]
+fn gen_custom_fraction_design() {
+    let prefix = tmp("custom/sweep");
+    let prefix_s = prefix.to_str().expect("utf-8");
+    let out = sdplace(&[
+        "gen", "--gates", "800", "--fraction", "0.5", "--seed", "2", "--out", prefix_s,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("fraction"));
+}
+
+#[test]
+fn gen_rejects_bad_input() {
+    let out = sdplace(&["gen", "not_a_preset", "--out", "/tmp/x"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown preset"));
+
+    let out = sdplace(&["gen", "--gates", "100", "--fraction", "1.5", "--out", "/tmp/x"]);
+    assert!(!out.status.success());
+
+    let out = sdplace(&["gen", "dp_tiny"]);
+    assert!(!out.status.success(), "missing --out must fail");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = sdplace(&["eval", "/nonexistent/missing.aux"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+}

@@ -1,0 +1,793 @@
+//! The end-to-end structure-aware placement flow:
+//! extract → align-augmented global placement → structure-first
+//! legalization → detailed placement.
+
+use crate::align::{AlignConfig, AlignTerm};
+use sdp_eval::{alignment_report, hpwl_breakdown, AlignmentReport, HpwlBreakdown};
+use sdp_extract::{extract, ExtractConfig};
+use sdp_geom::{GroupAxis, Point};
+use sdp_gp::{ExtraTerm, GlobalPlacer, GpConfig, PlaceStats};
+use sdp_legal::{
+    check_legal, detailed_place, legalize, legalize_abacus, DetailedOptions, DetailedStats,
+    LegalStats, LegalizeOptions, RowSpace,
+};
+use sdp_netlist::{CellId, DatapathGroup, Design, Netlist, Placement};
+use sdp_route::rudy_map;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Which legalization algorithm the flow uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LegalizerKind {
+    /// Greedy left-to-right sweep (fast, robust).
+    #[default]
+    Tetris,
+    /// Abacus row clustering (displacement-optimal per row, slower).
+    Abacus,
+}
+
+/// Configuration of the whole flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowConfig {
+    /// Global-placement engine settings.
+    pub gp: GpConfig,
+    /// Extraction settings.
+    pub extract: ExtractConfig,
+    /// Alignment-objective settings.
+    pub align: AlignConfig,
+    /// Master switch: `false` runs the oblivious baseline (no extraction,
+    /// no alignment, plain legalization) through the same code path.
+    pub structure_aware: bool,
+    /// Snap groups onto aligned rows and keep them rigid afterwards
+    /// (`true`, the maximal-regularity mode: perfectly aligned arrays at a
+    /// total-wirelength premium), or let the ordinary legalizer/detailed
+    /// placer handle group cells like any other cell, preserving alignment
+    /// only as well as the global placement baked it in (`false`, the
+    /// default: best wirelength trade-off). The F3 ablation sweeps both.
+    pub rigid_groups: bool,
+    /// Constrain snapped group cells to their row during detailed
+    /// placement (they may slide in x, keeping the alignment intact).
+    pub lock_groups_in_detailed: bool,
+    /// Weight multiplier applied (during global placement only) to nets
+    /// with at least two pins inside one datapath group — the placer
+    /// focuses on exactly the nets structure-aware placement targets.
+    /// Evaluation always uses the original weights.
+    pub dp_net_weight: f64,
+    /// Extra alignment-refinement outer iterations run after the main
+    /// global placement converges: density pressure is already satisfied,
+    /// so these iterations let the (fully ramped) alignment term tighten
+    /// the arrays with the wirelength force as the only opposition.
+    pub refine_outers: usize,
+    /// Detailed-placement passes (0 disables the phase).
+    pub detailed_passes: usize,
+    /// Routability-driven rounds: after global placement, cells sitting in
+    /// RUDY hotspots are inflated and the placement is re-spread (the
+    /// NTUplace4-style cell-inflation loop). `0` disables the mechanism.
+    pub routability_rounds: usize,
+    /// Legalization algorithm.
+    pub legalizer: LegalizerKind,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            gp: GpConfig::default(),
+            extract: ExtractConfig::default(),
+            align: AlignConfig {
+                // The soft default keeps the alignment force mild: the
+                // datapath-net weighting does the heavy lifting and the
+                // term mostly steers orientation; `rigid()` restores the
+                // full-strength force.
+                beta: 0.1,
+                ..AlignConfig::default()
+            },
+            structure_aware: true,
+            rigid_groups: false,
+            lock_groups_in_detailed: false,
+            dp_net_weight: 2.0,
+            refine_outers: 8,
+            detailed_passes: 2,
+            routability_rounds: 0,
+            legalizer: LegalizerKind::default(),
+        }
+    }
+}
+
+impl FlowConfig {
+    /// Reduced-effort profile for tests and examples.
+    pub fn fast() -> Self {
+        FlowConfig {
+            gp: GpConfig::fast(),
+            detailed_passes: 1,
+            ..FlowConfig::default()
+        }
+    }
+
+    /// The structure-oblivious baseline at the same effort level.
+    pub fn baseline(mut self) -> Self {
+        self.structure_aware = false;
+        self
+    }
+
+    /// The maximal-regularity variant: groups snap to rigid arrays and
+    /// stay locked through detailed placement.
+    pub fn rigid(mut self) -> Self {
+        self.rigid_groups = true;
+        self.lock_groups_in_detailed = true;
+        self.align.beta = 1.0;
+        self
+    }
+}
+
+/// Wall-clock seconds of each phase (table T5).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseTimes {
+    /// Datapath extraction.
+    pub extract: f64,
+    /// Global placement.
+    pub global: f64,
+    /// Legalization (including group snapping).
+    pub legalize: f64,
+    /// Detailed placement.
+    pub detailed: f64,
+}
+
+impl PhaseTimes {
+    /// Total flow time.
+    pub fn total(&self) -> f64 {
+        self.extract + self.global + self.legalize + self.detailed
+    }
+}
+
+/// Everything the flow measures.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Final HPWL, split by datapath membership.
+    pub hpwl: HpwlBreakdown,
+    /// Geometric regularity of the placed groups.
+    pub alignment: AlignmentReport,
+    /// Global-placement statistics and convergence trace.
+    pub gp: PlaceStats,
+    /// Legalization statistics.
+    pub legal: LegalStats,
+    /// Detailed-placement statistics.
+    pub detailed: DetailedStats,
+    /// Number of groups extracted (0 for the baseline).
+    pub num_groups: usize,
+    /// Number of cells in extracted groups.
+    pub num_group_cells: usize,
+    /// Group cells that found no slot on their aligned row and fell back
+    /// to ordinary legalization.
+    pub group_rows_fallback: usize,
+    /// Per-phase wall-clock times.
+    pub times: PhaseTimes,
+}
+
+/// The flow's result: final placement plus everything measured on the way.
+#[derive(Debug, Clone)]
+pub struct FlowOutput {
+    /// The final legal placement.
+    pub placement: Placement,
+    /// The groups used (extraction output with final orientations);
+    /// empty in baseline mode.
+    pub groups: Vec<DatapathGroup>,
+    /// Metrics and statistics.
+    pub report: FlowReport,
+    /// Violations found by the independent legality checker (0 expected).
+    pub legal_violations: usize,
+}
+
+/// The paper's placer: extraction + alignment + structure-first
+/// legalization, or the plain baseline with `structure_aware = false`.
+#[derive(Debug, Clone)]
+pub struct StructurePlacer {
+    config: FlowConfig,
+}
+
+impl StructurePlacer {
+    /// Creates a placer with the given configuration.
+    pub fn new(config: FlowConfig) -> Self {
+        StructurePlacer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// Runs the full flow. `initial` supplies fixed-cell (pad) positions
+    /// and any warm-start for movable cells.
+    pub fn place(&self, netlist: &Netlist, design: &Design, initial: &Placement) -> FlowOutput {
+        let mut placement = initial.clone();
+        let mut times = PhaseTimes::default();
+
+        // Phase 1: extraction. Groups taller than a fraction of the core
+        // are folded into stacked chunks — a 240-bit multiplier array
+        // cannot stand as 240 consecutive rows in a 100-row core.
+        let t0 = Instant::now();
+        let groups = if self.config.structure_aware {
+            let raw = extract(netlist, &self.config.extract).groups;
+            let max_rows = ((design.region().height() / design.row_height() / 3.0) as usize)
+                .max(self.config.extract.min_bits);
+            fold_groups(raw, max_rows)
+        } else {
+            Vec::new()
+        };
+        times.extract = t0.elapsed().as_secs_f64();
+
+        // Phase 2: global placement (+ alignment term). The placer sees a
+        // netlist whose intra-group nets are up-weighted; every metric is
+        // computed on the original netlist.
+        let t0 = Instant::now();
+        let gp_netlist = if self.config.structure_aware && self.config.dp_net_weight != 1.0 {
+            boost_datapath_nets(netlist, &groups, self.config.dp_net_weight)
+        } else {
+            None
+        };
+        let gp_netlist: &Netlist = gp_netlist.as_ref().unwrap_or(netlist);
+        let placer = GlobalPlacer::new(self.config.gp);
+        let mut align_term = AlignTerm::new(
+            groups,
+            AlignConfig {
+                row_height: design.row_height(),
+                ..self.config.align
+            },
+        );
+        let gp_stats = if self.config.structure_aware {
+            let mut stats = placer.place_inflated(
+                gp_netlist,
+                design,
+                &mut placement,
+                Some(&mut align_term as &mut dyn ExtraTerm),
+                None,
+                Some(netlist),
+            );
+            if self.config.refine_outers > 0 {
+                // Alignment refinement: never stop early, no fresh
+                // clustering, moderate inner budget.
+                let refine = GlobalPlacer::new(GpConfig {
+                    max_outer: self.config.refine_outers,
+                    target_overflow: 0.0,
+                    inner_iters: self.config.gp.inner_iters.min(40),
+                    cluster_threshold: 0,
+                    ..self.config.gp
+                });
+                let rstats = refine.place_inflated(
+                    gp_netlist,
+                    design,
+                    &mut placement,
+                    Some(&mut align_term as &mut dyn ExtraTerm),
+                    None,
+                    Some(netlist),
+                );
+                stats.trace.extend(rstats.trace.iter().map(|t| {
+                    sdp_gp::IterationTrace {
+                        outer: t.outer + stats.outer_iters,
+                        ..*t
+                    }
+                }));
+                stats.outer_iters += rstats.outer_iters;
+                stats.final_hpwl = rstats.final_hpwl;
+                stats.final_overflow = rstats.final_overflow;
+                stats.seconds += rstats.seconds;
+            }
+            stats
+        } else {
+            // Iteration-fair baseline: the oblivious flow gets the same
+            // extra refinement outers (plain wirelength/density only).
+            let mut stats = placer.place(netlist, design, &mut placement, None);
+            if self.config.refine_outers > 0 {
+                let refine = GlobalPlacer::new(GpConfig {
+                    max_outer: self.config.refine_outers,
+                    target_overflow: 0.0,
+                    inner_iters: self.config.gp.inner_iters.min(40),
+                    cluster_threshold: 0,
+                    ..self.config.gp
+                });
+                let rstats = refine.place(netlist, design, &mut placement, None);
+                stats.trace.extend(rstats.trace.iter().map(|t| {
+                    sdp_gp::IterationTrace {
+                        outer: t.outer + stats.outer_iters,
+                        ..*t
+                    }
+                }));
+                stats.outer_iters += rstats.outer_iters;
+                stats.final_hpwl = rstats.final_hpwl;
+                stats.final_overflow = rstats.final_overflow;
+                stats.seconds += rstats.seconds;
+            }
+            stats
+        };
+        let mut gp_stats = gp_stats;
+        if self.config.routability_rounds > 0 {
+            gp_stats = self.routability_spread(gp_netlist, design, &mut placement, gp_stats);
+        }
+        let gp_stats = gp_stats;
+        let groups = align_term.groups().to_vec();
+        times.global = t0.elapsed().as_secs_f64();
+
+        // Phase 3: structure-first legalization.
+        let t0 = Instant::now();
+        let (locked, rows_fallback) = if self.config.structure_aware && self.config.rigid_groups {
+            snap_groups(netlist, design, &mut placement, &groups)
+        } else {
+            (HashSet::new(), 0)
+        };
+        let legal_options = LegalizeOptions {
+            locked: locked.clone(),
+            ..LegalizeOptions::default()
+        };
+        let legal_stats = match self.config.legalizer {
+            LegalizerKind::Tetris => legalize(netlist, design, &mut placement, &legal_options),
+            LegalizerKind::Abacus => {
+                legalize_abacus(netlist, design, &mut placement, &legal_options)
+            }
+        };
+        times.legalize = t0.elapsed().as_secs_f64();
+
+        // Phase 4: detailed placement.
+        let t0 = Instant::now();
+        let detailed_stats = detailed_place(
+            netlist,
+            design,
+            &mut placement,
+            &DetailedOptions {
+                passes: self.config.detailed_passes,
+                // Snapped group cells may still slide within their row —
+                // that preserves the alignment while recovering the x
+                // freedom the snap gave up.
+                row_locked: if self.config.lock_groups_in_detailed {
+                    locked
+                } else {
+                    HashSet::new()
+                },
+                ..DetailedOptions::default()
+            },
+        );
+        times.detailed = t0.elapsed().as_secs_f64();
+
+        // Metrics.
+        let hpwl = hpwl_breakdown(netlist, &placement, &groups);
+        let alignment = alignment_report(&placement, &groups, design.row_height());
+        let legal_violations = check_legal(netlist, design, &placement).len();
+
+        FlowOutput {
+            legal_violations,
+            report: FlowReport {
+                hpwl,
+                alignment,
+                gp: gp_stats,
+                legal: legal_stats,
+                detailed: detailed_stats,
+                num_groups: groups.len(),
+                num_group_cells: groups.iter().map(|g| g.num_cells()).sum(),
+                group_rows_fallback: rows_fallback,
+                times,
+            },
+            groups,
+            placement,
+        }
+    }
+}
+
+/// Folds groups with more than `max_rows` bit rows into several stacked
+/// chunks of at most `max_rows` bits each. Chunk k of group `g` is named
+/// `g.name()/k`; chunks inherit the group's axis and are aligned
+/// independently (the bit order inside each chunk is preserved, so
+/// carry/bus nets between neighbouring chunks stay between neighbouring
+/// arrays).
+fn fold_groups(groups: Vec<DatapathGroup>, max_rows: usize) -> Vec<DatapathGroup> {
+    let mut out = Vec::with_capacity(groups.len());
+    for g in groups {
+        if g.bits() <= max_rows {
+            out.push(g);
+            continue;
+        }
+        let chunks = g.bits().div_ceil(max_rows);
+        // Even chunk sizes (the last chunk must not degenerate).
+        let per = g.bits().div_ceil(chunks);
+        for (k, start) in (0..g.bits()).step_by(per).enumerate() {
+            let end = (start + per).min(g.bits());
+            let matrix: Vec<Vec<Option<sdp_netlist::CellId>>> = (start..end)
+                .map(|b| (0..g.stages()).map(|s| g.cell_at(b, s)).collect())
+                .collect();
+            let mut chunk = DatapathGroup::new(format!("{}/{k}", g.name()), matrix);
+            chunk.axis = g.axis;
+            out.push(chunk);
+        }
+    }
+    out
+}
+
+impl StructurePlacer {
+    /// The cell-inflation loop: estimate routing demand with RUDY, inflate
+    /// cells in hotspots (demand above the mean), and re-spread with a
+    /// short placement pass; repeat up to `routability_rounds` times or
+    /// until no hotspot remains.
+    fn routability_spread(
+        &self,
+        netlist: &Netlist,
+        design: &Design,
+        placement: &mut Placement,
+        mut stats: PlaceStats,
+    ) -> PlaceStats {
+        let res = 2 * sdp_gp::DensityModel::default_resolution(netlist.num_movable());
+        // A round must improve *routed* congestion to be kept — and the
+        // judgement is made on a snapshot carried through legalization AND
+        // detailed placement, because a spread that looks better at the
+        // global-placement stage can reverse downstream (observed on
+        // dp_large). RUDY peak was tried first and is unreliable.
+        // Wirelength breaks ties.
+        let score = |pl: &Placement| -> (u64, f64) {
+            let mut snap = pl.clone();
+            legalize(netlist, design, &mut snap, &LegalizeOptions::default());
+            detailed_place(
+                netlist,
+                design,
+                &mut snap,
+                &DetailedOptions {
+                    passes: 1,
+                    ..DetailedOptions::default()
+                },
+            );
+            let r = sdp_route::route(netlist, &snap, design, &sdp_route::RouteConfig::default());
+            (r.overflow, r.wirelength)
+        };
+        let mut best = placement.clone();
+        let mut best_score = score(placement);
+        let mut inflation = vec![1.0f64; netlist.num_cells()];
+        for _round in 0..self.config.routability_rounds {
+            let (grid, demand) = rudy_map(netlist, placement, design, res, res);
+            let mean = demand.iter().sum::<f64>() / demand.len().max(1) as f64;
+            if mean <= 0.0 {
+                break;
+            }
+            let hot = 2.0 * mean;
+            let mut any_hot = false;
+            for c in netlist.movable_ids() {
+                let bin = grid.bin_of(placement.get(c));
+                let d = demand[grid.flat(bin)];
+                if d > hot {
+                    // Grow by up to 25 % per round, capped at 2x.
+                    let grow = 1.0 + 0.25 * ((d / hot - 1.0).min(1.0));
+                    inflation[c.ix()] = (inflation[c.ix()] * grow).min(2.0);
+                    any_hot = true;
+                }
+            }
+            if !any_hot {
+                break;
+            }
+            let spreader = GlobalPlacer::new(GpConfig {
+                max_outer: 6,
+                target_overflow: self.config.gp.target_overflow,
+                inner_iters: self.config.gp.inner_iters.min(40),
+                cluster_threshold: 0,
+                ..self.config.gp
+            });
+            let r =
+                spreader.place_inflated(netlist, design, placement, None, Some(&inflation), None);
+            stats.outer_iters += r.outer_iters;
+            stats.seconds += r.seconds;
+            let s = score(placement);
+            if s < best_score {
+                best_score = s;
+                best = placement.clone();
+            }
+        }
+        *placement = best;
+        stats.final_hpwl = sdp_gp::hpwl(netlist, placement.positions());
+        stats
+    }
+}
+
+/// Clones the netlist with intra-group *bit-level* net weights multiplied
+/// by `factor`: nets with at least two pins on group cells and bounded
+/// fanout. High-fanout control nets (write enables, mux selects) touch
+/// many group cells but are not bus structure — boosting them would trade
+/// away exactly the wrong wirelength. Returns `None` when no net
+/// qualifies.
+fn boost_datapath_nets(
+    netlist: &Netlist,
+    groups: &[DatapathGroup],
+    factor: f64,
+) -> Option<Netlist> {
+    const MAX_BOOST_DEGREE: usize = 6;
+    let dp_cells: HashSet<CellId> = groups.iter().flat_map(|g| g.cell_set()).collect();
+    if dp_cells.is_empty() {
+        return None;
+    }
+    let mut boosted = netlist.clone();
+    let mut any = false;
+    for n in netlist.net_ids() {
+        if netlist.net_degree(n) > MAX_BOOST_DEGREE {
+            continue;
+        }
+        let in_group = netlist
+            .net(n)
+            .pins
+            .iter()
+            .filter(|&&p| dp_cells.contains(&netlist.pin(p).cell))
+            .count();
+        if in_group >= 2 {
+            boosted.set_net_weight(n, netlist.net(n).weight * factor);
+            any = true;
+        }
+    }
+    any.then_some(boosted)
+}
+
+/// Snaps every group onto aligned rows: bit `b` of a group goes to row
+/// `r0 + b`, where `r0` centres the group's fitted row line inside the
+/// core — so the whole array lands on *consecutive* rows exactly as the
+/// alignment objective shaped it. Each cell takes the legal slot nearest
+/// its global-placement x on its assigned row. Cells whose row is full
+/// are left for Tetris (counted as fallback). Returns the snapped
+/// (locked) cells and the fallback count.
+fn snap_groups(
+    netlist: &Netlist,
+    design: &Design,
+    placement: &mut Placement,
+    groups: &[DatapathGroup],
+) -> (HashSet<CellId>, usize) {
+    let rows = design.rows();
+    let nrows = rows.len();
+    let mut spaces: Vec<RowSpace> = rows.iter().map(RowSpace::new).collect();
+    // Fixed blockages.
+    for c in netlist.cell_ids() {
+        if !netlist.cell(c).fixed {
+            continue;
+        }
+        let r = placement.cell_rect(netlist, c);
+        for (ri, row) in rows.iter().enumerate() {
+            if r.y2() > row.y && r.y1() < row.y + row.height {
+                spaces[ri].block(r.x1(), r.width());
+            }
+        }
+    }
+
+    let mut locked = HashSet::new();
+    let mut fallback = 0usize;
+
+    // Largest groups first: they are hardest to fit.
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    order.sort_by_key(|&i| usize::MAX - groups[i].num_cells());
+
+    for &gi in &order {
+        // Work on a bits-vertical view: transposed groups snap their
+        // stage columns as rows.
+        let g = if groups[gi].axis == GroupAxis::BitsHorizontal {
+            groups[gi].transposed()
+        } else {
+            groups[gi].clone()
+        };
+        // Fitted base row: median of (row mean y − b·row_height).
+        let rh = design.row_height();
+        let mut offsets: Vec<f64> = (0..g.bits())
+            .filter_map(|b| {
+                let ys: Vec<f64> = g.bit_row(b).map(|c| placement.get(c).y).collect();
+                if ys.is_empty() {
+                    None
+                } else {
+                    Some(ys.iter().sum::<f64>() / ys.len() as f64 - b as f64 * rh)
+                }
+            })
+            .collect();
+        if offsets.is_empty() {
+            continue;
+        }
+        offsets.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let alpha = offsets[offsets.len() / 2];
+        let r0 = (((alpha - rows[0].y) / rh).round() as isize)
+            .clamp(0, (nrows.saturating_sub(g.bits())) as isize) as usize;
+
+        for b in 0..g.bits() {
+            let ri = (r0 + b).min(nrows - 1);
+            let yc = rows[ri].y + rows[ri].height / 2.0;
+            // Left-to-right so same-row neighbours do not leapfrog.
+            let mut ordered: Vec<CellId> = g.bit_row(b).collect();
+            ordered.sort_by(|&a, &b| {
+                placement
+                    .get(a)
+                    .x
+                    .partial_cmp(&placement.get(b).x)
+                    .expect("positions are finite")
+            });
+            for c in ordered {
+                let w = netlist.cell_width(c);
+                let target_left = placement.get(c).x - w / 2.0;
+                match spaces[ri].place_near(target_left, w) {
+                    Some(x) => {
+                        placement.set(c, Point::new(x + w / 2.0, yc));
+                        locked.insert(c);
+                    }
+                    None => fallback += 1,
+                }
+            }
+        }
+    }
+    (locked, fallback)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_dpgen::{generate, GenConfig};
+
+    fn run(name: &str, seed: u64, aware: bool) -> FlowOutput {
+        let d = generate(&GenConfig::named(name, seed).unwrap());
+        let cfg = if aware {
+            FlowConfig::fast()
+        } else {
+            FlowConfig::fast().baseline()
+        };
+        StructurePlacer::new(cfg).place(&d.netlist, &d.design, &d.placement)
+    }
+
+    fn run_rigid(name: &str, seed: u64) -> FlowOutput {
+        let d = generate(&GenConfig::named(name, seed).unwrap());
+        StructurePlacer::new(FlowConfig::fast().rigid()).place(&d.netlist, &d.design, &d.placement)
+    }
+
+    #[test]
+    fn both_flows_produce_legal_placements() {
+        for aware in [false, true] {
+            let out = run("dp_tiny", 1, aware);
+            assert_eq!(
+                out.legal_violations, 0,
+                "structure_aware={aware} must be legal"
+            );
+            assert!(out.report.hpwl.total > 0.0);
+        }
+    }
+
+    #[test]
+    fn structure_aware_improves_alignment() {
+        let base = run("dp_tiny", 2, false);
+        let aware = run_rigid("dp_tiny", 2);
+        // Baseline has no groups to measure; measure its geometry against
+        // the aware run's groups for a fair comparison.
+        let d = generate(&GenConfig::named("dp_tiny", 2).unwrap());
+        let base_align = sdp_eval::alignment_report(
+            &base.placement,
+            &aware.groups,
+            d.design.row_height(),
+        );
+        assert!(
+            aware.report.alignment.aligned_row_fraction > base_align.aligned_row_fraction,
+            "aligned fraction: aware {} vs baseline {}",
+            aware.report.alignment.aligned_row_fraction,
+            base_align.aligned_row_fraction
+        );
+    }
+
+    #[test]
+    fn baseline_mode_extracts_nothing() {
+        let out = run("dp_tiny", 3, false);
+        assert_eq!(out.report.num_groups, 0);
+        assert_eq!(out.report.num_group_cells, 0);
+        assert!(out.groups.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run("dp_tiny", 4, true);
+        let b = run("dp_tiny", 4, true);
+        assert_eq!(a.placement.positions(), b.placement.positions());
+    }
+
+    #[test]
+    fn fold_groups_splits_tall_groups_evenly() {
+        use sdp_netlist::CellId;
+        let tall = DatapathGroup::from_dense(
+            "mul",
+            (0..100)
+                .map(|b| vec![CellId::new(2 * b), CellId::new(2 * b + 1)])
+                .collect(),
+        );
+        let folded = fold_groups(vec![tall], 30);
+        assert_eq!(folded.len(), 4);
+        // Chunks cover all bits exactly once, in order.
+        let total: usize = folded.iter().map(|g| g.bits()).sum();
+        assert_eq!(total, 100);
+        assert!(folded.iter().all(|g| g.bits() <= 30));
+        let mut seen = std::collections::HashSet::new();
+        for g in &folded {
+            for (_, _, c) in g.iter() {
+                assert!(seen.insert(c));
+            }
+        }
+        assert_eq!(seen.len(), 200);
+        // Short groups pass through untouched.
+        let short = DatapathGroup::from_dense(
+            "s",
+            (0..8).map(|b| vec![CellId::new(1000 + b)]).collect(),
+        );
+        let kept = fold_groups(vec![short.clone()], 30);
+        assert_eq!(kept[0].bits(), 8);
+        assert_eq!(kept[0].name(), short.name());
+    }
+
+    #[test]
+    fn boost_marks_only_low_degree_group_nets() {
+        let d = generate(&GenConfig::named("dp_tiny", 14).unwrap());
+        let r = sdp_extract::extract(&d.netlist, &sdp_extract::ExtractConfig::default());
+        let boosted = boost_datapath_nets(&d.netlist, &r.groups, 3.0).expect("some dp nets");
+        let mut raised = 0;
+        for n in d.netlist.net_ids() {
+            let w0 = d.netlist.net(n).weight;
+            let w1 = boosted.net(n).weight;
+            if w1 != w0 {
+                assert_eq!(w1, w0 * 3.0);
+                assert!(boosted.net_degree(n) <= 6, "only low-degree nets");
+                raised += 1;
+            }
+        }
+        assert!(raised > 10, "boosted {raised} nets");
+        // No groups → no boost.
+        assert!(boost_datapath_nets(&d.netlist, &[], 3.0).is_none());
+    }
+
+    #[test]
+    fn abacus_legalizer_flows_legally() {
+        let d = generate(&GenConfig::named("dp_tiny", 12).unwrap());
+        let mut cfg = FlowConfig::fast();
+        cfg.legalizer = crate::flow::LegalizerKind::Abacus;
+        let out = StructurePlacer::new(cfg).place(&d.netlist, &d.design, &d.placement);
+        assert_eq!(out.legal_violations, 0);
+    }
+
+    #[test]
+    fn routability_rounds_keep_the_flow_legal() {
+        let d = generate(&GenConfig::named("dp_tiny", 11).unwrap());
+        let mut cfg = FlowConfig::fast();
+        cfg.routability_rounds = 2;
+        let out = StructurePlacer::new(cfg).place(&d.netlist, &d.design, &d.placement);
+        assert_eq!(out.legal_violations, 0);
+        assert!(out.report.hpwl.total > 0.0);
+    }
+
+    #[test]
+    fn timers_are_populated() {
+        let out = run("dp_tiny", 5, true);
+        let t = out.report.times;
+        assert!(t.global > 0.0);
+        assert!(t.extract > 0.0);
+        assert!(t.total() >= t.global);
+    }
+
+    #[test]
+    fn rigid_mode_is_legal_too() {
+        let out = run_rigid("dp_tiny", 9);
+        assert_eq!(out.legal_violations, 0);
+        assert_eq!(out.report.alignment.aligned_row_fraction, 1.0);
+    }
+
+    #[test]
+    fn group_cells_form_contiguous_rows() {
+        let out = run_rigid("dp_tiny", 6);
+        // For each group bit row whose cells were locked, all cells must
+        // share a y and be contiguous in x.
+        let mut shared = 0;
+        let mut rows_total = 0;
+        for g in &out.groups {
+            let gv = if g.axis == sdp_geom::GroupAxis::BitsHorizontal {
+                g.transposed()
+            } else {
+                g.clone()
+            };
+            for b in 0..gv.bits() {
+                let cells: Vec<_> = gv.bit_row(b).collect();
+                if cells.len() < 2 {
+                    continue;
+                }
+                rows_total += 1;
+                let y0 = out.placement.get(cells[0]).y;
+                if cells.iter().all(|&c| out.placement.get(c).y == y0) {
+                    shared += 1;
+                }
+            }
+        }
+        assert!(rows_total > 0);
+        assert_eq!(shared, rows_total, "rigid mode puts each bit row on one row");
+    }
+}

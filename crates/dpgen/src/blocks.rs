@@ -1,0 +1,505 @@
+//! Datapath block generators: adders, shifters, multiplexers, register
+//! files, multipliers, and ALUs.
+//!
+//! Every generator returns the wires it produces **and** the ground-truth
+//! structure matrix (`matrix[bit][stage]` of [`GateId`]s) that
+//! structure-aware placement is supposed to recover and align.
+
+use crate::{GateId, GateKind, WireCircuit, WireId};
+
+/// Output of a block generator: produced wires plus ground-truth matrices.
+#[derive(Debug, Clone)]
+pub struct BlockOut {
+    /// Primary result bus of the block (one wire per bit).
+    pub out: Vec<WireId>,
+    /// Ground-truth group matrices, `(suffix, matrix[bit][stage])`.
+    pub groups: Vec<(String, Vec<Vec<Option<GateId>>>)>,
+}
+
+/// Builds one full-adder bit slice; returns `(sum, cout, [gate ids; 5])`.
+fn full_adder(
+    c: &mut WireCircuit,
+    a: WireId,
+    b: WireId,
+    cin: WireId,
+) -> (WireId, WireId, [GateId; 5]) {
+    let (axb, g0) = c.gate(GateKind::Xor2, &[a, b]);
+    let (sum, g1) = c.gate(GateKind::Xor2, &[axb, cin]);
+    let (t1, g2) = c.gate(GateKind::And2, &[a, b]);
+    let (t2, g3) = c.gate(GateKind::And2, &[axb, cin]);
+    let (cout, g4) = c.gate(GateKind::Or2, &[t1, t2]);
+    (sum, cout, [g0, g1, g2, g3, g4])
+}
+
+/// Generates a `width`-bit ripple-carry adder.
+///
+/// Ground truth: one `width × 5` group (xor, xor, and, and, or per bit).
+/// The final carry-out is exposed as the last wire of `out` is **not**
+/// included; use the returned carry if needed.
+///
+/// # Panics
+///
+/// Panics if the operand buses do not both have `width` wires.
+pub fn ripple_adder(
+    c: &mut WireCircuit,
+    a: &[WireId],
+    b: &[WireId],
+    cin: WireId,
+) -> (BlockOut, WireId) {
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    let width = a.len();
+    assert!(width > 0, "adder width must be positive");
+    let mut carry = cin;
+    let mut out = Vec::with_capacity(width);
+    let mut matrix = Vec::with_capacity(width);
+    for i in 0..width {
+        let (sum, cout, gs) = full_adder(c, a[i], b[i], carry);
+        out.push(sum);
+        carry = cout;
+        matrix.push(gs.iter().map(|&g| Some(g)).collect());
+    }
+    (
+        BlockOut {
+            out,
+            groups: vec![("add".to_string(), matrix)],
+        },
+        carry,
+    )
+}
+
+/// Generates a `width`-bit carry-select adder with `block`-bit sections:
+/// section 0 is a plain ripple block; every later section computes both
+/// carry hypotheses with two parallel ripple chains and selects sum and
+/// carry with MUX2s driven by the previous section's carry-out.
+///
+/// Ground truth: one `width × 11` group — stages are the five gates of
+/// the carry-0 chain, the five of the carry-1 chain, and the sum mux;
+/// section 0 bits have `None` in the hypothesis and mux columns.
+///
+/// # Panics
+///
+/// Panics if `block == 0` or the operand widths differ.
+pub fn carry_select_adder(
+    c: &mut WireCircuit,
+    a: &[WireId],
+    b: &[WireId],
+    cin: WireId,
+    one: WireId,
+    block: usize,
+) -> (BlockOut, WireId) {
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    assert!(block > 0, "block size must be positive");
+    let width = a.len();
+    let mut matrix: Vec<Vec<Option<GateId>>> = vec![vec![None; 11]; width];
+    let mut out = vec![cin; width]; // placeholder, overwritten below
+    let mut section_cin = cin;
+
+    let mut lo = 0;
+    let mut first = true;
+    while lo < width {
+        let hi = (lo + block).min(width);
+        if first {
+            // Plain ripple section.
+            let mut carry = section_cin;
+            for i in lo..hi {
+                let (sum, cout, gs) = full_adder(c, a[i], b[i], carry);
+                out[i] = sum;
+                carry = cout;
+                for (k, &g) in gs.iter().enumerate() {
+                    matrix[i][k] = Some(g);
+                }
+            }
+            section_cin = carry;
+            first = false;
+        } else {
+            // Two hypothesis chains + selection muxes. The hypotheses
+            // start from constants; the previous section's carry picks
+            // between them. A zero is derived from `one` with an inverter
+            // per section (support logic, outside the truth matrix).
+            let sel = section_cin;
+            let (zero, _) = c.gate(GateKind::Inv, &[one]);
+            let mut c0 = zero;
+            let mut c1 = one;
+            let mut sums0 = Vec::with_capacity(hi - lo);
+            let mut sums1 = Vec::with_capacity(hi - lo);
+            for i in lo..hi {
+                let (s0, co0, g0) = full_adder(c, a[i], b[i], c0);
+                let (s1, co1, g1) = full_adder(c, a[i], b[i], c1);
+                sums0.push(s0);
+                sums1.push(s1);
+                c0 = co0;
+                c1 = co1;
+                for (k, &g) in g0.iter().enumerate() {
+                    matrix[i][k] = Some(g);
+                }
+                for (k, &g) in g1.iter().enumerate() {
+                    matrix[i][5 + k] = Some(g);
+                }
+            }
+            for (off, i) in (lo..hi).enumerate() {
+                let (s, gm) = c.gate(GateKind::Mux2, &[sums0[off], sums1[off], sel]);
+                out[i] = s;
+                matrix[i][10] = Some(gm);
+            }
+            let (next_cin, _) = c.gate(GateKind::Mux2, &[c0, c1, sel]);
+            section_cin = next_cin;
+        }
+        lo = hi;
+    }
+    (
+        BlockOut {
+            out,
+            groups: vec![("csel".to_string(), matrix)],
+        },
+        section_cin,
+    )
+}
+
+/// Generates a barrel *rotator* over `data` controlled by `shift` (one
+/// select wire per level; `shift.len()` levels rotate by powers of two).
+///
+/// Ground truth: one `width × levels` group of MUX2 cells.
+pub fn barrel_shifter(c: &mut WireCircuit, data: &[WireId], shift: &[WireId]) -> BlockOut {
+    let width = data.len();
+    assert!(width > 0, "shifter width must be positive");
+    let levels = shift.len();
+    let mut cur: Vec<WireId> = data.to_vec();
+    let mut matrix: Vec<Vec<Option<GateId>>> = vec![Vec::with_capacity(levels); width];
+    for (l, &sel) in shift.iter().enumerate() {
+        let amount = 1usize << l;
+        let mut next = Vec::with_capacity(width);
+        for (i, row) in matrix.iter_mut().enumerate() {
+            let rotated = cur[(i + amount) % width];
+            let (o, g) = c.gate(GateKind::Mux2, &[cur[i], rotated, sel]);
+            next.push(o);
+            row.push(Some(g));
+        }
+        cur = next;
+    }
+    BlockOut {
+        out: cur,
+        groups: vec![("shift".to_string(), matrix)],
+    }
+}
+
+/// Generates a `ways`-to-1 multiplexer over `ways` buses of equal width,
+/// reduced pairwise by MUX2 levels (`ways` must be a power of two).
+///
+/// Ground truth: one `width × (ways - 1)` group (the reduction tree per
+/// bit, columns ordered level-major).
+///
+/// # Panics
+///
+/// Panics if `ways` is not a power of two ≥ 2, if fewer than `ways` select
+/// wires are supplied (needs `log2(ways)`), or bus widths differ.
+pub fn mux_tree(c: &mut WireCircuit, buses: &[Vec<WireId>], sels: &[WireId]) -> BlockOut {
+    let ways = buses.len();
+    assert!(ways >= 2 && ways.is_power_of_two(), "ways must be a power of two >= 2");
+    let width = buses[0].len();
+    assert!(buses.iter().all(|b| b.len() == width), "bus widths differ");
+    let levels = ways.trailing_zeros() as usize;
+    assert!(sels.len() >= levels, "need {levels} select wires");
+
+    let mut cur: Vec<Vec<WireId>> = buses.to_vec();
+    let mut matrix: Vec<Vec<Option<GateId>>> = vec![Vec::with_capacity(ways - 1); width];
+    for &sel in sels.iter().take(levels) {
+        let mut next: Vec<Vec<WireId>> = Vec::with_capacity(cur.len() / 2);
+        for pair in cur.chunks(2) {
+            let mut bus = Vec::with_capacity(width);
+            for i in 0..width {
+                let (o, g) = c.gate(GateKind::Mux2, &[pair[0][i], pair[1][i], sel]);
+                bus.push(o);
+                matrix[i].push(Some(g));
+            }
+            next.push(bus);
+        }
+        cur = next;
+    }
+    BlockOut {
+        out: cur.remove(0),
+        groups: vec![("mux".to_string(), matrix)],
+    }
+}
+
+/// Generates one register rank with write-enable: per bit a MUX2 (hold vs
+/// load) followed by a DFF whose output feeds back to the mux.
+///
+/// Ground truth: one `width × 2` group (mux, dff).
+pub fn register_rank(c: &mut WireCircuit, d: &[WireId], we: WireId, clk: WireId) -> BlockOut {
+    let width = d.len();
+    assert!(width > 0, "register width must be positive");
+    let mut out = Vec::with_capacity(width);
+    let mut matrix = Vec::with_capacity(width);
+    for &di in d {
+        // Feedback loop: mux(hold = q, load = d, we) → dff → q.
+        let q = c.wire();
+        let (m, gm) = c.gate(GateKind::Mux2, &[q, di, we]);
+        let gd = c.gate_into(GateKind::Dff, &[m, clk], q);
+        out.push(q);
+        matrix.push(vec![Some(gm), Some(gd)]);
+    }
+    BlockOut {
+        out,
+        groups: vec![("reg".to_string(), matrix)],
+    }
+}
+
+/// Generates a `width × width` array multiplier: a partial-product AND
+/// plane followed by `width - 1` ripple rows of full adders.
+///
+/// Ground truth: one `width × width` group for the AND plane plus one
+/// `width × 5` group per adder row.
+pub fn array_multiplier(c: &mut WireCircuit, a: &[WireId], b: &[WireId], zero: WireId) -> BlockOut {
+    let width = a.len();
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    assert!(width >= 2, "multiplier needs width >= 2");
+
+    // Partial products pp[j][i] = a[i] & b[j].
+    let mut pp_matrix: Vec<Vec<Option<GateId>>> = vec![Vec::with_capacity(width); width];
+    let mut pp: Vec<Vec<WireId>> = Vec::with_capacity(width);
+    for &bj in b.iter().take(width) {
+        let mut prow = Vec::with_capacity(width);
+        for (i, row) in pp_matrix.iter_mut().enumerate() {
+            let (w, g) = c.gate(GateKind::And2, &[a[i], bj]);
+            prow.push(w);
+            row.push(Some(g));
+        }
+        pp.push(prow);
+    }
+
+    let mut groups = vec![("mul_pp".to_string(), pp_matrix)];
+
+    // Ripple-accumulate rows. Row j adds pp[j] (shifted) into the running
+    // sum. Low product bits fall out one per row.
+    let mut acc: Vec<WireId> = pp[0].clone();
+    let mut out: Vec<WireId> = Vec::with_capacity(2 * width);
+    for (j, prow) in pp.iter().enumerate().skip(1) {
+        out.push(acc[0]);
+        let mut shifted: Vec<WireId> = acc[1..].to_vec();
+        shifted.push(zero);
+        let mut carry = zero;
+        let mut row_matrix = Vec::with_capacity(width);
+        let mut next = Vec::with_capacity(width);
+        for i in 0..width {
+            let (s, co, gs) = full_adder(c, shifted[i], prow[i], carry);
+            next.push(s);
+            carry = co;
+            row_matrix.push(gs.iter().map(|&g| Some(g)).collect());
+        }
+        groups.push((format!("mul_row{j}"), row_matrix));
+        acc = next;
+        if j == width - 1 {
+            out.extend(acc.iter().copied());
+            out.push(carry);
+        }
+    }
+    BlockOut { out, groups }
+}
+
+/// Generates a `width`-bit ALU: per-bit AND / OR / XOR logic lanes plus a
+/// ripple adder lane, selected by a 4-to-1 mux tree (`op` supplies two
+/// select wires).
+///
+/// Ground truth: one `width × 11` group — stages are
+/// `[and, or, xor, add.xor, add.xor, add.and, add.and, add.or, mux, mux, mux]`.
+pub fn alu(c: &mut WireCircuit, a: &[WireId], b: &[WireId], op: &[WireId], cin: WireId) -> BlockOut {
+    let width = a.len();
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    assert!(op.len() >= 2, "alu needs two op-select wires");
+
+    let mut matrix: Vec<Vec<Option<GateId>>> = vec![Vec::with_capacity(11); width];
+    let mut and_lane = Vec::with_capacity(width);
+    let mut or_lane = Vec::with_capacity(width);
+    let mut xor_lane = Vec::with_capacity(width);
+    for i in 0..width {
+        let (w_and, g0) = c.gate(GateKind::And2, &[a[i], b[i]]);
+        let (w_or, g1) = c.gate(GateKind::Or2, &[a[i], b[i]]);
+        let (w_xor, g2) = c.gate(GateKind::Xor2, &[a[i], b[i]]);
+        and_lane.push(w_and);
+        or_lane.push(w_or);
+        xor_lane.push(w_xor);
+        matrix[i].extend([Some(g0), Some(g1), Some(g2)]);
+    }
+
+    // Adder lane (reuses the ripple structure, folded into this group).
+    let mut carry = cin;
+    let mut add_lane = Vec::with_capacity(width);
+    for i in 0..width {
+        let (sum, cout, gs) = full_adder(c, a[i], b[i], carry);
+        add_lane.push(sum);
+        carry = cout;
+        matrix[i].extend(gs.iter().map(|&g| Some(g)));
+    }
+
+    // Output select: ((and, or) mux op0, (xor, add) mux op0) mux op1.
+    let mut out = Vec::with_capacity(width);
+    for i in 0..width {
+        let (m0, g0) = c.gate(GateKind::Mux2, &[and_lane[i], or_lane[i], op[0]]);
+        let (m1, g1) = c.gate(GateKind::Mux2, &[xor_lane[i], add_lane[i], op[0]]);
+        let (y, g2) = c.gate(GateKind::Mux2, &[m0, m1, op[1]]);
+        out.push(y);
+        matrix[i].extend([Some(g0), Some(g1), Some(g2)]);
+    }
+
+    BlockOut {
+        out,
+        groups: vec![("alu".to_string(), matrix)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus(c: &mut WireCircuit, name: &str, w: usize) -> Vec<WireId> {
+        (0..w).map(|i| c.input(format!("{name}{i}"))).collect()
+    }
+
+    #[test]
+    fn adder_shapes() {
+        let mut c = WireCircuit::new();
+        let a = bus(&mut c, "a", 8);
+        let b = bus(&mut c, "b", 8);
+        let cin = c.input("cin");
+        let (blk, cout) = ripple_adder(&mut c, &a, &b, cin);
+        assert_eq!(blk.out.len(), 8);
+        assert_eq!(blk.groups.len(), 1);
+        let m = &blk.groups[0].1;
+        assert_eq!(m.len(), 8);
+        assert!(m.iter().all(|row| row.len() == 5));
+        assert_eq!(c.num_gates(), 40);
+        c.output("cout", cout);
+        for (i, &s) in blk.out.iter().enumerate() {
+            c.output(format!("s{i}"), s);
+        }
+        let lo = c.lower("add8").unwrap();
+        assert_eq!(lo.netlist.num_movable(), 40);
+    }
+
+    #[test]
+    fn carry_select_shapes() {
+        let mut c = WireCircuit::new();
+        let a = bus(&mut c, "a", 12);
+        let b = bus(&mut c, "b", 12);
+        let cin = c.input("cin");
+        let one = c.input("one");
+        let (blk, _cout) = carry_select_adder(&mut c, &a, &b, cin, one, 4);
+        assert_eq!(blk.out.len(), 12);
+        let m = &blk.groups[0].1;
+        assert_eq!(m.len(), 12);
+        assert!(m.iter().all(|row| row.len() == 11));
+        // Section 0 bits have no hypothesis/mux columns.
+        for row in m.iter().take(4) {
+            assert!(row[5].is_none() && row[10].is_none());
+        }
+        // Later bits have all 11 filled.
+        for (bit, row) in m.iter().enumerate().skip(4) {
+            assert!(row.iter().all(|g| g.is_some()), "bit {bit}");
+        }
+        // Gate count: 4*5 + 8*11 + 2 sections * (inv + carry mux).
+        assert_eq!(c.num_gates(), 20 + 88 + 4);
+        // All truth gates unique.
+        let mut seen = std::collections::HashSet::new();
+        for row in m {
+            for g in row.iter().flatten() {
+                assert!(seen.insert(*g));
+            }
+        }
+    }
+
+    #[test]
+    fn shifter_shapes() {
+        let mut c = WireCircuit::new();
+        let d = bus(&mut c, "d", 16);
+        let s = bus(&mut c, "s", 4);
+        let blk = barrel_shifter(&mut c, &d, &s);
+        assert_eq!(blk.out.len(), 16);
+        let m = &blk.groups[0].1;
+        assert_eq!(m.len(), 16);
+        assert!(m.iter().all(|row| row.len() == 4));
+        assert_eq!(c.num_gates(), 64);
+    }
+
+    #[test]
+    fn mux_tree_shapes() {
+        let mut c = WireCircuit::new();
+        let buses: Vec<Vec<WireId>> = (0..4).map(|k| bus(&mut c, &format!("i{k}_"), 8)).collect();
+        let sels = bus(&mut c, "sel", 2);
+        let blk = mux_tree(&mut c, &buses, &sels);
+        assert_eq!(blk.out.len(), 8);
+        let m = &blk.groups[0].1;
+        assert_eq!(m.len(), 8);
+        assert!(m.iter().all(|row| row.len() == 3)); // 4-to-1 = 3 muxes/bit
+        assert_eq!(c.num_gates(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn mux_tree_rejects_three_ways() {
+        let mut c = WireCircuit::new();
+        let buses: Vec<Vec<WireId>> = (0..3).map(|k| bus(&mut c, &format!("i{k}_"), 4)).collect();
+        let sels = bus(&mut c, "sel", 2);
+        let _ = mux_tree(&mut c, &buses, &sels);
+    }
+
+    #[test]
+    fn register_rank_shapes() {
+        let mut c = WireCircuit::new();
+        let d = bus(&mut c, "d", 8);
+        let we = c.input("we");
+        let clk = c.input("clk");
+        let blk = register_rank(&mut c, &d, we, clk);
+        assert_eq!(blk.out.len(), 8);
+        assert_eq!(blk.groups[0].1[0].len(), 2);
+        assert_eq!(c.num_gates(), 16);
+    }
+
+    #[test]
+    fn multiplier_shapes() {
+        let mut c = WireCircuit::new();
+        let a = bus(&mut c, "a", 4);
+        let b = bus(&mut c, "b", 4);
+        let zero = c.input("zero");
+        let blk = array_multiplier(&mut c, &a, &b, zero);
+        // Groups: pp plane + 3 adder rows.
+        assert_eq!(blk.groups.len(), 4);
+        assert_eq!(blk.groups[0].1.len(), 4); // pp: 4 bits x 4 stages
+        assert_eq!(blk.groups[0].1[0].len(), 4);
+        assert_eq!(blk.groups[1].1[0].len(), 5); // adder row
+        // Gate count: 16 ANDs + 3 rows * 4 bits * 5 gates = 76.
+        assert_eq!(c.num_gates(), 76);
+        // Product width: out has low bits + final acc + carry = 3 + 4 + 1.
+        assert_eq!(blk.out.len(), 8);
+    }
+
+    #[test]
+    fn alu_shapes() {
+        let mut c = WireCircuit::new();
+        let a = bus(&mut c, "a", 8);
+        let b = bus(&mut c, "b", 8);
+        let op = bus(&mut c, "op", 2);
+        let cin = c.input("cin");
+        let blk = alu(&mut c, &a, &b, &op, cin);
+        assert_eq!(blk.out.len(), 8);
+        let m = &blk.groups[0].1;
+        assert_eq!(m.len(), 8);
+        assert!(m.iter().all(|row| row.len() == 11));
+        assert_eq!(c.num_gates(), 8 * 11);
+    }
+
+    #[test]
+    fn groups_have_unique_gates() {
+        let mut c = WireCircuit::new();
+        let a = bus(&mut c, "a", 6);
+        let b = bus(&mut c, "b", 6);
+        let op = bus(&mut c, "op", 2);
+        let cin = c.input("cin");
+        let blk = alu(&mut c, &a, &b, &op, cin);
+        let mut seen = std::collections::HashSet::new();
+        for row in &blk.groups[0].1 {
+            for g in row.iter().flatten() {
+                assert!(seen.insert(*g), "gate {g:?} repeated in group");
+            }
+        }
+    }
+}

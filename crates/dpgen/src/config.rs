@@ -1,0 +1,305 @@
+//! Generation configuration: block lists and named suite presets.
+
+use std::fmt;
+
+/// One datapath block to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockSpec {
+    /// `width`-bit ripple-carry adder.
+    RippleAdder {
+        /// Bit width.
+        width: usize,
+    },
+    /// `width`-bit carry-select adder with `block`-bit sections.
+    CarrySelectAdder {
+        /// Bit width.
+        width: usize,
+        /// Section size in bits.
+        block: usize,
+    },
+    /// `width`-bit barrel rotator with `levels` mux levels.
+    BarrelShifter {
+        /// Bit width.
+        width: usize,
+        /// Number of mux levels (rotate amounts 1..2^levels).
+        levels: usize,
+    },
+    /// `ways`-to-1 mux over `width`-bit buses (`ways` a power of two).
+    MuxTree {
+        /// Bit width.
+        width: usize,
+        /// Number of input buses.
+        ways: usize,
+    },
+    /// Register file: `regs` ranks of `width`-bit registers.
+    RegFile {
+        /// Bit width.
+        width: usize,
+        /// Number of register ranks.
+        regs: usize,
+    },
+    /// `width × width` array multiplier.
+    Multiplier {
+        /// Operand width.
+        width: usize,
+    },
+    /// `width`-bit 4-function ALU.
+    Alu {
+        /// Bit width.
+        width: usize,
+    },
+    /// A pipelined datapath: `depth` repetitions of (ALU stage → register
+    /// rank), each stage consuming the previous rank's outputs.
+    Pipeline {
+        /// Bit width.
+        width: usize,
+        /// Number of ALU+register stages.
+        depth: usize,
+    },
+}
+
+impl BlockSpec {
+    /// Number of gates this block will generate.
+    pub fn gate_count(&self) -> usize {
+        match *self {
+            BlockSpec::RippleAdder { width } => width * 5,
+            BlockSpec::CarrySelectAdder { width, block } => {
+                let first = block.min(width);
+                let rest = width - first;
+                let sections = rest.div_ceil(block.max(1));
+                // first: 5/bit; rest: 10/bit + 1 mux/bit; + inv + carry mux per section
+                first * 5 + rest * 11 + sections * 2
+            }
+            BlockSpec::BarrelShifter { width, levels } => width * levels,
+            BlockSpec::MuxTree { width, ways } => width * (ways - 1),
+            BlockSpec::RegFile { width, regs } => width * 2 * regs,
+            BlockSpec::Multiplier { width } => width * width + (width - 1) * width * 5,
+            BlockSpec::Alu { width } => width * 11,
+            BlockSpec::Pipeline { width, depth } => depth * (width * 11 + width * 2),
+        }
+    }
+}
+
+impl fmt::Display for BlockSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BlockSpec::RippleAdder { width } => write!(f, "add{width}"),
+            BlockSpec::CarrySelectAdder { width, block } => write!(f, "csel{width}b{block}"),
+            BlockSpec::BarrelShifter { width, levels } => write!(f, "shift{width}x{levels}"),
+            BlockSpec::MuxTree { width, ways } => write!(f, "mux{width}w{ways}"),
+            BlockSpec::RegFile { width, regs } => write!(f, "rf{width}x{regs}"),
+            BlockSpec::Multiplier { width } => write!(f, "mul{width}"),
+            BlockSpec::Alu { width } => write!(f, "alu{width}"),
+            BlockSpec::Pipeline { width, depth } => write!(f, "pipe{width}x{depth}"),
+        }
+    }
+}
+
+/// Full generation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenConfig {
+    /// Design name (used for cell naming and reports).
+    pub name: String,
+    /// RNG seed: the same config generates bit-identical designs.
+    pub seed: u64,
+    /// Datapath blocks to instantiate.
+    pub blocks: Vec<BlockSpec>,
+    /// Number of random glue gates.
+    pub glue_gates: usize,
+    /// Target core utilization in `(0, 1]`.
+    pub utilization: f64,
+    /// Number of pre-placed fixed macros (RAM-style blockages) inside the
+    /// core. Macros consume placement capacity and force the placer to
+    /// flow cells around them.
+    pub macros: usize,
+}
+
+impl GenConfig {
+    /// Creates a config with explicit blocks and glue size.
+    pub fn new(name: impl Into<String>, seed: u64, blocks: Vec<BlockSpec>, glue_gates: usize) -> Self {
+        GenConfig {
+            name: name.into(),
+            seed,
+            blocks,
+            glue_gates,
+            utilization: 0.7,
+            macros: 0,
+        }
+    }
+
+    /// Adds `n` pre-placed fixed macros to the configuration.
+    pub fn with_macros(mut self, n: usize) -> Self {
+        self.macros = n;
+        self
+    }
+
+    /// A named preset from the benchmark suite (see [`crate::suite_names`]).
+    /// Returns `None` for unknown names.
+    pub fn named(name: &str, seed: u64) -> Option<Self> {
+        use BlockSpec::*;
+        let (blocks, glue): (Vec<BlockSpec>, usize) = match name {
+            "dp_tiny" => (
+                vec![RippleAdder { width: 8 }, BarrelShifter { width: 8, levels: 3 }],
+                150,
+            ),
+            "dp_small" => (
+                vec![
+                    Alu { width: 16 },
+                    RegFile { width: 16, regs: 4 },
+                    BarrelShifter { width: 16, levels: 4 },
+                ],
+                1100,
+            ),
+            "dp_medium" => (
+                vec![
+                    Multiplier { width: 16 },
+                    Alu { width: 32 },
+                    RegFile { width: 32, regs: 8 },
+                    BarrelShifter { width: 32, levels: 5 },
+                    MuxTree { width: 32, ways: 4 },
+                ],
+                4800,
+            ),
+            "dp_large" => (
+                vec![
+                    Multiplier { width: 24 },
+                    Alu { width: 64 },
+                    Alu { width: 64 },
+                    RegFile { width: 64, regs: 16 },
+                    BarrelShifter { width: 64, levels: 6 },
+                    MuxTree { width: 64, ways: 8 },
+                ],
+                11000,
+            ),
+            "dp_huge" => (
+                vec![
+                    Multiplier { width: 32 },
+                    Alu { width: 64 },
+                    Alu { width: 64 },
+                    Alu { width: 64 },
+                    Alu { width: 64 },
+                    RegFile { width: 64, regs: 32 },
+                    BarrelShifter { width: 64, levels: 6 },
+                    BarrelShifter { width: 64, levels: 6 },
+                    MuxTree { width: 64, ways: 8 },
+                ],
+                24000,
+            ),
+            _ => return None,
+        };
+        Some(GenConfig::new(name, seed, blocks, glue))
+    }
+
+    /// A config of roughly `total_gates` gates with the given datapath
+    /// fraction (used by the F2 sweep). The datapath portion is built from
+    /// repeated 16-bit ALU + register-file tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= fraction <= 1`.
+    pub fn with_datapath_fraction(
+        name: impl Into<String>,
+        seed: u64,
+        total_gates: usize,
+        fraction: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        use BlockSpec::*;
+        let tile = [Alu { width: 16 }, RegFile { width: 16, regs: 2 }];
+        let tile_gates: usize = tile.iter().map(|b| b.gate_count()).sum();
+        let dp_target = (total_gates as f64 * fraction) as usize;
+        let tiles = dp_target / tile_gates;
+        let mut blocks = Vec::new();
+        for _ in 0..tiles {
+            blocks.extend_from_slice(&tile);
+        }
+        let dp_actual: usize = blocks.iter().map(|b| b.gate_count()).sum();
+        let glue = total_gates.saturating_sub(dp_actual);
+        GenConfig::new(name, seed, blocks, glue)
+    }
+
+    /// Total gate count the config will generate (datapath + glue).
+    pub fn total_gates(&self) -> usize {
+        self.datapath_gates() + self.glue_gates
+    }
+
+    /// Datapath gate count.
+    pub fn datapath_gates(&self) -> usize {
+        self.blocks.iter().map(|b| b.gate_count()).sum()
+    }
+
+    /// Fraction of gates belonging to datapath blocks.
+    pub fn datapath_fraction(&self) -> f64 {
+        let t = self.total_gates();
+        if t == 0 {
+            0.0
+        } else {
+            self.datapath_gates() as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_counts() {
+        assert_eq!(BlockSpec::RippleAdder { width: 8 }.gate_count(), 40);
+        assert_eq!(
+            BlockSpec::CarrySelectAdder { width: 12, block: 4 }.gate_count(),
+            20 + 88 + 4
+        );
+        assert_eq!(
+            BlockSpec::BarrelShifter { width: 16, levels: 4 }.gate_count(),
+            64
+        );
+        assert_eq!(BlockSpec::MuxTree { width: 8, ways: 4 }.gate_count(), 24);
+        assert_eq!(BlockSpec::RegFile { width: 16, regs: 4 }.gate_count(), 128);
+        assert_eq!(BlockSpec::Multiplier { width: 4 }.gate_count(), 76);
+        assert_eq!(BlockSpec::Alu { width: 8 }.gate_count(), 88);
+    }
+
+    #[test]
+    fn named_presets_exist_and_scale() {
+        let sizes: Vec<usize> = ["dp_tiny", "dp_small", "dp_medium", "dp_large", "dp_huge"]
+            .iter()
+            .map(|n| GenConfig::named(n, 1).unwrap().total_gates())
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] < w[1], "suite sizes must increase: {sizes:?}");
+        }
+        assert!(GenConfig::named("nope", 1).is_none());
+    }
+
+    #[test]
+    fn fraction_sweep_hits_target() {
+        for f in [0.0, 0.2, 0.5, 0.8] {
+            let cfg = GenConfig::with_datapath_fraction("s", 1, 5000, f);
+            let got = cfg.datapath_fraction();
+            assert!(
+                (got - f).abs() < 0.06,
+                "target {f}, got {got} ({} dp / {} total)",
+                cfg.datapath_gates(),
+                cfg.total_gates()
+            );
+            // Total stays near the request.
+            assert!((cfg.total_gates() as f64 - 5000.0).abs() < 300.0);
+        }
+    }
+
+    #[test]
+    fn with_macros_sets_count() {
+        let cfg = GenConfig::named("dp_tiny", 1).unwrap().with_macros(2);
+        assert_eq!(cfg.macros, 2);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(BlockSpec::Multiplier { width: 16 }.to_string(), "mul16");
+        assert_eq!(
+            BlockSpec::BarrelShifter { width: 8, levels: 3 }.to_string(),
+            "shift8x3"
+        );
+    }
+}

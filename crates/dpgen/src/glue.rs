@@ -1,0 +1,129 @@
+//! Random control/glue logic surrounding the datapath blocks.
+//!
+//! Produces a random combinational DAG with locality-biased fan-in (recent
+//! wires are preferred, mimicking the short-wire bias of synthesized control
+//! logic) plus occasional taps into supplied signals (datapath outputs,
+//! primary inputs) so the glue is genuinely entangled with the datapath.
+
+use crate::{GateKind, WireCircuit, WireId};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Gate mix used for glue logic (no DFFs: glue is combinational control).
+const GLUE_KINDS: [(GateKind, u32); 9] = [
+    (GateKind::Inv, 15),
+    (GateKind::Buf, 5),
+    (GateKind::Nand2, 20),
+    (GateKind::Nor2, 15),
+    (GateKind::And2, 12),
+    (GateKind::Or2, 12),
+    (GateKind::Xor2, 8),
+    (GateKind::Aoi21, 8),
+    (GateKind::Mux2, 5),
+];
+
+fn pick_kind(rng: &mut StdRng) -> GateKind {
+    let total: u32 = GLUE_KINDS.iter().map(|&(_, w)| w).sum();
+    let mut roll = rng.random_range(0..total);
+    for &(k, w) in &GLUE_KINDS {
+        if roll < w {
+            return k;
+        }
+        roll -= w;
+    }
+    GateKind::Nand2
+}
+
+/// Generates `count` random glue gates.
+///
+/// * `taps` — external wires (datapath buses, primary inputs) the glue may
+///   read; roughly 15 % of fan-ins come from here.
+/// * Returns the most recently produced wires (up to 32), useful as control
+///   signals for downstream blocks.
+///
+/// # Panics
+///
+/// Panics if both `taps` is empty and `count > 0` with no seed wires —
+/// the glue needs something to read.
+pub fn random_glue(
+    c: &mut WireCircuit,
+    rng: &mut StdRng,
+    count: usize,
+    taps: &[WireId],
+) -> Vec<WireId> {
+    assert!(
+        count == 0 || !taps.is_empty(),
+        "glue generation needs at least one tap wire"
+    );
+    let mut local: Vec<WireId> = Vec::with_capacity(count);
+    let pick = |rng: &mut StdRng, local: &mut Vec<WireId>| -> WireId {
+        let use_tap = local.is_empty() || rng.random_range(0..100) < 15;
+        if use_tap {
+            taps[rng.random_range(0..taps.len())]
+        } else {
+            // Locality bias: prefer recent wires (window of 64).
+            let lo = local.len().saturating_sub(64);
+            local[rng.random_range(lo..local.len())]
+        }
+    };
+    for _ in 0..count {
+        let kind = pick_kind(rng);
+        let ins: Vec<WireId> = (0..kind.num_inputs())
+            .map(|_| pick(rng, &mut local))
+            .collect();
+        let (o, _) = c.gate(kind, &ins);
+        local.push(o);
+    }
+    let keep = local.len().min(32);
+    local.split_off(local.len() - keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_count() {
+        let mut c = WireCircuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let mut rng = StdRng::seed_from_u64(1);
+        let outs = random_glue(&mut c, &mut rng, 200, &[a, b]);
+        assert_eq!(c.num_gates(), 200);
+        assert!(!outs.is_empty() && outs.len() <= 32);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let build = |seed: u64| {
+            let mut c = WireCircuit::new();
+            let a = c.input("a");
+            let mut rng = StdRng::seed_from_u64(seed);
+            random_glue(&mut c, &mut rng, 50, &[a]);
+            c.gates()
+                .iter()
+                .map(|g| (g.kind, g.inputs.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(7), build(7));
+        assert_ne!(build(7), build(8));
+    }
+
+    #[test]
+    fn zero_count_is_noop() {
+        let mut c = WireCircuit::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let outs = random_glue(&mut c, &mut rng, 0, &[]);
+        assert!(outs.is_empty());
+        assert_eq!(c.num_gates(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tap wire")]
+    fn needs_taps() {
+        let mut c = WireCircuit::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = random_glue(&mut c, &mut rng, 5, &[]);
+    }
+}

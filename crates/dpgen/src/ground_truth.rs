@@ -1,0 +1,98 @@
+//! Ground-truth structure labels carried by generated designs.
+
+use sdp_netlist::{CellId, DatapathGroup, Netlist};
+use std::collections::HashSet;
+
+/// The exact datapath structure of a generated design.
+///
+/// Extraction quality (table T2) is measured against this: the generator
+/// knows precisely which cell sits at `(bit, stage)` of every block.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// All datapath groups, as `bits × stages` cell matrices.
+    pub groups: Vec<DatapathGroup>,
+}
+
+impl GroundTruth {
+    /// Creates an empty ground truth (pure-glue designs).
+    pub fn new() -> Self {
+        GroundTruth::default()
+    }
+
+    /// The set of all cells belonging to any datapath group.
+    pub fn datapath_cells(&self) -> HashSet<CellId> {
+        self.groups.iter().flat_map(|g| g.cell_set()).collect()
+    }
+
+    /// Number of datapath cells.
+    pub fn num_datapath_cells(&self) -> usize {
+        self.datapath_cells().len()
+    }
+
+    /// Fraction of the netlist's movable cells that are datapath cells.
+    pub fn datapath_fraction(&self, netlist: &Netlist) -> f64 {
+        let movable = netlist.num_movable();
+        if movable == 0 {
+            0.0
+        } else {
+            self.num_datapath_cells() as f64 / movable as f64
+        }
+    }
+
+    /// Checks that no cell belongs to two groups and every group is
+    /// internally disjoint.
+    pub fn is_consistent(&self) -> bool {
+        let mut seen = HashSet::new();
+        for g in &self.groups {
+            if !g.is_disjoint_internally() {
+                return false;
+            }
+            for (_, _, c) in g.iter() {
+                if !seen.insert(c) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: usize) -> CellId {
+        CellId::new(i)
+    }
+
+    #[test]
+    fn cell_accounting() {
+        let gt = GroundTruth {
+            groups: vec![
+                DatapathGroup::from_dense("a", vec![vec![c(0), c(1)], vec![c(2), c(3)]]),
+                DatapathGroup::from_dense("b", vec![vec![c(4)], vec![c(5)]]),
+            ],
+        };
+        assert_eq!(gt.num_datapath_cells(), 6);
+        assert!(gt.is_consistent());
+        assert!(gt.datapath_cells().contains(&c(5)));
+    }
+
+    #[test]
+    fn overlap_is_inconsistent() {
+        let gt = GroundTruth {
+            groups: vec![
+                DatapathGroup::from_dense("a", vec![vec![c(0), c(1)]]),
+                DatapathGroup::from_dense("b", vec![vec![c(1), c(2)]]),
+            ],
+        };
+        assert!(!gt.is_consistent());
+    }
+
+    #[test]
+    fn empty_truth() {
+        let gt = GroundTruth::new();
+        assert_eq!(gt.num_datapath_cells(), 0);
+        assert!(gt.is_consistent());
+    }
+}

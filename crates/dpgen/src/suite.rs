@@ -1,0 +1,414 @@
+//! Top-level design generation: blocks + glue → netlist + floorplan +
+//! ground truth.
+
+use crate::blocks::{self, BlockOut};
+use crate::glue::random_glue;
+use crate::{BlockSpec, GateId, GenConfig, GroundTruth, WireCircuit, WireId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sdp_geom::Point;
+use sdp_netlist::{CellId, DatapathGroup, Design, Netlist, Placement};
+
+/// A fully generated placement case.
+#[derive(Debug, Clone)]
+pub struct GeneratedDesign {
+    /// Design name (from the config).
+    pub name: String,
+    /// The flat gate-level netlist (gates + I/O pads).
+    pub netlist: Netlist,
+    /// The floorplan sized for the netlist.
+    pub design: Design,
+    /// Initial placement: pads fixed on an I/O ring outside the core,
+    /// movable cells at the core centre (global placement re-initializes
+    /// them anyway).
+    pub placement: Placement,
+    /// Ground-truth datapath structure.
+    pub truth: GroundTruth,
+}
+
+/// Names of the built-in benchmark suite, smallest to largest.
+pub fn suite_names() -> &'static [&'static str] {
+    &["dp_tiny", "dp_small", "dp_medium", "dp_large", "dp_huge"]
+}
+
+/// Generates a design from a configuration. Deterministic per config.
+///
+/// # Panics
+///
+/// Panics if the configuration is internally invalid (zero-width blocks);
+/// all presets are valid.
+pub fn generate(cfg: &GenConfig) -> GeneratedDesign {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut c = WireCircuit::new();
+
+    // Global signals.
+    let clk = c.input("clk");
+    let zero = c.input("tie0");
+    let one = c.input("tie1");
+    let ctl: Vec<WireId> = (0..8).map(|i| c.input(format!("ctl{i}"))).collect();
+
+    // Phase 1 glue: control cloud feeding block selects.
+    let glue_a = cfg.glue_gates / 2;
+    let mut control_pool = random_glue(&mut c, &mut rng, glue_a, &ctl);
+    control_pool.extend(ctl.iter().copied());
+
+    // Blocks. Operand buses come from previously produced buses (bus
+    // chaining, 50 %) or fresh primary inputs.
+    let mut bus_pool: Vec<Vec<WireId>> = Vec::new();
+    let mut raw_groups: Vec<(String, Vec<Vec<Option<GateId>>>)> = Vec::new();
+    let mut taps: Vec<WireId> = control_pool.clone();
+
+    for (bi, spec) in cfg.blocks.iter().enumerate() {
+        let mut operand = |c: &mut WireCircuit, rng: &mut StdRng, w: usize, tag: &str| -> Vec<WireId> {
+            let reuse = bus_pool
+                .iter()
+                .position(|b| b.len() >= w)
+                .filter(|_| rng.random_range(0..100) < 50);
+            match reuse {
+                Some(ix) => {
+                    let bus = bus_pool.swap_remove(ix);
+                    bus[..w].to_vec()
+                }
+                None => (0..w)
+                    .map(|i| c.input(format!("b{bi}_{tag}{i}")))
+                    .collect(),
+            }
+        };
+        let sel = |rng: &mut StdRng, n: usize| -> Vec<WireId> {
+            (0..n)
+                .map(|_| control_pool[rng.random_range(0..control_pool.len())])
+                .collect()
+        };
+
+        let out: BlockOut = match *spec {
+            BlockSpec::RippleAdder { width } => {
+                let a = operand(&mut c, &mut rng, width, "a");
+                let b = operand(&mut c, &mut rng, width, "b");
+                let (blk, _cout) = blocks::ripple_adder(&mut c, &a, &b, zero);
+                blk
+            }
+            BlockSpec::CarrySelectAdder { width, block } => {
+                let a = operand(&mut c, &mut rng, width, "a");
+                let b = operand(&mut c, &mut rng, width, "b");
+                let (blk, _cout) =
+                    blocks::carry_select_adder(&mut c, &a, &b, zero, one, block);
+                blk
+            }
+            BlockSpec::BarrelShifter { width, levels } => {
+                let d = operand(&mut c, &mut rng, width, "d");
+                let s = sel(&mut rng, levels);
+                blocks::barrel_shifter(&mut c, &d, &s)
+            }
+            BlockSpec::MuxTree { width, ways } => {
+                let buses: Vec<Vec<WireId>> = (0..ways)
+                    .map(|k| operand(&mut c, &mut rng, width, &format!("i{k}_")))
+                    .collect();
+                let s = sel(&mut rng, ways.trailing_zeros() as usize);
+                blocks::mux_tree(&mut c, &buses, &s)
+            }
+            BlockSpec::RegFile { width, regs } => {
+                let d = operand(&mut c, &mut rng, width, "d");
+                let mut outs = Vec::new();
+                let mut groups = Vec::new();
+                for r in 0..regs {
+                    let we = control_pool[rng.random_range(0..control_pool.len())];
+                    let blk = blocks::register_rank(&mut c, &d, we, clk);
+                    groups.push((format!("reg{r}"), blk.groups.into_iter().next().expect("one group").1));
+                    outs = blk.out;
+                }
+                BlockOut { out: outs, groups }
+            }
+            BlockSpec::Multiplier { width } => {
+                let a = operand(&mut c, &mut rng, width, "a");
+                let b = operand(&mut c, &mut rng, width, "b");
+                blocks::array_multiplier(&mut c, &a, &b, zero)
+            }
+            BlockSpec::Alu { width } => {
+                let a = operand(&mut c, &mut rng, width, "a");
+                let b = operand(&mut c, &mut rng, width, "b");
+                let op = sel(&mut rng, 2);
+                blocks::alu(&mut c, &a, &b, &op, zero)
+            }
+            BlockSpec::Pipeline { width, depth } => {
+                let mut bus_a = operand(&mut c, &mut rng, width, "a");
+                let bus_b = operand(&mut c, &mut rng, width, "b");
+                let mut groups = Vec::new();
+                let mut out = Vec::new();
+                for stage in 0..depth {
+                    let op = sel(&mut rng, 2);
+                    let alu = blocks::alu(&mut c, &bus_a, &bus_b, &op, zero);
+                    let we = control_pool[rng.random_range(0..control_pool.len())];
+                    let reg = blocks::register_rank(&mut c, &alu.out, we, clk);
+                    groups.push((format!("s{stage}_alu"), alu.groups.into_iter().next().expect("one").1));
+                    groups.push((format!("s{stage}_reg"), reg.groups.into_iter().next().expect("one").1));
+                    bus_a = reg.out.clone();
+                    out = reg.out;
+                }
+                BlockOut { out, groups }
+            }
+        };
+
+        for (suffix, m) in out.groups {
+            raw_groups.push((format!("{spec}_{bi}_{suffix}"), m));
+        }
+        taps.extend(out.out.iter().copied());
+        bus_pool.push(out.out);
+    }
+
+    // Phase 2 glue: entangled with datapath outputs.
+    let glue_b = cfg.glue_gates - glue_a;
+    let glue_outs = random_glue(&mut c, &mut rng, glue_b, &taps);
+
+    // Primary outputs: every remaining pooled bus (capped), some glue outs.
+    let mut po_count = 0usize;
+    for bus in &bus_pool {
+        for &w in bus.iter() {
+            if po_count >= 96 {
+                break;
+            }
+            c.output(format!("po{po_count}"), w);
+            po_count += 1;
+        }
+    }
+    for &w in glue_outs.iter().take(16) {
+        c.output(format!("po{po_count}"), w);
+        po_count += 1;
+    }
+
+    // Fixed macros: RAM-style blockages that read a few datapath wires
+    // (their pins participate in wirelength; their bodies block capacity).
+    for m in 0..cfg.macros {
+        let ports: Vec<WireId> = (0..8)
+            .map(|_| taps[rng.random_range(0..taps.len())])
+            .collect();
+        c.macro_block(format!("ram{m}"), 24.0, 8.0, &ports);
+    }
+
+    // Lower to a netlist.
+    let lowered = c.lower(&cfg.name).expect("generated circuit is well formed");
+    let map = |g: GateId| -> CellId { lowered.gate_cells[g.ix()] };
+
+    let truth = GroundTruth {
+        groups: raw_groups
+            .into_iter()
+            .map(|(name, m)| {
+                DatapathGroup::new(
+                    name,
+                    m.into_iter()
+                        .map(|row| row.into_iter().map(|g| g.map(map)).collect())
+                        .collect(),
+                )
+            })
+            .collect(),
+    };
+    debug_assert!(truth.is_consistent());
+
+    // Floorplan: macros consume core area on top of the movable cells.
+    let macro_area: f64 = lowered
+        .macro_cells
+        .iter()
+        .map(|&m| lowered.netlist.cell_area(m))
+        .sum();
+    let design = Design::sized_for(
+        lowered.netlist.movable_area() + macro_area,
+        1.0,
+        1.0,
+        cfg.utilization,
+    );
+
+    // Initial placement: pads ring, movable at centre.
+    let mut placement = Placement::new(&lowered.netlist);
+    let center = design.region().center();
+    for cell in lowered.netlist.movable_ids() {
+        placement.set(cell, center);
+    }
+    // Macros: spread across the core interior on row boundaries.
+    let region = design.region();
+    for (i, &mc) in lowered.macro_cells.iter().enumerate() {
+        let m = lowered.netlist.master_of(mc);
+        let k = lowered.macro_cells.len();
+        let fx = (i as f64 + 1.0) / (k as f64 + 1.0);
+        let fy = if i % 2 == 0 { 0.35 } else { 0.65 };
+        let inner = sdp_geom::Rect::new(
+            region.x1() + m.width / 2.0,
+            region.y1() + m.height / 2.0,
+            region.x2() - m.width / 2.0,
+            region.y2() - m.height / 2.0,
+        );
+        let raw = inner.clamp_point(Point::new(
+            region.x1() + fx * region.width(),
+            region.y1() + fy * region.height(),
+        ));
+        // Left and bottom edges on site/row boundaries so the blockage
+        // carves clean gaps out of the rows.
+        let x = (raw.x - m.width / 2.0).round() + m.width / 2.0;
+        let y = (raw.y - m.height / 2.0).floor() + m.height / 2.0;
+        placement.set(mc, inner.clamp_point(Point::new(x, y)));
+    }
+
+    let ring = design.region().inflated(2.0);
+    let pads: Vec<CellId> = lowered
+        .input_pads
+        .iter()
+        .chain(lowered.output_pads.iter())
+        .copied()
+        .collect();
+    let perimeter = 2.0 * (ring.width() + ring.height());
+    for (i, &pad) in pads.iter().enumerate() {
+        let t = perimeter * i as f64 / pads.len() as f64;
+        placement.set(pad, perimeter_point(&ring, t));
+    }
+
+    GeneratedDesign {
+        name: cfg.name.clone(),
+        netlist: lowered.netlist,
+        design,
+        placement,
+        truth,
+    }
+}
+
+/// Point at arc-length `t` along the boundary of `r`, counter-clockwise
+/// from the lower-left corner.
+fn perimeter_point(r: &sdp_geom::Rect, t: f64) -> Point {
+    let w = r.width();
+    let h = r.height();
+    let t = t.rem_euclid(2.0 * (w + h));
+    if t < w {
+        Point::new(r.x1() + t, r.y1())
+    } else if t < w + h {
+        Point::new(r.x2(), r.y1() + (t - w))
+    } else if t < 2.0 * w + h {
+        Point::new(r.x2() - (t - w - h), r.y2())
+    } else {
+        Point::new(r.x1(), r.y2() - (t - 2.0 * w - h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_design_is_consistent() {
+        let d = generate(&GenConfig::named("dp_tiny", 42).unwrap());
+        assert!(d.netlist.num_cells() > 150);
+        assert!(d.netlist.num_nets() > 100);
+        assert!(d.truth.is_consistent());
+        assert!(!d.truth.groups.is_empty());
+        // Datapath fraction should be meaningful but not 100 %.
+        let f = d.truth.datapath_fraction(&d.netlist);
+        assert!(f > 0.1 && f < 0.9, "fraction {f}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = GenConfig::named("dp_tiny", 7).unwrap();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.netlist.num_cells(), b.netlist.num_cells());
+        assert_eq!(a.netlist.num_nets(), b.netlist.num_nets());
+        assert_eq!(a.truth.groups.len(), b.truth.groups.len());
+        assert_eq!(a.placement.positions(), b.placement.positions());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenConfig::named("dp_tiny", 1).unwrap());
+        let b = generate(&GenConfig::named("dp_tiny", 2).unwrap());
+        // Same block structure, different glue connectivity → pin counts differ.
+        assert_ne!(a.netlist.num_pins(), b.netlist.num_pins());
+    }
+
+    #[test]
+    fn gate_count_matches_config() {
+        let cfg = GenConfig::named("dp_small", 3).unwrap();
+        let d = generate(&cfg);
+        assert_eq!(d.netlist.num_movable(), cfg.total_gates());
+    }
+
+    #[test]
+    fn floorplan_fits_cells() {
+        let d = generate(&GenConfig::named("dp_tiny", 5).unwrap());
+        assert!(d.design.placeable_area() >= d.netlist.movable_area());
+        // Pads sit outside the core region.
+        for c in d.netlist.cell_ids() {
+            if d.netlist.cell(c).fixed {
+                assert!(!d.design.region().contains(d.placement.get(c)));
+            }
+        }
+    }
+
+    #[test]
+    fn truth_groups_reference_real_cells() {
+        let d = generate(&GenConfig::named("dp_tiny", 9).unwrap());
+        for g in &d.truth.groups {
+            for (_, _, cell) in g.iter() {
+                assert!(cell.ix() < d.netlist.num_cells());
+                assert!(!d.netlist.cell(cell).fixed, "datapath cells are movable");
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_block_generates_chained_groups() {
+        let cfg = GenConfig::new(
+            "pipe",
+            3,
+            vec![BlockSpec::Pipeline { width: 8, depth: 3 }],
+            200,
+        );
+        let d = generate(&cfg);
+        // 3 stages x (alu + reg) = 6 groups.
+        assert_eq!(d.truth.groups.len(), 6);
+        assert!(d.truth.is_consistent());
+        assert_eq!(d.netlist.num_movable(), cfg.total_gates());
+        // The netlist is well-formed end to end.
+        assert!(d.placement.total_hpwl(&d.netlist).is_finite());
+    }
+
+    #[test]
+    fn macros_are_fixed_inside_the_core() {
+        let cfg = GenConfig::named("dp_tiny", 13).unwrap().with_macros(2);
+        let d = generate(&cfg);
+        let macros: Vec<_> = d
+            .netlist
+            .cell_ids()
+            .filter(|&c| d.netlist.cell(c).name.starts_with("ram"))
+            .collect();
+        assert_eq!(macros.len(), 2);
+        for &m in &macros {
+            assert!(d.netlist.cell(m).fixed);
+            let r = sdp_geom::Rect::centered_at(
+                d.placement.get(m),
+                d.netlist.cell_width(m),
+                d.netlist.cell_height(m),
+            );
+            assert!(d.design.region().contains_rect(&r), "macro inside core");
+            // Macros are wired: they have input pins on real nets.
+            assert!(!d.netlist.cell(m).pins.is_empty());
+        }
+        // Core still fits everything.
+        let macro_area: f64 = macros.iter().map(|&m| d.netlist.cell_area(m)).sum();
+        assert!(d.design.placeable_area() >= d.netlist.movable_area() + macro_area);
+    }
+
+    #[test]
+    fn perimeter_point_walks_the_ring() {
+        let r = sdp_geom::Rect::new(0.0, 0.0, 10.0, 4.0);
+        assert_eq!(perimeter_point(&r, 0.0), Point::new(0.0, 0.0));
+        assert_eq!(perimeter_point(&r, 10.0), Point::new(10.0, 0.0));
+        assert_eq!(perimeter_point(&r, 14.0), Point::new(10.0, 4.0));
+        assert_eq!(perimeter_point(&r, 24.0), Point::new(0.0, 4.0));
+        // Wraps.
+        assert_eq!(perimeter_point(&r, 28.0), Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn fraction_config_generates() {
+        let cfg = GenConfig::with_datapath_fraction("sweep", 11, 2000, 0.5);
+        let d = generate(&cfg);
+        let f = d.truth.datapath_fraction(&d.netlist);
+        assert!((f - 0.5).abs() < 0.1, "fraction {f}");
+    }
+}

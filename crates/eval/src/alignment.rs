@@ -1,0 +1,189 @@
+//! Geometric regularity of placed datapath groups.
+
+use sdp_netlist::{DatapathGroup, Placement};
+
+/// How regular the placed datapath arrays are (figure F3's y axis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlignmentReport {
+    /// Mean spread (max − min) of y within a bit row, in row heights;
+    /// `0` means every bit row sits on one horizontal line.
+    pub mean_row_y_spread: f64,
+    /// Mean spread of x within a stage column, in row heights.
+    pub mean_col_x_spread: f64,
+    /// Fraction of bit rows whose y spread is below half a row height
+    /// (i.e. the row landed in a single placement row).
+    pub aligned_row_fraction: f64,
+    /// Number of (multi-cell) bit rows measured.
+    pub rows_measured: usize,
+}
+
+/// Measures group regularity under a placement. Groups are measured along
+/// their current [`sdp_geom::GroupAxis`]: a bit "row" is expected to share
+/// y when bits stack vertically, and to share x when the group is
+/// transposed.
+pub fn alignment_report(
+    placement: &Placement,
+    groups: &[DatapathGroup],
+    row_height: f64,
+) -> AlignmentReport {
+    let mut row_spreads = Vec::new();
+    let mut col_spreads = Vec::new();
+    for g in groups {
+        let transposed = g.axis == sdp_geom::GroupAxis::BitsHorizontal;
+        for b in 0..g.bits() {
+            let vals: Vec<f64> = g
+                .bit_row(b)
+                .map(|c| {
+                    let p = placement.get(c);
+                    if transposed {
+                        p.x
+                    } else {
+                        p.y
+                    }
+                })
+                .collect();
+            if vals.len() >= 2 {
+                let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                row_spreads.push((hi - lo) / row_height);
+            }
+        }
+        for s in 0..g.stages() {
+            let vals: Vec<f64> = g
+                .stage_col(s)
+                .map(|c| {
+                    let p = placement.get(c);
+                    if transposed {
+                        p.y
+                    } else {
+                        p.x
+                    }
+                })
+                .collect();
+            if vals.len() >= 2 {
+                let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                col_spreads.push((hi - lo) / row_height);
+            }
+        }
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let aligned = row_spreads.iter().filter(|&&s| s < 0.5).count();
+    AlignmentReport {
+        mean_row_y_spread: mean(&row_spreads),
+        mean_col_x_spread: mean(&col_spreads),
+        aligned_row_fraction: if row_spreads.is_empty() {
+            1.0
+        } else {
+            aligned as f64 / row_spreads.len() as f64
+        },
+        rows_measured: row_spreads.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_geom::Point;
+    use sdp_netlist::{CellId, Netlist, NetlistBuilder, PinDir};
+
+    fn grid_netlist(n: usize) -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        let cells: Vec<CellId> = (0..n).map(|i| b.add_cell(&format!("u{i}"), l)).collect();
+        for w in cells.windows(2) {
+            b.add_net(
+                &format!("n{}", w[0]),
+                [
+                    (w[0], Point::ORIGIN, PinDir::Output),
+                    (w[1], Point::ORIGIN, PinDir::Input),
+                ],
+            );
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn perfect_array_scores_zero_spread() {
+        let nl = grid_netlist(6);
+        let g = DatapathGroup::from_dense(
+            "g",
+            vec![
+                vec![CellId::new(0), CellId::new(1), CellId::new(2)],
+                vec![CellId::new(3), CellId::new(4), CellId::new(5)],
+            ],
+        );
+        let mut pl = Placement::new(&nl);
+        for b in 0..2 {
+            for s in 0..3 {
+                pl.set(
+                    g.cell_at(b, s).unwrap(),
+                    Point::new(s as f64 * 4.0, b as f64),
+                );
+            }
+        }
+        let r = alignment_report(&pl, &[g], 1.0);
+        assert_eq!(r.mean_row_y_spread, 0.0);
+        assert_eq!(r.mean_col_x_spread, 0.0);
+        assert_eq!(r.aligned_row_fraction, 1.0);
+        assert_eq!(r.rows_measured, 2);
+    }
+
+    #[test]
+    fn scattered_array_scores_badly() {
+        let nl = grid_netlist(4);
+        let _ = &nl;
+        let g = DatapathGroup::from_dense(
+            "g",
+            vec![
+                vec![CellId::new(0), CellId::new(1)],
+                vec![CellId::new(2), CellId::new(3)],
+            ],
+        );
+        let mut pl = Placement::new(&nl);
+        pl.set(CellId::new(0), Point::new(0.0, 0.0));
+        pl.set(CellId::new(1), Point::new(5.0, 8.0)); // same bit, 8 rows apart
+        pl.set(CellId::new(2), Point::new(9.0, 1.0));
+        pl.set(CellId::new(3), Point::new(2.0, 7.0));
+        let r = alignment_report(&pl, &[g], 1.0);
+        assert!(r.mean_row_y_spread > 5.0);
+        assert_eq!(r.aligned_row_fraction, 0.0);
+    }
+
+    #[test]
+    fn transposed_groups_measure_x() {
+        let nl = grid_netlist(4);
+        let mut g = DatapathGroup::from_dense(
+            "g",
+            vec![
+                vec![CellId::new(0), CellId::new(1)],
+                vec![CellId::new(2), CellId::new(3)],
+            ],
+        );
+        g.axis = sdp_geom::GroupAxis::BitsHorizontal;
+        let mut pl = Placement::new(&nl);
+        // Bits advance in x; a bit "row" shares x.
+        pl.set(CellId::new(0), Point::new(0.0, 0.0));
+        pl.set(CellId::new(1), Point::new(0.0, 3.0));
+        pl.set(CellId::new(2), Point::new(4.0, 0.0));
+        pl.set(CellId::new(3), Point::new(4.0, 3.0));
+        let r = alignment_report(&pl, &[g], 1.0);
+        assert_eq!(r.mean_row_y_spread, 0.0);
+        assert_eq!(r.aligned_row_fraction, 1.0);
+    }
+
+    #[test]
+    fn empty_groups_are_vacuous() {
+        let nl = grid_netlist(2);
+        let pl = Placement::new(&nl);
+        let r = alignment_report(&pl, &[], 1.0);
+        assert_eq!(r.rows_measured, 0);
+        assert_eq!(r.aligned_row_fraction, 1.0);
+    }
+}

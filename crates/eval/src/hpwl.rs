@@ -1,0 +1,158 @@
+//! HPWL broken down by datapath membership.
+
+use sdp_geom::rsmt_estimate;
+use sdp_netlist::{DatapathGroup, Netlist, Placement};
+use std::collections::HashSet;
+
+/// Total HPWL split into datapath and non-datapath nets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HpwlBreakdown {
+    /// Weighted HPWL over all nets.
+    pub total: f64,
+    /// Weighted HPWL over nets with at least two pins on datapath cells.
+    pub datapath: f64,
+    /// Weighted HPWL over the remaining nets.
+    pub other: f64,
+    /// Number of nets classified as datapath.
+    pub datapath_nets: usize,
+}
+
+/// Estimated rectilinear Steiner wirelength (StWL) of the whole netlist:
+/// exact for 2–3-pin nets, MST-scaled for larger ones (see
+/// [`sdp_geom::rsmt_estimate`]). Placement papers report StWL alongside
+/// HPWL because it tracks routed length more closely on multi-pin nets.
+pub fn steiner_wl(netlist: &Netlist, placement: &Placement) -> f64 {
+    let mut total = 0.0;
+    let mut pts = Vec::with_capacity(16);
+    for n in netlist.net_ids() {
+        let net = netlist.net(n);
+        if net.pins.len() < 2 {
+            continue;
+        }
+        pts.clear();
+        for &p in &net.pins {
+            pts.push(placement.pin_position(netlist, p));
+        }
+        total += net.weight * rsmt_estimate(&pts);
+    }
+    total
+}
+
+/// Computes the breakdown. A net counts as a *datapath net* when at least
+/// two of its pins sit on cells belonging to any of `groups` — those are
+/// the nets structure-aware placement is supposed to shorten.
+pub fn hpwl_breakdown(
+    netlist: &Netlist,
+    placement: &Placement,
+    groups: &[DatapathGroup],
+) -> HpwlBreakdown {
+    let dp_cells: HashSet<_> = groups.iter().flat_map(|g| g.cell_set()).collect();
+    let mut total = 0.0;
+    let mut datapath = 0.0;
+    let mut datapath_nets = 0;
+    for n in netlist.net_ids() {
+        let w = netlist.net(n).weight * placement.net_hpwl(netlist, n);
+        total += w;
+        let on_dp = netlist
+            .net(n)
+            .pins
+            .iter()
+            .filter(|&&p| dp_cells.contains(&netlist.pin(p).cell))
+            .count();
+        if on_dp >= 2 {
+            datapath += w;
+            datapath_nets += 1;
+        }
+    }
+    HpwlBreakdown {
+        total,
+        datapath,
+        other: total - datapath,
+        datapath_nets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_geom::Point;
+    use sdp_netlist::{NetlistBuilder, PinDir};
+
+    #[test]
+    fn splits_total_correctly() {
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        let a = b.add_cell("a", l);
+        let c = b.add_cell("c", l);
+        let d = b.add_cell("d", l);
+        let e = b.add_cell("e", l);
+        // Net 1 connects two datapath cells; net 2 is glue.
+        b.add_net("dp", [(a, Point::ORIGIN, PinDir::Output), (c, Point::ORIGIN, PinDir::Input)]);
+        b.add_net("gl", [(d, Point::ORIGIN, PinDir::Output), (e, Point::ORIGIN, PinDir::Input)]);
+        let nl = b.finish().unwrap();
+        let mut pl = Placement::new(&nl);
+        pl.set(a, Point::new(0.0, 0.0));
+        pl.set(c, Point::new(3.0, 0.0)); // dp hpwl 3
+        pl.set(d, Point::new(0.0, 0.0));
+        pl.set(e, Point::new(0.0, 5.0)); // glue hpwl 5
+        let g = DatapathGroup::from_dense("g", vec![vec![a], vec![c]]);
+        let bd = hpwl_breakdown(&nl, &pl, &[g]);
+        assert_eq!(bd.total, 8.0);
+        assert_eq!(bd.datapath, 3.0);
+        assert_eq!(bd.other, 5.0);
+        assert_eq!(bd.datapath_nets, 1);
+    }
+
+    #[test]
+    fn single_dp_pin_is_not_a_datapath_net() {
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        let a = b.add_cell("a", l);
+        let d = b.add_cell("d", l);
+        b.add_net("mix", [(a, Point::ORIGIN, PinDir::Output), (d, Point::ORIGIN, PinDir::Input)]);
+        let nl = b.finish().unwrap();
+        let mut pl = Placement::new(&nl);
+        pl.set(d, Point::new(2.0, 0.0));
+        let g = DatapathGroup::from_dense("g", vec![vec![a]]);
+        let bd = hpwl_breakdown(&nl, &pl, &[g]);
+        assert_eq!(bd.datapath, 0.0);
+        assert_eq!(bd.other, 2.0);
+    }
+
+    #[test]
+    fn steiner_dominates_hpwl() {
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        let cells: Vec<_> = (0..5).map(|i| b.add_cell(&format!("u{i}"), l)).collect();
+        b.add_net(
+            "star",
+            cells.iter().enumerate().map(|(i, &c)| {
+                (c, Point::ORIGIN, if i == 0 { PinDir::Output } else { PinDir::Input })
+            }),
+        );
+        let nl = b.finish().unwrap();
+        let mut pl = Placement::new(&nl);
+        for (i, &c) in cells.iter().enumerate() {
+            pl.set(c, Point::new((i as f64 * 3.7) % 10.0, (i as f64 * 2.3) % 7.0));
+        }
+        let st = steiner_wl(&nl, &pl);
+        let h = pl.total_hpwl(&nl);
+        assert!(st >= h - 1e-9, "stwl {st} >= hpwl {h}");
+        assert!(st.is_finite());
+    }
+
+    #[test]
+    fn no_groups_means_all_other() {
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        let a = b.add_cell("a", l);
+        let c = b.add_cell("c", l);
+        b.add_net("n", [(a, Point::ORIGIN, PinDir::Output), (c, Point::ORIGIN, PinDir::Input)]);
+        let nl = b.finish().unwrap();
+        let mut pl = Placement::new(&nl);
+        pl.set(c, Point::new(1.0, 1.0));
+        let bd = hpwl_breakdown(&nl, &pl, &[]);
+        assert_eq!(bd.total, bd.other);
+        assert_eq!(bd.datapath_nets, 0);
+    }
+}

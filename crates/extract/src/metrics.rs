@@ -1,0 +1,215 @@
+//! Extraction quality metrics against ground truth (table T2).
+
+use sdp_netlist::{CellId, DatapathGroup, Netlist};
+use std::collections::{HashMap, HashSet};
+
+/// Precision/recall/F1 of extracted datapath cells, plus bit-row purity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtractionScore {
+    /// Fraction of extracted cells that are true datapath cells.
+    pub precision: f64,
+    /// Fraction of true datapath cells that were extracted.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Local bit-order consistency: over every extracted stage column and
+    /// every pair of bit-adjacent cells in it, the fraction whose
+    /// ground-truth labels are also bit-adjacent in one truth group (with
+    /// matching distance). A column uniformly shifted by one bit (carry
+    /// chain) or several identical register ranks stacked into one tall
+    /// group both score 1.0 — exactly the cases that still place as
+    /// perfectly regular arrays.
+    pub column_coherence: f64,
+    /// Extracted datapath cell count.
+    pub extracted_cells: usize,
+    /// Ground-truth datapath cell count.
+    pub truth_cells: usize,
+}
+
+/// Scores extracted groups against ground-truth groups.
+///
+/// Cell-level precision/recall is order-invariant (a block whose bits were
+/// recovered in reverse order still counts); `column_coherence` additionally
+/// checks that bit-adjacent cells of each extracted column are bit-adjacent
+/// in the ground truth.
+pub fn score(
+    extracted: &[DatapathGroup],
+    truth: &[DatapathGroup],
+    _netlist: &Netlist,
+) -> ExtractionScore {
+    let truth_cells: HashSet<CellId> = truth.iter().flat_map(|g| g.cell_set()).collect();
+    let extracted_cells: HashSet<CellId> =
+        extracted.iter().flat_map(|g| g.cell_set()).collect();
+
+    let tp = extracted_cells.intersection(&truth_cells).count();
+    let precision = if extracted_cells.is_empty() {
+        1.0
+    } else {
+        tp as f64 / extracted_cells.len() as f64
+    };
+    let recall = if truth_cells.is_empty() {
+        1.0
+    } else {
+        tp as f64 / truth_cells.len() as f64
+    };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+
+    // Column coherence: map every truth cell to its (group, bit) row and
+    // check each extracted stage column for a uniform group and offset.
+    let mut truth_row: HashMap<CellId, (usize, usize)> = HashMap::new();
+    for (gi, g) in truth.iter().enumerate() {
+        for (b, _, c) in g.iter() {
+            truth_row.insert(c, (gi, b));
+        }
+    }
+    let mut pairs = 0usize;
+    let mut coherent = 0usize;
+    for g in extracted {
+        for s in 0..g.stages() {
+            // Present (bit, truth label) points of the column, bottom-up.
+            let pts: Vec<(usize, (usize, usize))> = (0..g.bits())
+                .filter_map(|b| {
+                    g.cell_at(b, s)
+                        .and_then(|c| truth_row.get(&c).map(|&t| (b, t)))
+                })
+                .collect();
+            for w in pts.windows(2) {
+                let ((b1, (g1, t1)), (b2, (g2, t2))) = (w[0], w[1]);
+                pairs += 1;
+                let dist = (b2 - b1) as isize;
+                if g1 == g2 && t2 as isize - t1 as isize == dist {
+                    coherent += 1;
+                }
+            }
+        }
+    }
+    let column_coherence = if pairs == 0 {
+        1.0
+    } else {
+        coherent as f64 / pairs as f64
+    };
+
+    ExtractionScore {
+        precision,
+        recall,
+        f1,
+        column_coherence,
+        extracted_cells: extracted_cells.len(),
+        truth_cells: truth_cells.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_netlist::{NetlistBuilder, PinDir};
+
+    fn c(i: usize) -> CellId {
+        CellId::new(i)
+    }
+
+    fn dummy_netlist(n: usize) -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        let cells: Vec<_> = (0..n).map(|i| b.add_cell(&format!("u{i}"), l)).collect();
+        for w in cells.windows(2) {
+            b.add_net(
+                &format!("n{}", w[0]),
+                [
+                    (w[0], sdp_geom::Point::ORIGIN, PinDir::Output),
+                    (w[1], sdp_geom::Point::ORIGIN, PinDir::Input),
+                ],
+            );
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn perfect_extraction_scores_one() {
+        let nl = dummy_netlist(8);
+        let g = DatapathGroup::from_dense("g", vec![vec![c(0), c(1)], vec![c(2), c(3)]]);
+        let s = score(std::slice::from_ref(&g), std::slice::from_ref(&g), &nl);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+        assert_eq!(s.column_coherence, 1.0);
+    }
+
+    #[test]
+    fn missing_half_hits_recall() {
+        let nl = dummy_netlist(8);
+        let truth = DatapathGroup::from_dense(
+            "t",
+            vec![vec![c(0), c(1)], vec![c(2), c(3)]],
+        );
+        let partial = DatapathGroup::from_dense("e", vec![vec![c(0), c(1)]]);
+        let s = score(&[partial], &[truth], &nl);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.5);
+        assert!((s.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn glue_in_groups_hits_precision() {
+        let nl = dummy_netlist(8);
+        let truth = DatapathGroup::from_dense("t", vec![vec![c(0), c(1)]]);
+        let noisy = DatapathGroup::from_dense(
+            "e",
+            vec![vec![c(0), c(1)], vec![c(6), c(7)]],
+        );
+        let s = score(&[noisy], &[truth], &nl);
+        assert_eq!(s.precision, 0.5);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn scrambled_columns_hit_coherence() {
+        let nl = dummy_netlist(8);
+        let truth = DatapathGroup::from_dense(
+            "t",
+            vec![vec![c(0), c(1)], vec![c(2), c(3)]],
+        );
+        // Second extracted column swaps the bits: offsets +1 and −1.
+        let scrambled = DatapathGroup::from_dense(
+            "e",
+            vec![vec![c(0), c(3)], vec![c(2), c(1)]],
+        );
+        let s = score(&[scrambled], &[truth], &nl);
+        assert_eq!(s.recall, 1.0);
+        // Column 0's pair is bit-adjacent in truth; column 1's is reversed.
+        assert_eq!(s.column_coherence, 0.5);
+    }
+
+    #[test]
+    fn constant_shift_stays_coherent() {
+        let nl = dummy_netlist(8);
+        let truth = DatapathGroup::from_dense(
+            "t",
+            vec![vec![c(0), c(1)], vec![c(2), c(3)], vec![c(4), c(5)]],
+        );
+        // Second column shifted down one bit (carry-chain style).
+        let shifted = DatapathGroup::new(
+            "e",
+            vec![
+                vec![Some(c(0)), Some(c(3))],
+                vec![Some(c(2)), Some(c(5))],
+                vec![Some(c(4)), None],
+            ],
+        );
+        let s = score(&[shifted], &[truth], &nl);
+        assert_eq!(s.column_coherence, 1.0);
+    }
+
+    #[test]
+    fn empty_everything_is_vacuously_perfect() {
+        let nl = dummy_netlist(2);
+        let s = score(&[], &[], &nl);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.column_coherence, 1.0);
+    }
+}

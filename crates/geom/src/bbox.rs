@@ -1,0 +1,171 @@
+use crate::{Point, Rect};
+
+/// An accumulating bounding box.
+///
+/// Starts empty; points and rectangles can be added incrementally. An empty
+/// box has no extent and reports zero half-perimeter — this is the right
+/// behaviour for nets with fewer than two pins.
+///
+/// # Examples
+///
+/// ```
+/// use sdp_geom::{BBox, Point};
+///
+/// let mut bb = BBox::new();
+/// bb.add_point(Point::new(1.0, 1.0));
+/// bb.add_point(Point::new(4.0, 3.0));
+/// assert_eq!(bb.half_perimeter(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    min: Point,
+    max: Point,
+    count: usize,
+}
+
+impl BBox {
+    /// Creates an empty bounding box.
+    #[inline]
+    pub fn new() -> Self {
+        BBox {
+            min: Point::new(f64::INFINITY, f64::INFINITY),
+            max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+            count: 0,
+        }
+    }
+
+    /// Returns `true` if nothing has been added yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of points/rects added so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Expands the box to include `p`.
+    #[inline]
+    pub fn add_point(&mut self, p: Point) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+        self.count += 1;
+    }
+
+    /// Expands the box to include all four corners of `r`.
+    #[inline]
+    pub fn add_rect(&mut self, r: &Rect) {
+        self.min = self.min.min(r.lo());
+        self.max = self.max.max(r.hi());
+        self.count += 1;
+    }
+
+    /// Half-perimeter of the box; `0.0` while fewer than two items
+    /// contribute extent (a single point has zero extent anyway).
+    #[inline]
+    pub fn half_perimeter(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.max.x - self.min.x) + (self.max.y - self.min.y)
+        }
+    }
+
+    /// The covered rectangle, or `None` if empty.
+    pub fn rect(&self) -> Option<Rect> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(Rect::new(self.min.x, self.min.y, self.max.x, self.max.y))
+        }
+    }
+
+    /// Minimum corner (meaningless while empty).
+    #[inline]
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Maximum corner (meaningless while empty).
+    #[inline]
+    pub fn max(&self) -> Point {
+        self.max
+    }
+}
+
+impl Default for BBox {
+    fn default() -> Self {
+        BBox::new()
+    }
+}
+
+impl FromIterator<Point> for BBox {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        let mut bb = BBox::new();
+        for p in iter {
+            bb.add_point(p);
+        }
+        bb
+    }
+}
+
+impl Extend<Point> for BBox {
+    fn extend<I: IntoIterator<Item = Point>>(&mut self, iter: I) {
+        for p in iter {
+            self.add_point(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box() {
+        let bb = BBox::new();
+        assert!(bb.is_empty());
+        assert_eq!(bb.len(), 0);
+        assert_eq!(bb.half_perimeter(), 0.0);
+        assert!(bb.rect().is_none());
+    }
+
+    #[test]
+    fn single_point_zero_extent() {
+        let mut bb = BBox::new();
+        bb.add_point(Point::new(3.0, 4.0));
+        assert_eq!(bb.half_perimeter(), 0.0);
+        assert_eq!(bb.rect().unwrap().area(), 0.0);
+    }
+
+    #[test]
+    fn accumulates() {
+        let bb: BBox = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, 0.0),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(bb.len(), 3);
+        assert_eq!(bb.rect().unwrap(), Rect::new(-2.0, 0.0, 4.0, 5.0));
+        assert_eq!(bb.half_perimeter(), 11.0);
+    }
+
+    #[test]
+    fn add_rect_covers_corners() {
+        let mut bb = BBox::new();
+        bb.add_rect(&Rect::new(0.0, 0.0, 2.0, 2.0));
+        bb.add_rect(&Rect::new(5.0, -1.0, 6.0, 1.0));
+        assert_eq!(bb.rect().unwrap(), Rect::new(0.0, -1.0, 6.0, 2.0));
+    }
+
+    #[test]
+    fn extend_trait() {
+        let mut bb = BBox::new();
+        bb.extend([Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+        assert_eq!(bb.half_perimeter(), 2.0);
+    }
+}

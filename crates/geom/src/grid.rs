@@ -1,0 +1,245 @@
+use crate::{Point, Rect};
+
+/// Index of a bin inside a [`BinGrid`]: `(column, row)`.
+pub type BinIx = (usize, usize);
+
+/// A uniform rectangular grid of bins over a region.
+///
+/// Used by the density model (area accumulation per bin), the router
+/// (capacity tiles), and congestion maps. Bins are addressed `(ix, iy)` with
+/// `(0, 0)` at the lower-left.
+///
+/// # Examples
+///
+/// ```
+/// use sdp_geom::{BinGrid, Rect, Point};
+///
+/// let grid = BinGrid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10, 10);
+/// assert_eq!(grid.bin_of(Point::new(15.0, 95.0)), (1, 9));
+/// assert_eq!(grid.bin_rect((0, 0)), Rect::new(0.0, 0.0, 10.0, 10.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinGrid {
+    region: Rect,
+    nx: usize,
+    ny: usize,
+    bin_w: f64,
+    bin_h: f64,
+}
+
+impl BinGrid {
+    /// Creates a grid of `nx × ny` bins covering `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx == 0`, `ny == 0`, or the region is degenerate.
+    pub fn new(region: Rect, nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "grid must have at least one bin per axis");
+        assert!(
+            region.width() > 0.0 && region.height() > 0.0,
+            "grid region must have positive area"
+        );
+        BinGrid {
+            region,
+            nx,
+            ny,
+            bin_w: region.width() / nx as f64,
+            bin_h: region.height() / ny as f64,
+        }
+    }
+
+    /// Creates a grid whose bins are approximately `target` units on each
+    /// side (at least 1×1 bins).
+    pub fn with_bin_size(region: Rect, target: f64) -> Self {
+        assert!(target > 0.0, "target bin size must be positive");
+        let nx = (region.width() / target).round().max(1.0) as usize;
+        let ny = (region.height() / target).round().max(1.0) as usize;
+        BinGrid::new(region, nx, ny)
+    }
+
+    /// Covered region.
+    #[inline]
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Number of bins horizontally.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of bins vertically.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total number of bins.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Always `false`: a grid has at least one bin.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Bin width.
+    #[inline]
+    pub fn bin_w(&self) -> f64 {
+        self.bin_w
+    }
+
+    /// Bin height.
+    #[inline]
+    pub fn bin_h(&self) -> f64 {
+        self.bin_h
+    }
+
+    /// Area of one bin.
+    #[inline]
+    pub fn bin_area(&self) -> f64 {
+        self.bin_w * self.bin_h
+    }
+
+    /// Flattened index of a bin (row-major, `iy * nx + ix`).
+    #[inline]
+    pub fn flat(&self, (ix, iy): BinIx) -> usize {
+        debug_assert!(ix < self.nx && iy < self.ny);
+        iy * self.nx + ix
+    }
+
+    /// The bin containing point `p`; points outside the region are clamped
+    /// to the nearest boundary bin.
+    #[inline]
+    pub fn bin_of(&self, p: Point) -> BinIx {
+        let ix = ((p.x - self.region.x1()) / self.bin_w).floor() as isize;
+        let iy = ((p.y - self.region.y1()) / self.bin_h).floor() as isize;
+        (
+            ix.clamp(0, self.nx as isize - 1) as usize,
+            iy.clamp(0, self.ny as isize - 1) as usize,
+        )
+    }
+
+    /// Extent rectangle of a bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the index is out of range.
+    #[inline]
+    pub fn bin_rect(&self, (ix, iy): BinIx) -> Rect {
+        debug_assert!(ix < self.nx && iy < self.ny);
+        let x1 = self.region.x1() + ix as f64 * self.bin_w;
+        let y1 = self.region.y1() + iy as f64 * self.bin_h;
+        Rect::new(x1, y1, x1 + self.bin_w, y1 + self.bin_h)
+    }
+
+    /// Centre of a bin.
+    #[inline]
+    pub fn bin_center(&self, ix: BinIx) -> Point {
+        self.bin_rect(ix).center()
+    }
+
+    /// Inclusive range of bin columns/rows overlapped by `r` (clamped to the
+    /// grid). Returns `((ix_lo, ix_hi), (iy_lo, iy_hi))`.
+    pub fn bins_overlapping(&self, r: &Rect) -> ((usize, usize), (usize, usize)) {
+        let (ix_lo, iy_lo) = self.bin_of(r.lo());
+        // Subtract a hair so a rect ending exactly on a bin boundary does not
+        // claim the next bin.
+        let eps_x = self.bin_w * 1e-9;
+        let eps_y = self.bin_h * 1e-9;
+        let (ix_hi, iy_hi) = self.bin_of(Point::new(r.x2() - eps_x, r.y2() - eps_y));
+        ((ix_lo, ix_hi.max(ix_lo)), (iy_lo, iy_hi.max(iy_lo)))
+    }
+
+    /// Distributes the area of `r` over the bins it overlaps, invoking
+    /// `f(bin, overlap_area)` for each overlapped bin.
+    pub fn splat_area<F: FnMut(BinIx, f64)>(&self, r: &Rect, mut f: F) {
+        let ((ix_lo, ix_hi), (iy_lo, iy_hi)) = self.bins_overlapping(r);
+        for iy in iy_lo..=iy_hi {
+            for ix in ix_lo..=ix_hi {
+                let a = self.bin_rect((ix, iy)).intersection_area(r);
+                if a > 0.0 {
+                    f((ix, iy), a);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid10() -> BinGrid {
+        BinGrid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10, 10)
+    }
+
+    #[test]
+    fn dims() {
+        let g = grid10();
+        assert_eq!(g.len(), 100);
+        assert_eq!(g.bin_w(), 10.0);
+        assert_eq!(g.bin_h(), 10.0);
+        assert_eq!(g.bin_area(), 100.0);
+    }
+
+    #[test]
+    fn bin_lookup_and_clamping() {
+        let g = grid10();
+        assert_eq!(g.bin_of(Point::new(0.0, 0.0)), (0, 0));
+        assert_eq!(g.bin_of(Point::new(99.9, 99.9)), (9, 9));
+        // Exactly on the far boundary clamps into the last bin.
+        assert_eq!(g.bin_of(Point::new(100.0, 100.0)), (9, 9));
+        // Outside points clamp.
+        assert_eq!(g.bin_of(Point::new(-5.0, 200.0)), (0, 9));
+    }
+
+    #[test]
+    fn bin_rect_and_center() {
+        let g = grid10();
+        assert_eq!(g.bin_rect((2, 3)), Rect::new(20.0, 30.0, 30.0, 40.0));
+        assert_eq!(g.bin_center((0, 0)), Point::new(5.0, 5.0));
+        assert_eq!(g.flat((2, 3)), 32);
+    }
+
+    #[test]
+    fn overlap_ranges() {
+        let g = grid10();
+        let r = Rect::new(15.0, 25.0, 35.0, 30.0);
+        assert_eq!(g.bins_overlapping(&r), ((1, 3), (2, 2)));
+        // A rect ending exactly on a boundary does not spill over.
+        let r2 = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(g.bins_overlapping(&r2), ((0, 0), (0, 0)));
+    }
+
+    #[test]
+    fn splat_conserves_area() {
+        let g = grid10();
+        let r = Rect::new(7.0, 3.0, 28.0, 17.0);
+        let mut total = 0.0;
+        let mut bins = 0;
+        g.splat_area(&r, |_, a| {
+            total += a;
+            bins += 1;
+        });
+        assert!((total - r.area()).abs() < 1e-9);
+        assert_eq!(bins, 6); // 3 columns x 2 rows
+    }
+
+    #[test]
+    fn with_bin_size_rounds() {
+        let g = BinGrid::with_bin_size(Rect::new(0.0, 0.0, 95.0, 42.0), 10.0);
+        assert_eq!(g.nx(), 10);
+        assert_eq!(g.ny(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = BinGrid::new(Rect::new(0.0, 0.0, 1.0, 1.0), 0, 1);
+    }
+}

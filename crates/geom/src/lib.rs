@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Geometry substrate for the `sdplace` placement system.
+//!
+//! This crate provides the small, dependency-free geometric vocabulary shared
+//! by every other crate in the workspace: points, rectangles, accumulating
+//! bounding boxes, uniform bin grids (used by the density model and the
+//! global router), orientations, and net-length estimators (half-perimeter,
+//! minimum spanning tree, and a rectilinear-Steiner estimate).
+//!
+//! All coordinates are `f64` in abstract placement units (one standard-cell
+//! row height is typically a small integer number of units, chosen by the
+//! netlist layer).
+//!
+//! # Examples
+//!
+//! ```
+//! use sdp_geom::{Point, Rect};
+//!
+//! let r = Rect::new(0.0, 0.0, 10.0, 4.0);
+//! assert_eq!(r.area(), 40.0);
+//! assert!(r.contains(Point::new(5.0, 2.0)));
+//! ```
+
+mod bbox;
+mod grid;
+mod orient;
+mod point;
+mod rect;
+mod steiner;
+
+pub use bbox::BBox;
+pub use grid::{BinGrid, BinIx};
+pub use orient::{GroupAxis, Orientation};
+pub use point::Point;
+pub use rect::Rect;
+pub use steiner::{hpwl_of_points, mst_length, rsmt_estimate};

@@ -1,0 +1,138 @@
+use std::fmt;
+
+/// Standard-cell orientation, following the usual DEF nomenclature
+/// restricted to the four cases meaningful for row-based placement.
+///
+/// `sdplace` places cells by their bounding box, so orientation only matters
+/// for legalization row flipping and Bookshelf `.pl` round-trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Orientation {
+    /// North: the reference orientation.
+    #[default]
+    N,
+    /// Flipped about the x-axis (south in Bookshelf terms).
+    FS,
+    /// Rotated 180 degrees.
+    S,
+    /// Flipped about the y-axis.
+    FN,
+}
+
+impl Orientation {
+    /// All orientations, in a stable order.
+    pub const ALL: [Orientation; 4] = [
+        Orientation::N,
+        Orientation::FS,
+        Orientation::S,
+        Orientation::FN,
+    ];
+
+    /// Parses a Bookshelf orientation token (`N`, `FS`, `S`, `FN`; case
+    /// insensitive). Returns `None` for unknown tokens.
+    pub fn parse(s: &str) -> Option<Orientation> {
+        match s.to_ascii_uppercase().as_str() {
+            "N" => Some(Orientation::N),
+            "FS" => Some(Orientation::FS),
+            "S" => Some(Orientation::S),
+            "FN" => Some(Orientation::FN),
+            _ => None,
+        }
+    }
+
+    /// Returns the orientation after an additional flip about the x-axis
+    /// (what a legalizer does when it drops a cell into an opposite-polarity
+    /// row).
+    pub fn flipped_x(self) -> Orientation {
+        match self {
+            Orientation::N => Orientation::FS,
+            Orientation::FS => Orientation::N,
+            Orientation::S => Orientation::FN,
+            Orientation::FN => Orientation::S,
+        }
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Orientation::N => "N",
+            Orientation::FS => "FS",
+            Orientation::S => "S",
+            Orientation::FN => "FN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The axis along which the *bits* of a datapath group are laid out.
+///
+/// A group is a `bits × stages` array. With `BitsVertical` (the common
+/// choice in row-based layout), each bit slice occupies one horizontal row
+/// and stages advance left→right; with `BitsHorizontal` the array is
+/// transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GroupAxis {
+    /// Bits stack vertically (one bit per row); stages advance in x.
+    #[default]
+    BitsVertical,
+    /// Bits advance horizontally; stages stack in y.
+    BitsHorizontal,
+}
+
+impl GroupAxis {
+    /// The transposed axis.
+    pub fn transposed(self) -> GroupAxis {
+        match self {
+            GroupAxis::BitsVertical => GroupAxis::BitsHorizontal,
+            GroupAxis::BitsHorizontal => GroupAxis::BitsVertical,
+        }
+    }
+}
+
+impl fmt::Display for GroupAxis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupAxis::BitsVertical => f.write_str("bits-vertical"),
+            GroupAxis::BitsHorizontal => f.write_str("bits-horizontal"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        for o in Orientation::ALL {
+            assert_eq!(Orientation::parse(&o.to_string()), Some(o));
+        }
+        assert_eq!(Orientation::parse("fs"), Some(Orientation::FS));
+        assert_eq!(Orientation::parse("E"), None);
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        for o in Orientation::ALL {
+            assert_eq!(o.flipped_x().flipped_x(), o);
+        }
+    }
+
+    #[test]
+    fn axis_transpose() {
+        assert_eq!(
+            GroupAxis::BitsVertical.transposed(),
+            GroupAxis::BitsHorizontal
+        );
+        assert_eq!(
+            GroupAxis::BitsHorizontal.transposed().transposed(),
+            GroupAxis::BitsHorizontal
+        );
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(Orientation::default(), Orientation::N);
+        assert_eq!(GroupAxis::default(), GroupAxis::BitsVertical);
+    }
+}

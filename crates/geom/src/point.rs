@@ -1,0 +1,231 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2-D point (or vector) in placement units.
+///
+/// `Point` is used both for positions and for displacement/force vectors;
+/// the arithmetic operators treat it as a plain 2-vector.
+///
+/// # Examples
+///
+/// ```
+/// use sdp_geom::Point;
+///
+/// let a = Point::new(1.0, 2.0);
+/// let b = Point::new(3.0, 5.0);
+/// assert_eq!(a + b, Point::new(4.0, 7.0));
+/// assert_eq!((b - a).norm(), (4.0f64 + 9.0).sqrt());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean length of the vector from the origin to this point.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean length (avoids the square root).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Manhattan (L1) length.
+    #[inline]
+    pub fn manhattan(self) -> f64 {
+        self.x.abs() + self.y.abs()
+    }
+
+    /// Manhattan distance to another point.
+    #[inline]
+    pub fn manhattan_to(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance_to(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Dot product with another vector.
+    #[inline]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        self + (other - self) * t
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 4.0);
+        assert_eq!(a + b, Point::new(-2.0, 6.0));
+        assert_eq!(a - b, Point::new(4.0, -2.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(-1.5, 2.0));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let p = Point::new(3.0, 4.0);
+        assert_eq!(p.norm(), 5.0);
+        assert_eq!(p.norm_sq(), 25.0);
+        assert_eq!(p.manhattan(), 7.0);
+        assert_eq!(p.manhattan_to(Point::ORIGIN), 7.0);
+        assert_eq!(p.distance_to(Point::ORIGIN), 5.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(Point::new(1.0, 2.0).dot(Point::new(3.0, 4.0)), 11.0);
+        // Orthogonal vectors have zero dot product.
+        assert_eq!(Point::new(1.0, 0.0).dot(Point::new(0.0, 5.0)), 0.0);
+    }
+
+    #[test]
+    fn min_max_lerp() {
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(2.0, 3.0);
+        assert_eq!(a.min(b), Point::new(1.0, 3.0));
+        assert_eq!(a.max(b), Point::new(2.0, 5.0));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(1.5, 4.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn add_assign_sub_assign() {
+        let mut p = Point::new(1.0, 1.0);
+        p += Point::new(2.0, 3.0);
+        assert_eq!(p, Point::new(3.0, 4.0));
+        p -= Point::new(1.0, 1.0);
+        assert_eq!(p, Point::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn conversion_and_display() {
+        let p: Point = (1.0, 2.0).into();
+        assert_eq!(p, Point::new(1.0, 2.0));
+        assert_eq!(format!("{p}"), "(1.0000, 2.0000)");
+    }
+}

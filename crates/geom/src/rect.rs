@@ -1,0 +1,297 @@
+use crate::Point;
+use std::fmt;
+
+/// An axis-aligned rectangle with `lo` ≤ `hi` on both axes.
+///
+/// Rectangles represent cell outlines, placement regions, bin extents, and
+/// routing-grid tiles. Degenerate (zero-width or zero-height) rectangles are
+/// allowed; inverted ones are not constructible through [`Rect::new`].
+///
+/// # Examples
+///
+/// ```
+/// use sdp_geom::Rect;
+///
+/// let a = Rect::new(0.0, 0.0, 4.0, 4.0);
+/// let b = Rect::new(2.0, 2.0, 6.0, 6.0);
+/// assert_eq!(a.intersection_area(&b), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    lo: Point,
+    hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x1 > x2` or `y1 > y2`, or if any coordinate is NaN.
+    #[inline]
+    pub fn new(x1: f64, y1: f64, x2: f64, y2: f64) -> Self {
+        assert!(x1 <= x2 && y1 <= y2, "inverted rect ({x1},{y1})-({x2},{y2})");
+        Rect {
+            lo: Point::new(x1, y1),
+            hi: Point::new(x2, y2),
+        }
+    }
+
+    /// Creates a rectangle from its lower-left corner and size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w < 0` or `h < 0`.
+    #[inline]
+    pub fn with_size(origin: Point, w: f64, h: f64) -> Self {
+        Rect::new(origin.x, origin.y, origin.x + w, origin.y + h)
+    }
+
+    /// Creates a rectangle centred at `c` with the given size.
+    #[inline]
+    pub fn centered_at(c: Point, w: f64, h: f64) -> Self {
+        Rect::new(c.x - w / 2.0, c.y - h / 2.0, c.x + w / 2.0, c.y + h / 2.0)
+    }
+
+    /// Lower-left corner.
+    #[inline]
+    pub fn lo(&self) -> Point {
+        self.lo
+    }
+
+    /// Upper-right corner.
+    #[inline]
+    pub fn hi(&self) -> Point {
+        self.hi
+    }
+
+    /// Left edge x.
+    #[inline]
+    pub fn x1(&self) -> f64 {
+        self.lo.x
+    }
+
+    /// Bottom edge y.
+    #[inline]
+    pub fn y1(&self) -> f64 {
+        self.lo.y
+    }
+
+    /// Right edge x.
+    #[inline]
+    pub fn x2(&self) -> f64 {
+        self.hi.x
+    }
+
+    /// Top edge y.
+    #[inline]
+    pub fn y2(&self) -> f64 {
+        self.hi.y
+    }
+
+    /// Width (always ≥ 0).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height (always ≥ 0).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half-perimeter (`width + height`).
+    #[inline]
+    pub fn half_perimeter(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Centre point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.lo.x + self.hi.x) / 2.0,
+            (self.lo.y + self.hi.y) / 2.0,
+        )
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// Returns `true` if `other` lies entirely inside (or on the boundary
+    /// of) this rectangle.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.lo.x >= self.lo.x
+            && other.lo.y >= self.lo.y
+            && other.hi.x <= self.hi.x
+            && other.hi.y <= self.hi.y
+    }
+
+    /// Returns `true` if the interiors of the rectangles overlap
+    /// (touching edges do not count).
+    #[inline]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.lo.x < other.hi.x
+            && other.lo.x < self.hi.x
+            && self.lo.y < other.hi.y
+            && other.lo.y < self.hi.y
+    }
+
+    /// Area of the intersection with `other` (0 if disjoint).
+    #[inline]
+    pub fn intersection_area(&self, other: &Rect) -> f64 {
+        let w = (self.hi.x.min(other.hi.x) - self.lo.x.max(other.lo.x)).max(0.0);
+        let h = (self.hi.y.min(other.hi.y) - self.lo.y.max(other.lo.y)).max(0.0);
+        w * h
+    }
+
+    /// Intersection rectangle, or `None` if the rectangles are disjoint
+    /// (a shared edge yields a degenerate rectangle, not `None`).
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo.x <= hi.x && lo.y <= hi.y {
+            Some(Rect { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Smallest rectangle containing both rectangles.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// This rectangle translated by `d`.
+    #[inline]
+    pub fn translated(&self, d: Point) -> Rect {
+        Rect {
+            lo: self.lo + d,
+            hi: self.hi + d,
+        }
+    }
+
+    /// This rectangle grown by `m` on every side (shrunk if `m < 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shrinking would invert the rectangle.
+    #[inline]
+    pub fn inflated(&self, m: f64) -> Rect {
+        Rect::new(
+            self.lo.x - m,
+            self.lo.y - m,
+            self.hi.x + m,
+            self.hi.y + m,
+        )
+    }
+
+    /// Clamps a point into the rectangle.
+    #[inline]
+    pub fn clamp_point(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.lo.x, self.hi.x),
+            p.y.clamp(self.lo.y, self.hi.y),
+        )
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.2},{:.2} .. {:.2},{:.2}]",
+            self.lo.x, self.lo.y, self.hi.x, self.hi.y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_dims() {
+        let r = Rect::new(1.0, 2.0, 4.0, 8.0);
+        assert_eq!(r.width(), 3.0);
+        assert_eq!(r.height(), 6.0);
+        assert_eq!(r.area(), 18.0);
+        assert_eq!(r.half_perimeter(), 9.0);
+        assert_eq!(r.center(), Point::new(2.5, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_panics() {
+        let _ = Rect::new(2.0, 0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn containment() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(10.0, 10.0)));
+        assert!(!r.contains(Point::new(10.1, 5.0)));
+        assert!(r.contains_rect(&Rect::new(1.0, 1.0, 9.0, 9.0)));
+        assert!(!r.contains_rect(&Rect::new(1.0, 1.0, 11.0, 9.0)));
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let b = Rect::new(2.0, 2.0, 6.0, 6.0);
+        let c = Rect::new(4.0, 0.0, 8.0, 4.0); // shares an edge with a
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "shared edge is not an overlap");
+        assert_eq!(a.intersection_area(&b), 4.0);
+        assert_eq!(a.intersection_area(&c), 0.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::new(2.0, 2.0, 4.0, 4.0));
+        // Edge-sharing intersection is degenerate but present.
+        let e = a.intersection(&c).unwrap();
+        assert_eq!(e.area(), 0.0);
+        assert!(a.intersection(&Rect::new(5.0, 5.0, 6.0, 6.0)).is_none());
+    }
+
+    #[test]
+    fn union_translate_inflate() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(2.0, 3.0, 4.0, 5.0);
+        assert_eq!(a.union(&b), Rect::new(0.0, 0.0, 4.0, 5.0));
+        assert_eq!(
+            a.translated(Point::new(1.0, 2.0)),
+            Rect::new(1.0, 2.0, 2.0, 3.0)
+        );
+        assert_eq!(a.inflated(1.0), Rect::new(-1.0, -1.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn clamping() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(r.clamp_point(Point::new(-5.0, 20.0)), Point::new(0.0, 10.0));
+        assert_eq!(r.clamp_point(Point::new(5.0, 5.0)), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn constructors() {
+        let r = Rect::with_size(Point::new(1.0, 1.0), 2.0, 3.0);
+        assert_eq!(r, Rect::new(1.0, 1.0, 3.0, 4.0));
+        let c = Rect::centered_at(Point::new(0.0, 0.0), 4.0, 2.0);
+        assert_eq!(c, Rect::new(-2.0, -1.0, 2.0, 1.0));
+    }
+}

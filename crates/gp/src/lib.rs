@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Analytical global placement substrate for `sdplace`.
+//!
+//! A from-scratch NTUplace3-style nonlinear placer:
+//!
+//! * smooth **wirelength** models — log-sum-exp (LSE) and weighted-average
+//!   (WA) — with analytic gradients ([`wirelength`]);
+//! * an NTUplace3 **bell-shaped density** penalty over a uniform bin grid
+//!   ([`density`]);
+//! * a **Polak–Ribière conjugate-gradient** minimizer with Armijo
+//!   back-tracking line search ([`optimizer`]);
+//! * **first-choice clustering** for a multilevel V-cycle ([`cluster`]);
+//! * the **outer placement loop** with λ (density-weight) scheduling
+//!   ([`placer`]).
+//!
+//! The placer is structure-oblivious by itself: it is exactly the baseline
+//! the paper compares against. Structure-aware placement (`sdp-core`) plugs
+//! its alignment objective in through the [`ExtraTerm`] hook without this
+//! crate knowing anything about datapaths.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdp_gp::{GlobalPlacer, GpConfig};
+//! use sdp_dpgen::{generate, GenConfig};
+//!
+//! let mut d = generate(&GenConfig::named("dp_tiny", 1).unwrap());
+//! let placer = GlobalPlacer::new(GpConfig::fast());
+//! let stats = placer.place(&d.netlist, &d.design, &mut d.placement, None);
+//! assert!(stats.final_overflow < 0.5);
+//! ```
+
+pub mod cluster;
+pub mod density;
+pub mod optimizer;
+pub mod placer;
+pub mod wirelength;
+
+pub use density::DensityModel;
+pub use optimizer::{minimize_cg, CgOptions, Objective};
+pub use placer::{ExtraTerm, GlobalPlacer, GpConfig, IterationTrace, PlaceStats};
+pub use wirelength::{hpwl, WirelengthModel};

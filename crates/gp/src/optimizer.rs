@@ -1,0 +1,286 @@
+//! Polak–Ribière conjugate-gradient minimizer with Armijo back-tracking.
+//!
+//! Works on vectors of 2-D points (the movable-cell coordinate vector).
+//! The objective is supplied through the [`Objective`] trait so the placer
+//! can compose wirelength + density + alignment terms.
+
+use sdp_geom::Point;
+
+/// A differentiable objective over a point vector.
+pub trait Objective {
+    /// Evaluates the objective at `x`, writing the gradient into `grad`
+    /// (same length as `x`, pre-zeroed by the *callee*). Returns the value.
+    fn eval(&mut self, x: &[Point], grad: &mut [Point]) -> f64;
+
+    /// Optional projection applied after every accepted step (e.g. clamping
+    /// into the placement region).
+    fn project(&self, _x: &mut [Point]) {}
+}
+
+/// Options for [`minimize_cg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgOptions {
+    /// Maximum CG iterations.
+    pub max_iters: usize,
+    /// Stop when the gradient's RMS norm falls below this.
+    pub grad_tol: f64,
+    /// Initial trial step as a fraction of a "characteristic length" the
+    /// caller supplies (usually a bin width); the actual step is
+    /// `step_hint / |d|_rms` so the first trial moves cells about
+    /// `step_hint` units.
+    pub step_hint: f64,
+    /// Armijo sufficient-decrease constant.
+    pub armijo_c: f64,
+    /// Back-tracking shrink factor.
+    pub backtrack: f64,
+    /// Maximum back-tracking steps per iteration.
+    pub max_backtracks: usize,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            max_iters: 50,
+            grad_tol: 1e-6,
+            step_hint: 1.0,
+            armijo_c: 1e-4,
+            backtrack: 0.5,
+            max_backtracks: 20,
+        }
+    }
+}
+
+/// Result of a CG run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgResult {
+    /// Final objective value.
+    pub value: f64,
+    /// Iterations actually performed.
+    pub iters: usize,
+    /// Function evaluations performed.
+    pub evals: usize,
+    /// `true` if stopped on the gradient tolerance.
+    pub converged: bool,
+}
+
+fn dot(a: &[Point], b: &[Point]) -> f64 {
+    a.iter().zip(b).map(|(p, q)| p.dot(*q)).sum()
+}
+
+fn rms(a: &[Point]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        (a.iter().map(|p| p.norm_sq()).sum::<f64>() / a.len() as f64).sqrt()
+    }
+}
+
+/// Minimizes `obj` starting from `x` (updated in place).
+///
+/// Uses Polak–Ribière+ conjugate directions with automatic restart to
+/// steepest descent when the direction loses descent, and an Armijo
+/// back-tracking line search. Robust rather than clever: placement
+/// objectives are cheap to evaluate and mildly nonconvex.
+pub fn minimize_cg<O: Objective>(obj: &mut O, x: &mut [Point], opts: &CgOptions) -> CgResult {
+    let n = x.len();
+    let mut grad = vec![Point::ORIGIN; n];
+    let mut value = obj.eval(x, &mut grad);
+    let mut evals = 1;
+    let mut dir: Vec<Point> = grad.iter().map(|&g| -g).collect();
+    let mut prev_grad = grad.clone();
+
+    for iter in 0..opts.max_iters {
+        let gnorm = rms(&grad);
+        if gnorm < opts.grad_tol {
+            return CgResult {
+                value,
+                iters: iter,
+                evals,
+                converged: true,
+            };
+        }
+        // Ensure a descent direction.
+        let mut slope = dot(&grad, &dir);
+        if slope >= 0.0 {
+            for (d, g) in dir.iter_mut().zip(&grad) {
+                *d = -*g;
+            }
+            slope = dot(&grad, &dir);
+        }
+        // Scale the first trial so cells move about `step_hint` units.
+        let dnorm = rms(&dir).max(1e-18);
+        let mut step = opts.step_hint / dnorm;
+        let x0: Vec<Point> = x.to_vec();
+        let mut accepted = false;
+        for _ in 0..opts.max_backtracks {
+            for i in 0..n {
+                x[i] = x0[i] + dir[i] * step;
+            }
+            obj.project(x);
+            let mut g2 = vec![Point::ORIGIN; n];
+            let v2 = obj.eval(x, &mut g2);
+            evals += 1;
+            if v2 <= value + opts.armijo_c * step * slope {
+                value = v2;
+                prev_grad.copy_from_slice(&grad);
+                grad = g2;
+                accepted = true;
+                break;
+            }
+            step *= opts.backtrack;
+        }
+        if !accepted {
+            // Restore and give up: the line search cannot improve.
+            x.copy_from_slice(&x0);
+            return CgResult {
+                value,
+                iters: iter,
+                evals,
+                converged: false,
+            };
+        }
+        // Polak–Ribière+ beta.
+        let denom = dot(&prev_grad, &prev_grad).max(1e-30);
+        let mut beta = (dot(&grad, &grad) - dot(&grad, &prev_grad)) / denom;
+        if beta < 0.0 {
+            beta = 0.0; // restart
+        }
+        for i in 0..n {
+            dir[i] = -grad[i] + dir[i] * beta;
+        }
+    }
+    CgResult {
+        value,
+        iters: opts.max_iters,
+        evals,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Convex quadratic bowl: f = Σ |p − target|².
+    struct Bowl {
+        targets: Vec<Point>,
+    }
+
+    impl Objective for Bowl {
+        fn eval(&mut self, x: &[Point], grad: &mut [Point]) -> f64 {
+            let mut v = 0.0;
+            for i in 0..x.len() {
+                let d = x[i] - self.targets[i];
+                v += d.norm_sq();
+                grad[i] = d * 2.0;
+            }
+            v
+        }
+    }
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let targets: Vec<Point> = (0..10)
+            .map(|i| Point::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let mut bowl = Bowl {
+            targets: targets.clone(),
+        };
+        let mut x = vec![Point::new(100.0, 100.0); 10];
+        let r = minimize_cg(
+            &mut bowl,
+            &mut x,
+            &CgOptions {
+                max_iters: 200,
+                step_hint: 10.0,
+                ..CgOptions::default()
+            },
+        );
+        assert!(r.value < 1e-6, "value {} after {} iters", r.value, r.iters);
+        for (p, t) in x.iter().zip(&targets) {
+            assert!((*p - *t).norm() < 1e-3);
+        }
+    }
+
+    /// Rosenbrock in 2-D embedded in one Point.
+    struct Rosenbrock;
+
+    impl Objective for Rosenbrock {
+        fn eval(&mut self, x: &[Point], grad: &mut [Point]) -> f64 {
+            let (a, b) = (x[0].x, x[0].y);
+            let v = (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2);
+            grad[0] = Point::new(
+                -2.0 * (1.0 - a) - 400.0 * a * (b - a * a),
+                200.0 * (b - a * a),
+            );
+            v
+        }
+    }
+
+    #[test]
+    fn makes_progress_on_rosenbrock() {
+        let mut x = vec![Point::new(-1.2, 1.0)];
+        let mut g = vec![Point::ORIGIN];
+        let start = Rosenbrock.eval(&x, &mut g);
+        let r = minimize_cg(
+            &mut Rosenbrock,
+            &mut x,
+            &CgOptions {
+                max_iters: 500,
+                step_hint: 0.5,
+                ..CgOptions::default()
+            },
+        );
+        assert!(r.value < start * 0.01, "start {start}, end {}", r.value);
+    }
+
+    /// Projection must be respected: constrain to x ≥ 1.
+    struct ProjectedBowl;
+
+    impl Objective for ProjectedBowl {
+        fn eval(&mut self, x: &[Point], grad: &mut [Point]) -> f64 {
+            grad[0] = x[0] * 2.0;
+            x[0].norm_sq()
+        }
+        fn project(&self, x: &mut [Point]) {
+            x[0].x = x[0].x.max(1.0);
+        }
+    }
+
+    #[test]
+    fn projection_is_enforced() {
+        let mut x = vec![Point::new(5.0, 5.0)];
+        minimize_cg(
+            &mut ProjectedBowl,
+            &mut x,
+            &CgOptions {
+                max_iters: 300,
+                step_hint: 2.0,
+                ..CgOptions::default()
+            },
+        );
+        assert!(x[0].x >= 1.0 - 1e-12, "x constrained: {}", x[0].x);
+        // Projected CG is not an exact KKT solver; the free coordinate just
+        // needs to head to its unconstrained optimum.
+        assert!(x[0].y.abs() < 0.5, "y should shrink toward 0: {}", x[0].y);
+    }
+
+    #[test]
+    fn zero_length_vector_is_ok() {
+        let mut bowl = Bowl { targets: vec![] };
+        let mut x: Vec<Point> = vec![];
+        let r = minimize_cg(&mut bowl, &mut x, &CgOptions::default());
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn already_at_minimum_converges_immediately() {
+        let mut bowl = Bowl {
+            targets: vec![Point::new(1.0, 2.0)],
+        };
+        let mut x = vec![Point::new(1.0, 2.0)];
+        let r = minimize_cg(&mut bowl, &mut x, &CgOptions::default());
+        assert!(r.converged);
+        assert_eq!(r.iters, 0);
+    }
+}

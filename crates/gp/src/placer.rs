@@ -1,0 +1,545 @@
+//! The global-placement outer loop: wirelength + λ·density (+ optional
+//! extra terms), with λ scheduling, γ annealing, and an optional multilevel
+//! V-cycle.
+
+use crate::cluster::{self, Clustering};
+use crate::density::DensityModel;
+use crate::optimizer::{minimize_cg, CgOptions, Objective};
+use crate::wirelength::{eval_wirelength, hpwl, WirelengthModel};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sdp_geom::{Point, Rect};
+use sdp_netlist::{CellId, Design, Netlist, Placement};
+use std::time::Instant;
+
+/// A pluggable extra objective term (how `sdp-core` injects its alignment
+/// forces without this crate knowing about datapaths).
+pub trait ExtraTerm {
+    /// Evaluates the extra term at the full per-cell position array,
+    /// accumulating gradients into `grad` (full length, pre-zeroed slots
+    /// may already hold other terms — *add*, don't overwrite). Returns the
+    /// term's value (already weighted).
+    fn eval(&mut self, netlist: &Netlist, pos: &[Point], grad: &mut [Point]) -> f64;
+
+    /// Called at the start of every outer iteration with the current
+    /// overflow and cell positions, letting the term anneal its own weight
+    /// and refit any internal targets.
+    fn begin_outer(&mut self, _outer: usize, _overflow: f64, _pos: &[Point]) {}
+}
+
+/// Global placement configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpConfig {
+    /// Smooth wirelength model to differentiate.
+    pub model: WirelengthModel,
+    /// Per-bin density ceiling (fraction of bin area).
+    pub target_density: f64,
+    /// Stop once total overflow drops below this fraction of movable area.
+    pub target_overflow: f64,
+    /// Maximum outer iterations (λ doublings).
+    pub max_outer: usize,
+    /// CG iterations per outer iteration.
+    pub inner_iters: usize,
+    /// λ multiplier per outer iteration.
+    pub lambda_factor: f64,
+    /// Bin-grid resolution per axis; `None` = automatic.
+    pub bins: Option<usize>,
+    /// Seed for the initial-placement jitter.
+    pub seed: u64,
+    /// Cluster the netlist first when it has more movable cells than this
+    /// (`0` disables the multilevel cycle).
+    pub cluster_threshold: usize,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig {
+            model: WirelengthModel::Lse,
+            target_density: 0.9,
+            target_overflow: 0.12,
+            max_outer: 24,
+            inner_iters: 60,
+            lambda_factor: 2.0,
+            bins: None,
+            seed: 1,
+            cluster_threshold: 12_000,
+        }
+    }
+}
+
+impl GpConfig {
+    /// A reduced-effort profile for unit tests and examples.
+    pub fn fast() -> Self {
+        GpConfig {
+            max_outer: 12,
+            inner_iters: 30,
+            target_overflow: 0.25,
+            ..GpConfig::default()
+        }
+    }
+}
+
+/// One outer-iteration sample of the convergence trace (figure F1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationTrace {
+    /// Outer iteration index.
+    pub outer: usize,
+    /// Exact HPWL at the end of the iteration.
+    pub hpwl: f64,
+    /// Density overflow ratio.
+    pub overflow: f64,
+    /// Composite objective value.
+    pub objective: f64,
+    /// Density weight λ used this iteration.
+    pub lambda: f64,
+}
+
+/// Result of a global-placement run.
+#[derive(Debug, Clone)]
+pub struct PlaceStats {
+    /// HPWL of the final placement.
+    pub final_hpwl: f64,
+    /// Final density overflow ratio.
+    pub final_overflow: f64,
+    /// Outer iterations executed.
+    pub outer_iters: usize,
+    /// Per-iteration convergence trace.
+    pub trace: Vec<IterationTrace>,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// The analytical global placer (structure-oblivious baseline).
+#[derive(Debug, Clone)]
+pub struct GlobalPlacer {
+    config: GpConfig,
+}
+
+/// The composed objective: wirelength + λ·density + extra.
+struct Composed<'n, 'd, 'e, 't> {
+    netlist: &'n Netlist,
+    movable: &'n [CellId],
+    pos: Vec<Point>,
+    grad_full: Vec<Point>,
+    density: &'d mut DensityModel,
+    extra: Option<&'e mut (dyn ExtraTerm + 't)>,
+    model: WirelengthModel,
+    gamma: f64,
+    lambda: f64,
+    inner: Rect,
+    wl_scale: f64,
+}
+
+impl Composed<'_, '_, '_, '_> {
+    fn scatter(&mut self, x: &[Point]) {
+        for (k, &c) in self.movable.iter().enumerate() {
+            self.pos[c.ix()] = x[k];
+        }
+    }
+}
+
+impl Objective for Composed<'_, '_, '_, '_> {
+    fn eval(&mut self, x: &[Point], grad: &mut [Point]) -> f64 {
+        self.scatter(x);
+        self.grad_full.fill(Point::ORIGIN);
+        let wl = eval_wirelength(
+            self.model,
+            self.netlist,
+            &self.pos,
+            self.gamma,
+            &mut self.grad_full,
+        );
+        for g in self.grad_full.iter_mut() {
+            *g = *g * self.wl_scale;
+        }
+        let mut dgrad = vec![Point::ORIGIN; self.pos.len()];
+        let dens = self.density.eval(self.netlist, &self.pos, &mut dgrad);
+        for (g, d) in self.grad_full.iter_mut().zip(&dgrad) {
+            *g += *d * self.lambda;
+        }
+        let extra_val = match self.extra.as_mut() {
+            Some(e) => e.eval(self.netlist, &self.pos, &mut self.grad_full),
+            None => 0.0,
+        };
+        for (k, &c) in self.movable.iter().enumerate() {
+            grad[k] = self.grad_full[c.ix()];
+        }
+        wl * self.wl_scale + self.lambda * dens + extra_val
+    }
+
+    fn project(&self, x: &mut [Point]) {
+        for (k, &c) in self.movable.iter().enumerate() {
+            let m = self.netlist.master_of(c);
+            let hw = (m.width / 2.0).min(self.inner.width() / 2.0);
+            let hh = (m.height / 2.0).min(self.inner.height() / 2.0);
+            x[k].x = x[k].x.clamp(self.inner.x1() + hw, self.inner.x2() - hw);
+            x[k].y = x[k].y.clamp(self.inner.y1() + hh, self.inner.y2() - hh);
+        }
+    }
+}
+
+impl GlobalPlacer {
+    /// Creates a placer with the given configuration.
+    pub fn new(config: GpConfig) -> Self {
+        GlobalPlacer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GpConfig {
+        &self.config
+    }
+
+    /// Runs global placement, updating `placement` in place.
+    ///
+    /// Fixed cells never move. `extra` is an optional additional objective
+    /// (structure-aware alignment). Returns statistics and the convergence
+    /// trace.
+    pub fn place(
+        &self,
+        netlist: &Netlist,
+        design: &Design,
+        placement: &mut Placement,
+        extra: Option<&mut dyn ExtraTerm>,
+    ) -> PlaceStats {
+        self.place_inflated(netlist, design, placement, extra, None, None)
+    }
+
+    /// Like [`GlobalPlacer::place`], with optional per-cell area inflation
+    /// factors (≥ 1, one per cell) for routability-driven spreading: cells
+    /// in congested regions demand more bin capacity and push their
+    /// neighbours away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inflation` is given with the wrong length or factors
+    /// below 1.
+    /// `eval_netlist`, when given, is used for the HPWL numbers in the
+    /// returned statistics and per-iteration trace instead of the netlist
+    /// being optimized — callers that optimize a *re-weighted* clone (the
+    /// structure-aware flow boosts datapath nets) pass the original here
+    /// so reported HPWL stays on the unweighted scale.
+    pub fn place_inflated(
+        &self,
+        netlist: &Netlist,
+        design: &Design,
+        placement: &mut Placement,
+        mut extra: Option<&mut dyn ExtraTerm>,
+        inflation: Option<&[f64]>,
+        eval_netlist: Option<&Netlist>,
+    ) -> PlaceStats {
+        let start = Instant::now();
+
+        // Optional multilevel V-cycle: place a clustered netlist first and
+        // seed the flat placement from it.
+        if self.config.cluster_threshold > 0
+            && netlist.num_movable() > self.config.cluster_threshold
+        {
+            self.coarse_seed(netlist, design, placement);
+        }
+
+        let movable: Vec<CellId> = netlist.movable_ids().collect();
+        let region = design.region();
+        self.initialize(netlist, &movable, region, placement);
+
+        let res = self
+            .config
+            .bins
+            .unwrap_or_else(|| DensityModel::default_resolution(movable.len()));
+        let mut density = DensityModel::new(
+            netlist,
+            region,
+            placement.positions(),
+            self.config.target_density,
+            res,
+            res,
+        );
+        if let Some(f) = inflation {
+            density.set_inflation(f.to_vec());
+        }
+        let bin_w = density.grid().bin_w();
+        let bin_h = density.grid().bin_h();
+
+        let mut x: Vec<Point> = movable.iter().map(|&c| placement.get(c)).collect();
+        let pos: Vec<Point> = placement.positions().to_vec();
+
+        // Gradient balancing: λ0 = Σ|∇WL| / Σ|∇D| (then annealed upward).
+        let mut gamma = 8.0 * bin_w.max(bin_h);
+        let (lambda0, wl_scale) = {
+            let mut gwl = vec![Point::ORIGIN; pos.len()];
+            eval_wirelength(self.config.model, netlist, &pos, gamma, &mut gwl);
+            let mut gd = vec![Point::ORIGIN; pos.len()];
+            density.eval(netlist, &pos, &mut gd);
+            let swl: f64 = gwl.iter().map(|g| g.manhattan()).sum();
+            let sd: f64 = gd.iter().map(|g| g.manhattan()).sum();
+            let lambda0 = if sd > 1e-12 { swl / sd } else { 1.0 };
+            // Scale wirelength so gradients are O(1) per cell.
+            let wl_scale = if swl > 1e-12 {
+                movable.len() as f64 / swl
+            } else {
+                1.0
+            };
+            (lambda0 * wl_scale, wl_scale)
+        };
+
+        let mut lambda = lambda0;
+        let mut trace = Vec::new();
+        let mut outer_done = 0;
+
+        for outer in 0..self.config.max_outer {
+            if let Some(e) = extra.as_deref_mut() {
+                e.begin_outer(outer, density.overflow(), placement.positions());
+            }
+            let cg = {
+                let mut obj = Composed {
+                    netlist,
+                    movable: &movable,
+                    pos: placement.positions().to_vec(),
+                    grad_full: vec![Point::ORIGIN; placement.len()],
+                    density: &mut density,
+                    extra: extra.as_deref_mut(),
+                    model: self.config.model,
+                    gamma,
+                    lambda,
+                    inner: region,
+                    wl_scale,
+                };
+                minimize_cg(
+                    &mut obj,
+                    &mut x,
+                    &CgOptions {
+                        max_iters: self.config.inner_iters,
+                        step_hint: 0.5 * bin_w.max(bin_h),
+                        ..CgOptions::default()
+                    },
+                )
+            };
+            for (k, &c) in movable.iter().enumerate() {
+                placement.set(c, x[k]);
+            }
+            let overflow = density.overflow();
+            let cur_hpwl = hpwl(eval_netlist.unwrap_or(netlist), placement.positions());
+            trace.push(IterationTrace {
+                outer,
+                hpwl: cur_hpwl,
+                overflow,
+                objective: cg.value,
+                lambda,
+            });
+            outer_done = outer + 1;
+            if overflow <= self.config.target_overflow {
+                break;
+            }
+            lambda *= self.config.lambda_factor;
+            gamma = (gamma * 0.75).max(1.0);
+        }
+
+        PlaceStats {
+            final_hpwl: hpwl(eval_netlist.unwrap_or(netlist), placement.positions()),
+            final_overflow: density.overflow(),
+            outer_iters: outer_done,
+            trace,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Spreads stacked initial positions: cells that all sit within a tiny
+    /// bounding box are re-seeded near the region centre with deterministic
+    /// jitter (a stacked start has zero wirelength gradient diversity).
+    fn initialize(
+        &self,
+        netlist: &Netlist,
+        movable: &[CellId],
+        region: Rect,
+        placement: &mut Placement,
+    ) {
+        if movable.is_empty() {
+            return;
+        }
+        let mut bb = sdp_geom::BBox::new();
+        for &c in movable {
+            bb.add_point(placement.get(c));
+        }
+        let spread = bb.half_perimeter();
+        if spread > 0.05 * region.half_perimeter() {
+            return; // caller supplied a meaningful start (e.g. coarse seed)
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let c = region.center();
+        let (jw, jh) = (region.width() * 0.25, region.height() * 0.25);
+        for &cell in movable {
+            let p = Point::new(
+                c.x + (rng.random::<f64>() - 0.5) * jw,
+                c.y + (rng.random::<f64>() - 0.5) * jh,
+            );
+            placement.set(cell, p);
+        }
+        placement.clamp_into(netlist, region);
+    }
+
+    /// One clustering level: place the coarse netlist, then seed each flat
+    /// cell at its cluster's position (plus a small deterministic offset).
+    fn coarse_seed(&self, netlist: &Netlist, design: &Design, placement: &mut Placement) {
+        let clustering: Clustering = cluster::cluster_netlist(netlist, 0.25);
+        let mut coarse_pl = Placement::new(&clustering.coarse);
+        // Fixed cells keep their positions in the coarse netlist.
+        for c in netlist.cell_ids() {
+            if netlist.cell(c).fixed {
+                coarse_pl.set(clustering.cluster_of[c.ix()], placement.get(c));
+            }
+        }
+        let sub = GlobalPlacer::new(GpConfig {
+            cluster_threshold: 0, // no recursion
+            max_outer: self.config.max_outer.min(14),
+            ..self.config
+        });
+        sub.place(&clustering.coarse, design, &mut coarse_pl, None);
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e3779b97f4a7c15);
+        for c in netlist.movable_ids() {
+            let at = coarse_pl.get(clustering.cluster_of[c.ix()]);
+            let jitter = Point::new(rng.random::<f64>() - 0.5, rng.random::<f64>() - 0.5);
+            placement.set(c, at + jitter);
+        }
+        placement.clamp_into(netlist, design.region());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_dpgen::{generate, GenConfig};
+
+    #[test]
+    fn places_tiny_design_with_spreading() {
+        let mut d = generate(&GenConfig::named("dp_tiny", 3).unwrap());
+        let placer = GlobalPlacer::new(GpConfig::fast());
+        let before = hpwl(&d.netlist, d.placement.positions());
+        let stats = placer.place(&d.netlist, &d.design, &mut d.placement, None);
+        // Overflow must come down to the target band.
+        assert!(
+            stats.final_overflow <= 0.5,
+            "overflow {}",
+            stats.final_overflow
+        );
+        assert!(stats.final_hpwl > 0.0);
+        assert!(!stats.trace.is_empty());
+        // Everything inside the region.
+        for c in d.netlist.movable_ids() {
+            assert!(
+                d.design.region().contains(d.placement.get(c)),
+                "cell escaped region"
+            );
+        }
+        let _ = before;
+    }
+
+    #[test]
+    fn overflow_decreases_along_trace() {
+        let mut d = generate(&GenConfig::named("dp_tiny", 5).unwrap());
+        let placer = GlobalPlacer::new(GpConfig::fast());
+        let stats = placer.place(&d.netlist, &d.design, &mut d.placement, None);
+        let first = stats.trace.first().unwrap().overflow;
+        let last = stats.trace.last().unwrap().overflow;
+        assert!(
+            last < first || last <= placer.config().target_overflow,
+            "overflow should fall: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut d = generate(&GenConfig::named("dp_tiny", 9).unwrap());
+            let placer = GlobalPlacer::new(GpConfig::fast());
+            placer.place(&d.netlist, &d.design, &mut d.placement, None);
+            d.placement.positions().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wa_model_also_places() {
+        let mut d = generate(&GenConfig::named("dp_tiny", 4).unwrap());
+        let placer = GlobalPlacer::new(GpConfig {
+            model: WirelengthModel::Wa,
+            ..GpConfig::fast()
+        });
+        let stats = placer.place(&d.netlist, &d.design, &mut d.placement, None);
+        assert!(stats.final_overflow <= 0.5);
+    }
+
+    /// A do-nothing extra term must not change the result.
+    struct Noop;
+    impl ExtraTerm for Noop {
+        fn eval(&mut self, _nl: &Netlist, _pos: &[Point], _grad: &mut [Point]) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn noop_extra_term_matches_baseline() {
+        let place = |extra: bool| {
+            let mut d = generate(&GenConfig::named("dp_tiny", 2).unwrap());
+            let placer = GlobalPlacer::new(GpConfig::fast());
+            let mut noop = Noop;
+            let e: Option<&mut dyn ExtraTerm> = if extra { Some(&mut noop) } else { None };
+            placer.place(&d.netlist, &d.design, &mut d.placement, e);
+            d.placement.positions().to_vec()
+        };
+        assert_eq!(place(false), place(true));
+    }
+
+    #[test]
+    fn multilevel_path_produces_sane_placement() {
+        // Force the clustering V-cycle even on the tiny design.
+        let mut d = generate(&GenConfig::named("dp_tiny", 6).unwrap());
+        let placer = GlobalPlacer::new(GpConfig {
+            cluster_threshold: 50,
+            ..GpConfig::fast()
+        });
+        let stats = placer.place(&d.netlist, &d.design, &mut d.placement, None);
+        assert!(stats.final_overflow <= 0.5, "overflow {}", stats.final_overflow);
+        for c in d.netlist.movable_ids() {
+            assert!(d.design.region().contains(d.placement.get(c)));
+        }
+    }
+
+    #[test]
+    fn explicit_bin_resolution_is_respected() {
+        let mut d = generate(&GenConfig::named("dp_tiny", 7).unwrap());
+        let placer = GlobalPlacer::new(GpConfig {
+            bins: Some(12),
+            ..GpConfig::fast()
+        });
+        let stats = placer.place(&d.netlist, &d.design, &mut d.placement, None);
+        assert!(stats.final_hpwl > 0.0);
+    }
+
+    #[test]
+    fn trace_records_every_outer_iteration() {
+        let mut d = generate(&GenConfig::named("dp_tiny", 8).unwrap());
+        let placer = GlobalPlacer::new(GpConfig::fast());
+        let stats = placer.place(&d.netlist, &d.design, &mut d.placement, None);
+        assert_eq!(stats.trace.len(), stats.outer_iters);
+        for (i, t) in stats.trace.iter().enumerate() {
+            assert_eq!(t.outer, i);
+            assert!(t.hpwl.is_finite() && t.overflow.is_finite());
+            assert!(t.lambda > 0.0);
+        }
+    }
+
+    #[test]
+    fn fixed_cells_never_move() {
+        let mut d = generate(&GenConfig::named("dp_tiny", 8).unwrap());
+        let before: Vec<(sdp_netlist::CellId, Point)> = d
+            .netlist
+            .cell_ids()
+            .filter(|&c| d.netlist.cell(c).fixed)
+            .map(|c| (c, d.placement.get(c)))
+            .collect();
+        let placer = GlobalPlacer::new(GpConfig::fast());
+        placer.place(&d.netlist, &d.design, &mut d.placement, None);
+        for (c, p) in before {
+            assert_eq!(d.placement.get(c), p);
+        }
+    }
+}

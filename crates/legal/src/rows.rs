@@ -1,0 +1,239 @@
+//! Free-interval bookkeeping for one standard-cell row.
+
+use sdp_netlist::Row;
+
+/// The free space of one row, maintained as sorted disjoint intervals.
+///
+/// Positions handed out are snapped to the row's site grid.
+///
+/// # Examples
+///
+/// ```
+/// use sdp_legal::RowSpace;
+/// use sdp_netlist::Row;
+///
+/// let row = Row { y: 0.0, height: 1.0, x1: 0.0, x2: 20.0, site_width: 1.0 };
+/// let mut rs = RowSpace::new(&row);
+/// let x = rs.place_near(10.0, 4.0).unwrap();
+/// assert_eq!(x, 10.0);
+/// // The same spot cannot be claimed twice.
+/// let x2 = rs.place_near(10.0, 4.0).unwrap();
+/// assert_ne!(x2, 10.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RowSpace {
+    /// Free intervals `[start, end)`, sorted, disjoint.
+    free: Vec<(f64, f64)>,
+    site: f64,
+    x1: f64,
+}
+
+impl RowSpace {
+    /// Creates the space of an empty row.
+    pub fn new(row: &Row) -> Self {
+        RowSpace {
+            free: vec![(row.x1, row.x2)],
+            site: row.site_width,
+            x1: row.x1,
+        }
+    }
+
+    /// Total free width remaining.
+    pub fn free_width(&self) -> f64 {
+        self.free.iter().map(|&(a, b)| b - a).sum()
+    }
+
+    /// Number of free intervals (for diagnostics).
+    pub fn num_intervals(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Snaps `x` *up* to the next site boundary.
+    fn snap_up(&self, x: f64) -> f64 {
+        self.x1 + ((x - self.x1) / self.site).ceil() * self.site
+    }
+
+    /// Snaps `x` to the nearest site boundary.
+    fn snap(&self, x: f64) -> f64 {
+        self.x1 + ((x - self.x1) / self.site).round() * self.site
+    }
+
+    /// Snaps `x` *down* to the previous site boundary.
+    fn snap_down(&self, x: f64) -> f64 {
+        self.x1 + ((x - self.x1) / self.site + 1e-9).floor() * self.site
+    }
+
+    /// Removes `[start, start + width)` from the free space (a blockage).
+    /// Portions outside any free interval are ignored.
+    pub fn block(&mut self, start: f64, width: f64) {
+        let end = start + width;
+        let mut out = Vec::with_capacity(self.free.len() + 1);
+        for &(a, b) in &self.free {
+            if end <= a || start >= b {
+                out.push((a, b));
+                continue;
+            }
+            if start > a {
+                out.push((a, start));
+            }
+            if end < b {
+                out.push((end, b));
+            }
+        }
+        self.free = out;
+    }
+
+    /// Finds the position minimizing `|x − target|` where a cell of
+    /// `width` fits, claims it, and returns the (site-snapped) left edge.
+    /// Returns `None` if no interval can hold the cell.
+    pub fn place_near(&mut self, target: f64, width: f64) -> Option<f64> {
+        let mut best: Option<(f64, usize, f64)> = None; // (cost, interval ix, x)
+        for (i, &(a, b)) in self.free.iter().enumerate() {
+            if b - a < width - 1e-9 {
+                continue;
+            }
+            // Clamp the target into the feasible, *site-aligned* range:
+            // blockage edges may sit off the grid, so the upper bound is
+            // snapped down too (otherwise a cell packed against such a
+            // blockage would land off-site).
+            let lo = self.snap_up(a);
+            let hi = self.snap_down(b - width);
+            if hi < lo - 1e-9 {
+                continue;
+            }
+            let x = self.snap(target.clamp(lo, hi)).clamp(lo, hi);
+            let cost = (x - target).abs();
+            if best.is_none_or(|(c, _, _)| cost < c) {
+                best = Some((cost, i, x));
+            }
+        }
+        let (_, i, x) = best?;
+        let (a, b) = self.free[i];
+        // Split the interval around the claimed span.
+        let mut repl = Vec::with_capacity(2);
+        if x > a {
+            repl.push((a, x));
+        }
+        if x + width < b {
+            repl.push((x + width, b));
+        }
+        self.free.splice(i..=i, repl);
+        Some(x)
+    }
+
+    /// Best-case cost of placing near `target` without committing.
+    pub fn peek_cost(&self, target: f64, width: f64) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for &(a, b) in &self.free {
+            if b - a < width - 1e-9 {
+                continue;
+            }
+            let lo = self.snap_up(a);
+            let hi = self.snap_down(b - width);
+            if hi < lo - 1e-9 {
+                continue;
+            }
+            let x = target.clamp(lo, hi);
+            let cost = (x - target).abs();
+            if best.is_none_or(|c| cost < c) {
+                best = Some(cost);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        Row {
+            y: 0.0,
+            height: 1.0,
+            x1: 0.0,
+            x2: 20.0,
+            site_width: 1.0,
+        }
+    }
+
+    #[test]
+    fn place_and_split() {
+        let mut rs = RowSpace::new(&row());
+        assert_eq!(rs.place_near(5.0, 2.0), Some(5.0));
+        assert_eq!(rs.num_intervals(), 2);
+        assert_eq!(rs.free_width(), 18.0);
+        // Placing at the same spot lands adjacent.
+        let x = rs.place_near(5.0, 2.0).unwrap();
+        assert!((x - 5.0).abs() >= 2.0 - 1e-9 || x == 3.0 || x == 7.0);
+    }
+
+    #[test]
+    fn blockage_respected() {
+        let mut rs = RowSpace::new(&row());
+        rs.block(8.0, 4.0);
+        assert_eq!(rs.free_width(), 16.0);
+        let x = rs.place_near(9.0, 3.0).unwrap();
+        assert!(!(x < 12.0 && x + 3.0 > 8.0), "placed inside blockage: {x}");
+    }
+
+    #[test]
+    fn no_room_returns_none() {
+        let mut rs = RowSpace::new(&row());
+        assert!(rs.place_near(0.0, 25.0).is_none());
+        rs.block(0.0, 20.0);
+        assert!(rs.place_near(5.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn edge_targets_clamp() {
+        let mut rs = RowSpace::new(&row());
+        assert_eq!(rs.place_near(-100.0, 4.0), Some(0.0));
+        assert_eq!(rs.place_near(100.0, 4.0), Some(16.0));
+    }
+
+    #[test]
+    fn sites_are_respected() {
+        let r = Row {
+            site_width: 2.0,
+            ..row()
+        };
+        let mut rs = RowSpace::new(&r);
+        let x = rs.place_near(5.3, 2.0).unwrap();
+        assert_eq!(x % 2.0, 0.0, "x {x} on 2-wide sites");
+    }
+
+    #[test]
+    fn peek_matches_place() {
+        let mut rs = RowSpace::new(&row());
+        rs.block(0.0, 9.0);
+        let peek = rs.peek_cost(4.0, 3.0).unwrap();
+        let x = rs.place_near(4.0, 3.0).unwrap();
+        assert_eq!(peek, (x - 4.0).abs());
+    }
+
+    #[test]
+    fn off_grid_blockage_still_yields_site_aligned_slots() {
+        let mut rs = RowSpace::new(&row());
+        rs.block(10.5, 3.0); // off-grid blockage edge
+        // Packing against the blockage from the left must stay on sites.
+        let x = rs.place_near(9.0, 2.0).unwrap();
+        assert_eq!(x.fract(), 0.0, "left edge {x} on a site");
+        assert!(x + 2.0 <= 10.5 + 1e-9);
+        // And from the right.
+        let x = rs.place_near(13.6, 3.0).unwrap();
+        assert_eq!(x.fract(), 0.0, "left edge {x} on a site");
+        assert!(x >= 13.5 - 1e-9);
+    }
+
+    #[test]
+    fn fill_the_row_completely() {
+        let mut rs = RowSpace::new(&row());
+        let mut placed = 0.0;
+        while let Some(_x) = rs.place_near(10.0, 2.0) {
+            placed += 2.0;
+        }
+        assert_eq!(placed, 20.0);
+        assert_eq!(rs.free_width(), 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Independent legality validation.
+
+use sdp_netlist::{CellId, Design, Netlist, Placement};
+use std::fmt;
+
+/// One legality violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Two movable cells overlap.
+    Overlap(CellId, CellId),
+    /// A movable cell overlaps a fixed cell inside the core.
+    FixedOverlap(CellId, CellId),
+    /// A cell's outline leaves the core region.
+    OutOfRegion(CellId),
+    /// A cell's centre is not on a row centre.
+    OffRow(CellId),
+    /// A cell's left edge is not on a site boundary.
+    OffSite(CellId),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Overlap(a, b) => write!(f, "cells {a} and {b} overlap"),
+            Violation::FixedOverlap(a, b) => write!(f, "cell {a} overlaps fixed {b}"),
+            Violation::OutOfRegion(c) => write!(f, "cell {c} leaves the core region"),
+            Violation::OffRow(c) => write!(f, "cell {c} is not on a row"),
+            Violation::OffSite(c) => write!(f, "cell {c} is not on a site boundary"),
+        }
+    }
+}
+
+const EPS: f64 = 1e-6;
+
+/// Checks row/site alignment, region containment, and pairwise overlap of
+/// all movable cells (plus movable-vs-fixed inside the core). Returns all
+/// violations found (empty = legal).
+pub fn check_legal(netlist: &Netlist, design: &Design, placement: &Placement) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let region = design.region();
+    let movable: Vec<CellId> = netlist.movable_ids().collect();
+
+    for &c in &movable {
+        let r = placement.cell_rect(netlist, c);
+        if !region.contains_rect(&r.inflated(-EPS.min(r.width() / 4.0))) {
+            violations.push(Violation::OutOfRegion(c));
+            continue;
+        }
+        let row_ix = design.row_at_y(placement.get(c).y - EPS);
+        let row = &design.rows()[row_ix];
+        if (r.y1() - row.y).abs() > EPS {
+            violations.push(Violation::OffRow(c));
+        }
+        let site_offset = (r.x1() - row.x1) / row.site_width;
+        if (site_offset - site_offset.round()).abs() > EPS {
+            violations.push(Violation::OffSite(c));
+        }
+    }
+
+    // Overlaps via a row-bucketed sweep (movable cells are one row tall).
+    let mut by_row: Vec<Vec<CellId>> = vec![Vec::new(); design.rows().len()];
+    for &c in &movable {
+        let y = placement.get(c).y;
+        by_row[design.row_at_y(y - EPS)].push(c);
+    }
+    for bucket in &mut by_row {
+        bucket.sort_by(|&a, &b| {
+            placement
+                .cell_rect(netlist, a)
+                .x1()
+                .partial_cmp(&placement.cell_rect(netlist, b).x1())
+                .expect("positions are finite")
+        });
+        for w in bucket.windows(2) {
+            let ra = placement.cell_rect(netlist, w[0]);
+            let rb = placement.cell_rect(netlist, w[1]);
+            if ra.x2() > rb.x1() + EPS && (ra.y1() - rb.y1()).abs() < EPS {
+                violations.push(Violation::Overlap(w[0], w[1]));
+            }
+        }
+    }
+
+    // Movable vs fixed blockages inside the core.
+    let fixed: Vec<CellId> = netlist
+        .cell_ids()
+        .filter(|&c| netlist.cell(c).fixed)
+        .filter(|&c| {
+            placement
+                .cell_rect(netlist, c)
+                .intersection(&region)
+                .is_some_and(|i| i.area() > 0.0)
+        })
+        .collect();
+    for &c in &movable {
+        let r = placement.cell_rect(netlist, c);
+        for &fx in &fixed {
+            let rf = placement.cell_rect(netlist, fx);
+            if r.intersection_area(&rf) > EPS {
+                violations.push(Violation::FixedOverlap(c, fx));
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_geom::Point;
+    use sdp_netlist::{NetlistBuilder, PinDir};
+
+    fn two_cell_case() -> (Netlist, Design, Placement) {
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("INV", 2.0, 1.0, 1, 1);
+        let u = b.add_cell("u", l);
+        let v = b.add_cell("v", l);
+        b.add_net(
+            "n",
+            [(u, Point::ORIGIN, PinDir::Output), (v, Point::ORIGIN, PinDir::Input)],
+        );
+        let nl = b.finish().unwrap();
+        let design = Design::uniform_rows(10.0, 1.0, 3, 1.0);
+        let pl = Placement::new(&nl);
+        (nl, design, pl)
+    }
+
+    #[test]
+    fn legal_positions_pass() {
+        let (nl, design, mut pl) = two_cell_case();
+        let u = nl.cell_by_name("u").unwrap();
+        let v = nl.cell_by_name("v").unwrap();
+        pl.set(u, Point::new(1.0, 0.5)); // left edge 0, row 0
+        pl.set(v, Point::new(4.0, 1.5)); // left edge 3, row 1
+        assert!(check_legal(&nl, &design, &pl).is_empty());
+    }
+
+    #[test]
+    fn detects_overlap() {
+        let (nl, design, mut pl) = two_cell_case();
+        let u = nl.cell_by_name("u").unwrap();
+        let v = nl.cell_by_name("v").unwrap();
+        pl.set(u, Point::new(2.0, 0.5));
+        pl.set(v, Point::new(3.0, 0.5));
+        let vs = check_legal(&nl, &design, &pl);
+        assert!(vs.iter().any(|x| matches!(x, Violation::Overlap(_, _))), "{vs:?}");
+    }
+
+    #[test]
+    fn detects_off_row_and_off_site() {
+        let (nl, design, mut pl) = two_cell_case();
+        let u = nl.cell_by_name("u").unwrap();
+        let v = nl.cell_by_name("v").unwrap();
+        pl.set(u, Point::new(1.0, 0.7)); // off row
+        pl.set(v, Point::new(4.5, 1.5)); // off site (left edge 3.5)
+        let vs = check_legal(&nl, &design, &pl);
+        assert!(vs.iter().any(|x| matches!(x, Violation::OffRow(_))), "{vs:?}");
+        assert!(vs.iter().any(|x| matches!(x, Violation::OffSite(_))), "{vs:?}");
+    }
+
+    #[test]
+    fn detects_out_of_region() {
+        let (nl, design, mut pl) = two_cell_case();
+        let u = nl.cell_by_name("u").unwrap();
+        let v = nl.cell_by_name("v").unwrap();
+        pl.set(u, Point::new(-3.0, 0.5));
+        pl.set(v, Point::new(4.0, 1.5));
+        let vs = check_legal(&nl, &design, &pl);
+        assert!(vs.contains(&Violation::OutOfRegion(u)), "{vs:?}");
+    }
+
+    #[test]
+    fn violation_messages_are_descriptive() {
+        let v = Violation::Overlap(CellId::new(1), CellId::new(2));
+        assert!(v.to_string().contains("overlap"));
+    }
+}

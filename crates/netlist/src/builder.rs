@@ -1,0 +1,291 @@
+//! Incremental netlist construction with validation.
+
+use crate::{
+    Cell, CellId, LibCell, LibCellId, Net, NetId, Netlist, NetlistError, Pin, PinDir, PinId,
+};
+use sdp_geom::Point;
+use std::collections::HashMap;
+
+/// Builds a [`Netlist`] incrementally, validating as it goes.
+///
+/// The builder enforces unique cell and net names and resolves all
+/// cross-references; [`NetlistBuilder::finish`] runs final consistency
+/// checks and yields the immutable arena netlist.
+///
+/// # Examples
+///
+/// ```
+/// use sdp_netlist::{NetlistBuilder, PinDir};
+/// use sdp_geom::Point;
+///
+/// let mut b = NetlistBuilder::new();
+/// let buf = b.add_lib_cell("BUF", 2.0, 1.0, 1, 1);
+/// let u = b.add_cell("u0", buf);
+/// let v = b.add_cell("u1", buf);
+/// b.add_net("w", [(u, Point::ORIGIN, PinDir::Output),
+///                 (v, Point::ORIGIN, PinDir::Input)]);
+/// let nl = b.finish().unwrap();
+/// assert_eq!(nl.num_pins(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct NetlistBuilder {
+    lib_cells: Vec<LibCell>,
+    lib_names: HashMap<String, LibCellId>,
+    cells: Vec<Cell>,
+    cell_names: HashMap<String, CellId>,
+    nets: Vec<Net>,
+    net_names: HashMap<String, NetId>,
+    pins: Vec<Pin>,
+    errors: Vec<NetlistError>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        NetlistBuilder::default()
+    }
+
+    /// Adds (or fetches) a library cell. Re-declaring an existing master
+    /// with identical dimensions returns the existing id; conflicting
+    /// dimensions are recorded as an error.
+    pub fn add_lib_cell(
+        &mut self,
+        name: &str,
+        width: f64,
+        height: f64,
+        num_inputs: u8,
+        num_outputs: u8,
+    ) -> LibCellId {
+        if let Some(&id) = self.lib_names.get(name) {
+            let existing = &self.lib_cells[id.ix()];
+            if existing.width != width || existing.height != height {
+                self.errors.push(NetlistError::DuplicateName(format!(
+                    "lib cell {name} re-declared with different size"
+                )));
+            }
+            return id;
+        }
+        let id = LibCellId::new(self.lib_cells.len());
+        self.lib_cells.push(LibCell {
+            name: name.to_string(),
+            width,
+            height,
+            num_inputs,
+            num_outputs,
+        });
+        self.lib_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a previously added library cell by name.
+    pub fn lib_cell_by_name(&self, name: &str) -> Option<LibCellId> {
+        self.lib_names.get(name).copied()
+    }
+
+    /// Adds a movable cell instance. Duplicate names are recorded as errors
+    /// (and the existing id returned).
+    pub fn add_cell(&mut self, name: &str, lib: LibCellId) -> CellId {
+        if let Some(&id) = self.cell_names.get(name) {
+            self.errors
+                .push(NetlistError::DuplicateName(name.to_string()));
+            return id;
+        }
+        let id = CellId::new(self.cells.len());
+        self.cells.push(Cell {
+            name: name.to_string(),
+            lib,
+            fixed: false,
+            pins: Vec::new(),
+        });
+        self.cell_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Adds a fixed cell (pad, pre-placed macro).
+    pub fn add_fixed_cell(&mut self, name: &str, lib: LibCellId) -> CellId {
+        let id = self.add_cell(name, lib);
+        self.cells[id.ix()].fixed = true;
+        id
+    }
+
+    /// Marks an existing cell fixed or movable.
+    pub fn set_fixed(&mut self, cell: CellId, fixed: bool) {
+        self.cells[cell.ix()].fixed = fixed;
+    }
+
+    /// Number of cells added so far (useful for naming).
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Looks up a previously added cell by instance name.
+    pub fn cell_id_by_name(&self, name: &str) -> Option<CellId> {
+        self.cell_names.get(name).copied()
+    }
+
+    /// Adds a net connecting `(cell, pin-offset, direction)` triples.
+    ///
+    /// Nets with fewer than two pins are recorded as errors at
+    /// [`NetlistBuilder::finish`] time but still inserted so ids stay dense.
+    pub fn add_net<I>(&mut self, name: &str, conns: I) -> NetId
+    where
+        I: IntoIterator<Item = (CellId, Point, PinDir)>,
+    {
+        self.add_weighted_net(name, 1.0, conns)
+    }
+
+    /// Adds a net with an explicit wirelength weight.
+    pub fn add_weighted_net<I>(&mut self, name: &str, weight: f64, conns: I) -> NetId
+    where
+        I: IntoIterator<Item = (CellId, Point, PinDir)>,
+    {
+        if let Some(&id) = self.net_names.get(name) {
+            self.errors
+                .push(NetlistError::DuplicateName(name.to_string()));
+            return id;
+        }
+        let net_id = NetId::new(self.nets.len());
+        let mut pin_ids = Vec::new();
+        for (cell, offset, dir) in conns {
+            let pin_id = PinId::new(self.pins.len());
+            self.pins.push(Pin {
+                cell,
+                net: net_id,
+                offset,
+                dir,
+            });
+            self.cells[cell.ix()].pins.push(pin_id);
+            pin_ids.push(pin_id);
+        }
+        self.nets.push(Net {
+            name: name.to_string(),
+            weight,
+            pins: pin_ids,
+        });
+        self.net_names.insert(name.to_string(), net_id);
+        net_id
+    }
+
+    /// Finalizes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first recorded construction error (duplicate name,
+    /// degenerate net, dangling reference) if any.
+    pub fn finish(mut self) -> Result<Netlist, NetlistError> {
+        if let Some(e) = self.errors.drain(..).next() {
+            return Err(e);
+        }
+        for net in &self.nets {
+            if net.pins.len() < 2 {
+                return Err(NetlistError::DegenerateNet {
+                    net: net.name.clone(),
+                    pins: net.pins.len(),
+                });
+            }
+        }
+        // Cross-reference integrity (cheap; arenas are internally built so
+        // this can only fail on builder bugs, but it guards refactors).
+        for (i, pin) in self.pins.iter().enumerate() {
+            if pin.cell.ix() >= self.cells.len() || pin.net.ix() >= self.nets.len() {
+                return Err(NetlistError::Inconsistent(format!(
+                    "pin {i} references out-of-range cell or net"
+                )));
+            }
+        }
+        Ok(Netlist {
+            lib_cells: self.lib_cells,
+            cells: self.cells,
+            nets: self.nets,
+            pins: self.pins,
+            cell_names: self.cell_names,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_cell_name_is_error() {
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        b.add_cell("u", l);
+        b.add_cell("u", l);
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::DuplicateName(n)) if n == "u"
+        ));
+    }
+
+    #[test]
+    fn duplicate_net_name_is_error() {
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        let u = b.add_cell("u", l);
+        let v = b.add_cell("v", l);
+        b.add_net("n", [(u, Point::ORIGIN, PinDir::Output), (v, Point::ORIGIN, PinDir::Input)]);
+        b.add_net("n", [(v, Point::ORIGIN, PinDir::Output), (u, Point::ORIGIN, PinDir::Input)]);
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn degenerate_net_is_error() {
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        let u = b.add_cell("u", l);
+        b.add_net("n", [(u, Point::ORIGIN, PinDir::Output)]);
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::DegenerateNet { pins: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn lib_cell_reuse_and_conflict() {
+        let mut b = NetlistBuilder::new();
+        let a = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        let a2 = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        assert_eq!(a, a2);
+        let _conflict = b.add_lib_cell("INV", 9.0, 1.0, 1, 1);
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn fixed_cells() {
+        let mut b = NetlistBuilder::new();
+        let pad = b.add_lib_cell("PAD", 1.0, 1.0, 0, 1);
+        let inv = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        let p = b.add_fixed_cell("p0", pad);
+        let u = b.add_cell("u0", inv);
+        b.add_net("n", [(p, Point::ORIGIN, PinDir::Output), (u, Point::ORIGIN, PinDir::Input)]);
+        let nl = b.finish().unwrap();
+        assert!(nl.cell(p).fixed);
+        assert!(!nl.cell(u).fixed);
+        assert_eq!(nl.num_movable(), 1);
+    }
+
+    #[test]
+    fn weighted_net() {
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        let u = b.add_cell("u", l);
+        let v = b.add_cell("v", l);
+        let n = b.add_weighted_net(
+            "crit",
+            3.0,
+            [(u, Point::ORIGIN, PinDir::Output), (v, Point::ORIGIN, PinDir::Input)],
+        );
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.net(n).weight, 3.0);
+    }
+
+    #[test]
+    fn lib_lookup() {
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("XOR2", 4.0, 1.0, 2, 1);
+        assert_eq!(b.lib_cell_by_name("XOR2"), Some(l));
+        assert_eq!(b.lib_cell_by_name("nope"), None);
+    }
+}

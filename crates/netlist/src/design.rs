@@ -1,0 +1,211 @@
+//! Floorplan: core region and standard-cell rows.
+
+use sdp_geom::Rect;
+
+/// One standard-cell row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row {
+    /// y coordinate of the row's bottom edge.
+    pub y: f64,
+    /// Row (site) height.
+    pub height: f64,
+    /// Left end of the row.
+    pub x1: f64,
+    /// Right end of the row.
+    pub x2: f64,
+    /// Placement site width (cells snap to multiples of this).
+    pub site_width: f64,
+}
+
+impl Row {
+    /// Usable width of the row.
+    pub fn width(&self) -> f64 {
+        self.x2 - self.x1
+    }
+
+    /// Number of whole sites in the row.
+    pub fn num_sites(&self) -> usize {
+        (self.width() / self.site_width).floor() as usize
+    }
+
+    /// Snaps an x coordinate to the nearest site boundary within the row.
+    pub fn snap_x(&self, x: f64) -> f64 {
+        let rel = ((x - self.x1) / self.site_width).round();
+        let snapped = self.x1 + rel * self.site_width;
+        snapped.clamp(self.x1, self.x2)
+    }
+}
+
+/// A floorplan: the placeable core region plus its standard-cell rows.
+///
+/// # Examples
+///
+/// ```
+/// use sdp_netlist::Design;
+///
+/// let d = Design::uniform_rows(100.0, 1.0, 10, 1.0);
+/// assert_eq!(d.rows().len(), 10);
+/// assert_eq!(d.region().height(), 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    region: Rect,
+    rows: Vec<Row>,
+}
+
+impl Design {
+    /// Creates a floorplan from an explicit region and row list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn new(region: Rect, rows: Vec<Row>) -> Self {
+        assert!(!rows.is_empty(), "design needs at least one row");
+        Design { region, rows }
+    }
+
+    /// Creates a floorplan of `num_rows` identical rows of the given width,
+    /// height, and site width, stacked from `y = 0`.
+    pub fn uniform_rows(width: f64, row_height: f64, num_rows: usize, site_width: f64) -> Self {
+        assert!(num_rows > 0, "design needs at least one row");
+        let rows = (0..num_rows)
+            .map(|i| Row {
+                y: i as f64 * row_height,
+                height: row_height,
+                x1: 0.0,
+                x2: width,
+                site_width,
+            })
+            .collect();
+        Design {
+            region: Rect::new(0.0, 0.0, width, num_rows as f64 * row_height),
+            rows,
+        }
+    }
+
+    /// Creates a roughly square floorplan able to hold `total_area` of cell
+    /// area at the given target utilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < utilization <= 1`.
+    pub fn sized_for(total_area: f64, row_height: f64, site_width: f64, utilization: f64) -> Self {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization must be in (0, 1]"
+        );
+        let core_area = total_area / utilization;
+        let side = core_area.sqrt();
+        let num_rows = (side / row_height).ceil().max(1.0) as usize;
+        let width_sites = (core_area / (num_rows as f64 * row_height) / site_width)
+            .ceil()
+            .max(1.0);
+        Design::uniform_rows(width_sites * site_width, row_height, num_rows, site_width)
+    }
+
+    /// The placeable core region.
+    #[inline]
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// The standard-cell rows, bottom to top.
+    #[inline]
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Common row height (height of the first row; uniform in practice).
+    pub fn row_height(&self) -> f64 {
+        self.rows[0].height
+    }
+
+    /// Total placeable area (sum of row areas).
+    pub fn placeable_area(&self) -> f64 {
+        self.rows.iter().map(|r| r.width() * r.height).sum()
+    }
+
+    /// Index of the row whose span contains `y` (clamped to the ends).
+    pub fn row_at_y(&self, y: f64) -> usize {
+        // Rows are uniform-height and sorted; binary search by bottom edge.
+        match self
+            .rows
+            .binary_search_by(|r| r.y.partial_cmp(&y).expect("row y is never NaN"))
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => {
+                let below = i - 1;
+                if y < self.rows[below].y + self.rows[below].height || below == self.rows.len() - 1
+                {
+                    below
+                } else {
+                    (below + 1).min(self.rows.len() - 1)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_construction() {
+        let d = Design::uniform_rows(50.0, 2.0, 5, 1.0);
+        assert_eq!(d.region(), Rect::new(0.0, 0.0, 50.0, 10.0));
+        assert_eq!(d.rows().len(), 5);
+        assert_eq!(d.rows()[3].y, 6.0);
+        assert_eq!(d.placeable_area(), 500.0);
+        assert_eq!(d.row_height(), 2.0);
+    }
+
+    #[test]
+    fn sized_for_fits_area() {
+        let d = Design::sized_for(900.0, 1.0, 1.0, 0.9);
+        assert!(d.placeable_area() >= 1000.0 - 1e-6);
+        // Roughly square.
+        let ar = d.region().width() / d.region().height();
+        assert!(ar > 0.5 && ar < 2.0, "aspect ratio {ar}");
+    }
+
+    #[test]
+    fn row_lookup() {
+        let d = Design::uniform_rows(10.0, 2.0, 4, 1.0);
+        assert_eq!(d.row_at_y(0.0), 0);
+        assert_eq!(d.row_at_y(1.9), 0);
+        assert_eq!(d.row_at_y(2.0), 1);
+        assert_eq!(d.row_at_y(7.5), 3);
+        assert_eq!(d.row_at_y(-5.0), 0);
+        assert_eq!(d.row_at_y(100.0), 3);
+    }
+
+    #[test]
+    fn row_sites_and_snap() {
+        let r = Row {
+            y: 0.0,
+            height: 1.0,
+            x1: 2.0,
+            x2: 12.0,
+            site_width: 2.0,
+        };
+        assert_eq!(r.num_sites(), 5);
+        assert_eq!(r.snap_x(4.9), 4.0);
+        assert_eq!(r.snap_x(5.1), 6.0);
+        assert_eq!(r.snap_x(-10.0), 2.0);
+        assert_eq!(r.snap_x(100.0), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn empty_rows_panic() {
+        let _ = Design::new(Rect::new(0.0, 0.0, 1.0, 1.0), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn bad_utilization_panics() {
+        let _ = Design::sized_for(100.0, 1.0, 1.0, 0.0);
+    }
+}

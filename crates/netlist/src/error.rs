@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced while building, validating, or (de)serializing netlists.
+#[derive(Debug)]
+pub enum NetlistError {
+    /// Two cells (or two nets) were declared with the same name.
+    DuplicateName(String),
+    /// A net referenced a cell name that does not exist.
+    UnknownCell(String),
+    /// A net has fewer than the minimum number of pins.
+    DegenerateNet {
+        /// Net name.
+        net: String,
+        /// Number of pins it has.
+        pins: usize,
+    },
+    /// A Bookshelf file was syntactically malformed.
+    Parse {
+        /// File the error occurred in.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        msg: String,
+    },
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The netlist failed a consistency check.
+    Inconsistent(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            NetlistError::UnknownCell(n) => write!(f, "unknown cell `{n}`"),
+            NetlistError::DegenerateNet { net, pins } => {
+                write!(f, "net `{net}` has only {pins} pin(s)")
+            }
+            NetlistError::Parse { file, line, msg } => {
+                write!(f, "parse error in {file}:{line}: {msg}")
+            }
+            NetlistError::Io(e) => write!(f, "i/o error: {e}"),
+            NetlistError::Inconsistent(msg) => write!(f, "inconsistent netlist: {msg}"),
+        }
+    }
+}
+
+impl Error for NetlistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetlistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetlistError {
+    fn from(e: io::Error) -> Self {
+        NetlistError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            NetlistError::DuplicateName("u1".into()).to_string(),
+            "duplicate name `u1`"
+        );
+        assert!(NetlistError::DegenerateNet {
+            net: "n0".into(),
+            pins: 1
+        }
+        .to_string()
+        .contains("1 pin"));
+        let p = NetlistError::Parse {
+            file: "a.nodes".into(),
+            line: 7,
+            msg: "bad token".into(),
+        };
+        assert_eq!(p.to_string(), "parse error in a.nodes:7: bad token");
+    }
+
+    #[test]
+    fn io_source_chain() {
+        let e: NetlistError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

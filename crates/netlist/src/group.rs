@@ -1,0 +1,248 @@
+//! Datapath group annotations: the `bits × stages` cell matrices that
+//! structure-aware placement aligns.
+
+use crate::CellId;
+use sdp_geom::GroupAxis;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A regular datapath structure: a matrix of cells with `bits` rows and
+/// `stages` columns.
+///
+/// `matrix[b][s]` is the cell implementing bit `b` of stage `s`; an entry
+/// may be `None` when a stage is narrower than the group's bit width (e.g.
+/// a carry chain one bit shorter than the sum column).
+///
+/// Groups are produced by `sdp-extract` (recovered from the flat netlist)
+/// and by `sdp-dpgen` (ground truth), and consumed by `sdp-core`'s
+/// alignment objective and structure-preserving legalization.
+///
+/// # Examples
+///
+/// ```
+/// use sdp_netlist::{DatapathGroup, CellId};
+///
+/// let g = DatapathGroup::new(
+///     "adder0",
+///     vec![
+///         vec![Some(CellId::new(0)), Some(CellId::new(1))],
+///         vec![Some(CellId::new(2)), Some(CellId::new(3))],
+///     ],
+/// );
+/// assert_eq!(g.bits(), 2);
+/// assert_eq!(g.stages(), 2);
+/// assert_eq!(g.num_cells(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatapathGroup {
+    name: String,
+    matrix: Vec<Vec<Option<CellId>>>,
+    /// Preferred layout axis; placement may revise it.
+    pub axis: GroupAxis,
+}
+
+impl DatapathGroup {
+    /// Creates a group from its cell matrix (`matrix[bit][stage]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty or ragged (all bit rows must have the
+    /// same number of stage entries).
+    pub fn new(name: impl Into<String>, matrix: Vec<Vec<Option<CellId>>>) -> Self {
+        assert!(!matrix.is_empty(), "group must have at least one bit row");
+        let stages = matrix[0].len();
+        assert!(stages > 0, "group must have at least one stage");
+        assert!(
+            matrix.iter().all(|row| row.len() == stages),
+            "group matrix must be rectangular"
+        );
+        DatapathGroup {
+            name: name.into(),
+            matrix,
+            axis: GroupAxis::default(),
+        }
+    }
+
+    /// Convenience constructor from a dense matrix with no missing entries.
+    pub fn from_dense(name: impl Into<String>, matrix: Vec<Vec<CellId>>) -> Self {
+        DatapathGroup::new(
+            name,
+            matrix
+                .into_iter()
+                .map(|row| row.into_iter().map(Some).collect())
+                .collect(),
+        )
+    }
+
+    /// Group name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of bit rows.
+    pub fn bits(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Number of stage columns.
+    pub fn stages(&self) -> usize {
+        self.matrix[0].len()
+    }
+
+    /// Cell at `(bit, stage)`, if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` or `stage` is out of range.
+    pub fn cell_at(&self, bit: usize, stage: usize) -> Option<CellId> {
+        self.matrix[bit][stage]
+    }
+
+    /// Number of present (non-`None`) cells.
+    pub fn num_cells(&self) -> usize {
+        self.matrix
+            .iter()
+            .map(|row| row.iter().filter(|c| c.is_some()).count())
+            .sum()
+    }
+
+    /// Iterates `(bit, stage, cell)` over all present cells.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, CellId)> + '_ {
+        self.matrix.iter().enumerate().flat_map(|(b, row)| {
+            row.iter()
+                .enumerate()
+                .filter_map(move |(s, c)| c.map(|c| (b, s, c)))
+        })
+    }
+
+    /// Iterates the present cells of one bit row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    pub fn bit_row(&self, bit: usize) -> impl Iterator<Item = CellId> + '_ {
+        self.matrix[bit].iter().filter_map(|c| *c)
+    }
+
+    /// Iterates the present cells of one stage column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn stage_col(&self, stage: usize) -> impl Iterator<Item = CellId> + '_ {
+        self.matrix.iter().filter_map(move |row| row[stage])
+    }
+
+    /// The set of all member cells.
+    pub fn cell_set(&self) -> HashSet<CellId> {
+        self.iter().map(|(_, _, c)| c).collect()
+    }
+
+    /// Returns a transposed copy (bits ↔ stages) with the axis flipped.
+    pub fn transposed(&self) -> DatapathGroup {
+        let bits = self.bits();
+        let stages = self.stages();
+        let mut m = vec![vec![None; bits]; stages];
+        for (b, row) in self.matrix.iter().enumerate() {
+            for (s, c) in row.iter().enumerate() {
+                m[s][b] = *c;
+            }
+        }
+        DatapathGroup {
+            name: self.name.clone(),
+            matrix: m,
+            axis: self.axis.transposed(),
+        }
+    }
+
+    /// Checks that no cell appears twice within the group.
+    pub fn is_disjoint_internally(&self) -> bool {
+        self.cell_set().len() == self.num_cells()
+    }
+}
+
+impl fmt::Display for DatapathGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "group `{}`: {} bits x {} stages ({} cells, {})",
+            self.name,
+            self.bits(),
+            self.stages(),
+            self.num_cells(),
+            self.axis
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: usize) -> CellId {
+        CellId::new(i)
+    }
+
+    fn sample() -> DatapathGroup {
+        DatapathGroup::new(
+            "g",
+            vec![
+                vec![Some(c(0)), Some(c(1)), None],
+                vec![Some(c(2)), Some(c(3)), Some(c(4))],
+            ],
+        )
+    }
+
+    #[test]
+    fn dims_and_counts() {
+        let g = sample();
+        assert_eq!(g.bits(), 2);
+        assert_eq!(g.stages(), 3);
+        assert_eq!(g.num_cells(), 5);
+        assert_eq!(g.cell_at(0, 2), None);
+        assert_eq!(g.cell_at(1, 2), Some(c(4)));
+    }
+
+    #[test]
+    fn iteration() {
+        let g = sample();
+        let items: Vec<_> = g.iter().collect();
+        assert_eq!(items.len(), 5);
+        assert!(items.contains(&(1, 2, c(4))));
+        assert_eq!(g.bit_row(0).count(), 2);
+        assert_eq!(g.stage_col(2).count(), 1);
+        assert_eq!(g.stage_col(0).collect::<Vec<_>>(), vec![c(0), c(2)]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let g = sample();
+        let t = g.transposed();
+        assert_eq!(t.bits(), 3);
+        assert_eq!(t.stages(), 2);
+        assert_eq!(t.cell_at(2, 1), Some(c(4)));
+        assert_eq!(t.transposed().cell_at(0, 1), g.cell_at(0, 1));
+        assert_ne!(t.axis, g.axis);
+    }
+
+    #[test]
+    fn disjointness_check() {
+        let good = sample();
+        assert!(good.is_disjoint_internally());
+        let bad = DatapathGroup::new("b", vec![vec![Some(c(0)), Some(c(0))]]);
+        assert!(!bad.is_disjoint_internally());
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn ragged_matrix_panics() {
+        let _ = DatapathGroup::new("r", vec![vec![Some(c(0))], vec![Some(c(1)), Some(c(2))]]);
+    }
+
+    #[test]
+    fn dense_constructor() {
+        let g = DatapathGroup::from_dense("d", vec![vec![c(0), c(1)], vec![c(2), c(3)]]);
+        assert_eq!(g.num_cells(), 4);
+        assert!(format!("{g}").contains("2 bits x 2 stages"));
+    }
+}

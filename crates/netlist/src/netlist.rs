@@ -1,0 +1,366 @@
+//! The core netlist arenas: library cells, cell instances, nets, and pins.
+
+use crate::{CellId, LibCellId, NetId, PinId};
+use sdp_geom::Point;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Signal direction of a pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PinDir {
+    /// The pin drives the net.
+    Output,
+    /// The pin is driven by the net.
+    #[default]
+    Input,
+    /// Direction unknown or bidirectional (Bookshelf `B`).
+    InOut,
+}
+
+impl PinDir {
+    /// Bookshelf direction token (`O`, `I`, `B`).
+    pub fn bookshelf_token(self) -> &'static str {
+        match self {
+            PinDir::Output => "O",
+            PinDir::Input => "I",
+            PinDir::InOut => "B",
+        }
+    }
+
+    /// Parses a Bookshelf direction token. Unknown tokens map to `InOut`.
+    pub fn from_bookshelf(tok: &str) -> PinDir {
+        match tok {
+            "O" | "o" => PinDir::Output,
+            "I" | "i" => PinDir::Input,
+            _ => PinDir::InOut,
+        }
+    }
+}
+
+/// A library cell (master): the shared shape and interface of a family of
+/// instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibCell {
+    /// Master name, e.g. `"NAND2"`.
+    pub name: String,
+    /// Width in placement units.
+    pub width: f64,
+    /// Height in placement units (standard cells share the row height).
+    pub height: f64,
+    /// Number of input pins instances of this master carry.
+    pub num_inputs: u8,
+    /// Number of output pins instances of this master carry.
+    pub num_outputs: u8,
+}
+
+impl LibCell {
+    /// Footprint area.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+}
+
+/// A cell instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Instance name, unique within the netlist.
+    pub name: String,
+    /// Master this instance realizes.
+    pub lib: LibCellId,
+    /// Fixed cells (pads, pre-placed macros) are never moved by placement.
+    pub fixed: bool,
+    /// Pins attached to this cell, in creation order.
+    pub pins: Vec<PinId>,
+}
+
+/// A net connecting two or more pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    /// Net name, unique within the netlist.
+    pub name: String,
+    /// Wirelength weight (criticality); `1.0` by default.
+    pub weight: f64,
+    /// Member pins.
+    pub pins: Vec<PinId>,
+}
+
+/// A pin: the attachment of a cell to a net, with a geometric offset from
+/// the cell *centre*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pin {
+    /// Owning cell.
+    pub cell: CellId,
+    /// Connected net.
+    pub net: NetId,
+    /// Offset of the pin from the owning cell's centre.
+    pub offset: Point,
+    /// Signal direction.
+    pub dir: PinDir,
+}
+
+/// A flat gate-level netlist.
+///
+/// Construct through [`crate::NetlistBuilder`]; the arenas are immutable
+/// afterwards (placement state lives in [`crate::Placement`]).
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    pub(crate) lib_cells: Vec<LibCell>,
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) pins: Vec<Pin>,
+    pub(crate) cell_names: HashMap<String, CellId>,
+}
+
+impl Netlist {
+    /// Number of cell instances (movable + fixed).
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    #[inline]
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of pins.
+    #[inline]
+    pub fn num_pins(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Number of library cells.
+    #[inline]
+    pub fn num_lib_cells(&self) -> usize {
+        self.lib_cells.len()
+    }
+
+    /// Number of movable (non-fixed) cells.
+    pub fn num_movable(&self) -> usize {
+        self.cells.iter().filter(|c| !c.fixed).count()
+    }
+
+    /// A cell by id.
+    #[inline]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.ix()]
+    }
+
+    /// A net by id.
+    #[inline]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.ix()]
+    }
+
+    /// A pin by id.
+    #[inline]
+    pub fn pin(&self, id: PinId) -> &Pin {
+        &self.pins[id.ix()]
+    }
+
+    /// A library cell by id.
+    #[inline]
+    pub fn lib_cell(&self, id: LibCellId) -> &LibCell {
+        &self.lib_cells[id.ix()]
+    }
+
+    /// The master of a cell instance.
+    #[inline]
+    pub fn master_of(&self, id: CellId) -> &LibCell {
+        self.lib_cell(self.cells[id.ix()].lib)
+    }
+
+    /// Width of a cell instance.
+    #[inline]
+    pub fn cell_width(&self, id: CellId) -> f64 {
+        self.master_of(id).width
+    }
+
+    /// Height of a cell instance.
+    #[inline]
+    pub fn cell_height(&self, id: CellId) -> f64 {
+        self.master_of(id).height
+    }
+
+    /// Footprint area of a cell instance.
+    #[inline]
+    pub fn cell_area(&self, id: CellId) -> f64 {
+        self.master_of(id).area()
+    }
+
+    /// Looks up a cell by instance name.
+    pub fn cell_by_name(&self, name: &str) -> Option<CellId> {
+        self.cell_names.get(name).copied()
+    }
+
+    /// Iterates over all cell ids.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.cells.len()).map(CellId::new)
+    }
+
+    /// Iterates over movable cell ids.
+    pub fn movable_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.cell_ids().filter(|&c| !self.cells[c.ix()].fixed)
+    }
+
+    /// Iterates over all net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nets.len()).map(NetId::new)
+    }
+
+    /// Iterates over the nets incident to a cell (may repeat a net if the
+    /// cell has several pins on it).
+    pub fn nets_of_cell(&self, c: CellId) -> impl Iterator<Item = NetId> + '_ {
+        self.cells[c.ix()].pins.iter().map(|&p| self.pins[p.ix()].net)
+    }
+
+    /// Iterates over the cells on a net (may repeat a cell).
+    pub fn cells_of_net(&self, n: NetId) -> impl Iterator<Item = CellId> + '_ {
+        self.nets[n.ix()].pins.iter().map(|&p| self.pins[p.ix()].cell)
+    }
+
+    /// The driving pin of a net, if one is marked `Output`.
+    pub fn driver_of_net(&self, n: NetId) -> Option<PinId> {
+        self.nets[n.ix()]
+            .pins
+            .iter()
+            .copied()
+            .find(|&p| self.pins[p.ix()].dir == PinDir::Output)
+    }
+
+    /// Pin degree (number of pins) of a net.
+    #[inline]
+    pub fn net_degree(&self, n: NetId) -> usize {
+        self.nets[n.ix()].pins.len()
+    }
+
+    /// Overrides a net's wirelength weight (used by flows that bias the
+    /// optimizer toward specific nets while evaluating with the original
+    /// weights on a pristine copy).
+    pub fn set_net_weight(&mut self, n: NetId, weight: f64) {
+        self.nets[n.ix()].weight = weight;
+    }
+
+    /// Total movable cell area.
+    pub fn movable_area(&self) -> f64 {
+        self.movable_ids().map(|c| self.cell_area(c)).sum()
+    }
+
+    /// Total area of fixed cells.
+    pub fn fixed_area(&self) -> f64 {
+        self.cell_ids()
+            .filter(|&c| self.cells[c.ix()].fixed)
+            .map(|c| self.cell_area(c))
+            .sum()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist: {} cells ({} movable), {} nets, {} pins, {} masters",
+            self.num_cells(),
+            self.num_movable(),
+            self.num_nets(),
+            self.num_pins(),
+            self.num_lib_cells()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let inv = b.add_lib_cell("INV", 2.0, 1.0, 1, 1);
+        let nand = b.add_lib_cell("NAND2", 3.0, 1.0, 2, 1);
+        let u1 = b.add_cell("u1", inv);
+        let u2 = b.add_cell("u2", nand);
+        let u3 = b.add_cell("u3", inv);
+        b.set_fixed(u3, true);
+        b.add_net(
+            "n1",
+            [
+                (u1, Point::new(1.0, 0.0), PinDir::Output),
+                (u2, Point::new(-1.5, 0.2), PinDir::Input),
+            ],
+        );
+        b.add_net(
+            "n2",
+            [
+                (u2, Point::new(1.5, 0.0), PinDir::Output),
+                (u3, Point::new(-1.0, 0.0), PinDir::Input),
+                (u1, Point::new(-1.0, 0.0), PinDir::Input),
+            ],
+        );
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let nl = tiny();
+        assert_eq!(nl.num_cells(), 3);
+        assert_eq!(nl.num_movable(), 2);
+        assert_eq!(nl.num_nets(), 2);
+        assert_eq!(nl.num_pins(), 5);
+        assert_eq!(nl.num_lib_cells(), 2);
+    }
+
+    #[test]
+    fn lookups() {
+        let nl = tiny();
+        let u2 = nl.cell_by_name("u2").unwrap();
+        assert_eq!(nl.cell(u2).name, "u2");
+        assert_eq!(nl.master_of(u2).name, "NAND2");
+        assert_eq!(nl.cell_width(u2), 3.0);
+        assert_eq!(nl.cell_area(u2), 3.0);
+        assert!(nl.cell_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn adjacency() {
+        let nl = tiny();
+        let u1 = nl.cell_by_name("u1").unwrap();
+        let nets: Vec<_> = nl.nets_of_cell(u1).collect();
+        assert_eq!(nets.len(), 2); // u1 touches n1 and n2
+        let n2 = NetId::new(1);
+        assert_eq!(nl.net(n2).name, "n2");
+        assert_eq!(nl.net_degree(n2), 3);
+        let cells: Vec<_> = nl.cells_of_net(n2).collect();
+        assert_eq!(cells.len(), 3);
+    }
+
+    #[test]
+    fn driver_detection() {
+        let nl = tiny();
+        let n1 = NetId::new(0);
+        let d = nl.driver_of_net(n1).unwrap();
+        assert_eq!(nl.cell(nl.pin(d).cell).name, "u1");
+    }
+
+    #[test]
+    fn areas() {
+        let nl = tiny();
+        assert_eq!(nl.movable_area(), 5.0); // INV 2 + NAND2 3
+        assert_eq!(nl.fixed_area(), 2.0); // fixed INV
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let nl = tiny();
+        assert!(format!("{nl}").contains("3 cells"));
+    }
+
+    #[test]
+    fn pin_dir_tokens() {
+        assert_eq!(PinDir::Output.bookshelf_token(), "O");
+        assert_eq!(PinDir::from_bookshelf("I"), PinDir::Input);
+        assert_eq!(PinDir::from_bookshelf("B"), PinDir::InOut);
+        assert_eq!(PinDir::from_bookshelf("x"), PinDir::InOut);
+    }
+}

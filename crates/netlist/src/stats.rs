@@ -1,0 +1,131 @@
+//! Summary statistics over a netlist (used by the T1 benchmark table).
+
+use crate::Netlist;
+use std::fmt;
+
+/// Aggregate statistics of a netlist.
+///
+/// # Examples
+///
+/// ```
+/// # use sdp_netlist::{NetlistBuilder, NetlistStats, PinDir};
+/// # use sdp_geom::Point;
+/// # let mut b = NetlistBuilder::new();
+/// # let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+/// # let u = b.add_cell("u", l); let v = b.add_cell("v", l);
+/// # b.add_net("n", [(u, Point::ORIGIN, PinDir::Output), (v, Point::ORIGIN, PinDir::Input)]);
+/// # let nl = b.finish().unwrap();
+/// let stats = NetlistStats::of(&nl);
+/// assert_eq!(stats.cells, 2);
+/// assert_eq!(stats.avg_net_degree, 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Total cell instances.
+    pub cells: usize,
+    /// Movable cell instances.
+    pub movable: usize,
+    /// Fixed cell instances (pads, macros).
+    pub fixed: usize,
+    /// Nets.
+    pub nets: usize,
+    /// Pins.
+    pub pins: usize,
+    /// Average net pin degree.
+    pub avg_net_degree: f64,
+    /// Maximum net pin degree.
+    pub max_net_degree: usize,
+    /// Total movable cell area.
+    pub movable_area: f64,
+    /// Net-degree histogram: `degree_histogram[d]` counts nets of degree
+    /// `d` for `d < 10`; the last bucket accumulates degree ≥ 10.
+    pub degree_histogram: [usize; 11],
+}
+
+impl NetlistStats {
+    /// Computes the statistics of a netlist.
+    pub fn of(netlist: &Netlist) -> Self {
+        let cells = netlist.num_cells();
+        let movable = netlist.num_movable();
+        let nets = netlist.num_nets();
+        let pins = netlist.num_pins();
+        let mut max_deg = 0;
+        let mut hist = [0usize; 11];
+        for n in netlist.net_ids() {
+            let d = netlist.net_degree(n);
+            max_deg = max_deg.max(d);
+            hist[d.min(10)] += 1;
+        }
+        NetlistStats {
+            cells,
+            movable,
+            fixed: cells - movable,
+            nets,
+            pins,
+            avg_net_degree: if nets == 0 { 0.0 } else { pins as f64 / nets as f64 },
+            max_net_degree: max_deg,
+            movable_area: netlist.movable_area(),
+            degree_histogram: hist,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cells ({} movable, {} fixed), {} nets, {} pins, avg degree {:.2}, max degree {}",
+            self.cells,
+            self.movable,
+            self.fixed,
+            self.nets,
+            self.pins,
+            self.avg_net_degree,
+            self.max_net_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetlistBuilder, PinDir};
+    use sdp_geom::Point;
+
+    #[test]
+    fn computes_all_fields() {
+        let mut b = NetlistBuilder::new();
+        let inv = b.add_lib_cell("INV", 2.0, 1.0, 1, 1);
+        let pad = b.add_lib_cell("PAD", 1.0, 1.0, 0, 1);
+        let u = b.add_cell("u", inv);
+        let v = b.add_cell("v", inv);
+        let w = b.add_cell("w", inv);
+        let p = b.add_fixed_cell("p", pad);
+        b.add_net(
+            "n1",
+            [
+                (p, Point::ORIGIN, PinDir::Output),
+                (u, Point::ORIGIN, PinDir::Input),
+                (v, Point::ORIGIN, PinDir::Input),
+                (w, Point::ORIGIN, PinDir::Input),
+            ],
+        );
+        b.add_net(
+            "n2",
+            [(u, Point::ORIGIN, PinDir::Output), (v, Point::ORIGIN, PinDir::Input)],
+        );
+        let nl = b.finish().unwrap();
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s.cells, 4);
+        assert_eq!(s.movable, 3);
+        assert_eq!(s.fixed, 1);
+        assert_eq!(s.nets, 2);
+        assert_eq!(s.pins, 6);
+        assert_eq!(s.avg_net_degree, 3.0);
+        assert_eq!(s.max_net_degree, 4);
+        assert_eq!(s.movable_area, 6.0);
+        assert_eq!(s.degree_histogram[2], 1);
+        assert_eq!(s.degree_histogram[4], 1);
+        assert!(s.to_string().contains("4 cells"));
+    }
+}

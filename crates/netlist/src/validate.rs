@@ -1,0 +1,205 @@
+//! Netlist sanity checking: structural problems a placer should know
+//! about before spending minutes optimizing garbage.
+
+use crate::{Netlist, PinDir};
+use std::fmt;
+
+/// One structural finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistIssue {
+    /// A net with no `Output` pin: nothing drives it.
+    UndrivenNet(String),
+    /// A net with more than one `Output` pin: contention.
+    MultiplyDrivenNet(String, usize),
+    /// A movable cell connected to nothing (placement cannot anchor it).
+    DisconnectedCell(String),
+    /// A cell whose pin count disagrees with its master's declared arity
+    /// (only checked when the master declares a nonzero arity).
+    ArityMismatch {
+        /// Instance name.
+        cell: String,
+        /// Inputs the master declares.
+        declared: usize,
+        /// Input pins the instance actually has.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for NetlistIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistIssue::UndrivenNet(n) => write!(f, "net `{n}` has no driver"),
+            NetlistIssue::MultiplyDrivenNet(n, k) => {
+                write!(f, "net `{n}` has {k} drivers")
+            }
+            NetlistIssue::DisconnectedCell(c) => {
+                write!(f, "movable cell `{c}` has no pins")
+            }
+            NetlistIssue::ArityMismatch {
+                cell,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "cell `{cell}` has {actual} input pins but its master declares {declared}"
+            ),
+        }
+    }
+}
+
+/// Scans a netlist for structural problems. An empty result means the
+/// netlist is structurally sound (it says nothing about logical
+/// correctness).
+///
+/// Bookshelf-imported netlists routinely produce `UndrivenNet` findings
+/// (the format does not require directions), so callers decide which
+/// issue classes are fatal for them.
+pub fn validate_netlist(netlist: &Netlist) -> Vec<NetlistIssue> {
+    let mut issues = Vec::new();
+    for n in netlist.net_ids() {
+        let net = netlist.net(n);
+        let drivers = net
+            .pins
+            .iter()
+            .filter(|&&p| netlist.pin(p).dir == PinDir::Output)
+            .count();
+        match drivers {
+            0 => issues.push(NetlistIssue::UndrivenNet(net.name.clone())),
+            1 => {}
+            k => issues.push(NetlistIssue::MultiplyDrivenNet(net.name.clone(), k)),
+        }
+    }
+    for c in netlist.cell_ids() {
+        let cell = netlist.cell(c);
+        if !cell.fixed && cell.pins.is_empty() {
+            issues.push(NetlistIssue::DisconnectedCell(cell.name.clone()));
+        }
+        let declared = netlist.master_of(c).num_inputs as usize;
+        if declared > 0 {
+            let actual = cell
+                .pins
+                .iter()
+                .filter(|&&p| netlist.pin(p).dir == PinDir::Input)
+                .count();
+            if actual > declared {
+                issues.push(NetlistIssue::ArityMismatch {
+                    cell: cell.name.clone(),
+                    declared,
+                    actual,
+                });
+            }
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+    use sdp_geom::Point;
+
+    #[test]
+    fn clean_netlist_has_no_issues() {
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        let u = b.add_cell("u", l);
+        let v = b.add_cell("v", l);
+        b.add_net(
+            "n",
+            [
+                (u, Point::ORIGIN, PinDir::Output),
+                (v, Point::ORIGIN, PinDir::Input),
+            ],
+        );
+        let nl = b.finish().unwrap();
+        assert!(validate_netlist(&nl).is_empty());
+    }
+
+    #[test]
+    fn detects_undriven_and_multiply_driven() {
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        let u = b.add_cell("u", l);
+        let v = b.add_cell("v", l);
+        let w = b.add_cell("w", l);
+        b.add_net(
+            "floating",
+            [(u, Point::ORIGIN, PinDir::Input), (v, Point::ORIGIN, PinDir::Input)],
+        );
+        b.add_net(
+            "contended",
+            [
+                (u, Point::ORIGIN, PinDir::Output),
+                (v, Point::ORIGIN, PinDir::Output),
+                (w, Point::ORIGIN, PinDir::Input),
+            ],
+        );
+        let nl = b.finish().unwrap();
+        let issues = validate_netlist(&nl);
+        assert!(issues.contains(&NetlistIssue::UndrivenNet("floating".into())));
+        assert!(issues.contains(&NetlistIssue::MultiplyDrivenNet("contended".into(), 2)));
+    }
+
+    #[test]
+    fn detects_disconnected_cells() {
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        let u = b.add_cell("u", l);
+        let v = b.add_cell("v", l);
+        let _lonely = b.add_cell("lonely", l);
+        b.add_net(
+            "n",
+            [(u, Point::ORIGIN, PinDir::Output), (v, Point::ORIGIN, PinDir::Input)],
+        );
+        let nl = b.finish().unwrap();
+        let issues = validate_netlist(&nl);
+        assert!(issues.contains(&NetlistIssue::DisconnectedCell("lonely".into())));
+    }
+
+    #[test]
+    fn detects_arity_overflow() {
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
+        let d = b.add_cell("driver", l);
+        let u = b.add_cell("u", l);
+        // Two input pins on a 1-input master.
+        b.add_net(
+            "n1",
+            [(d, Point::ORIGIN, PinDir::Output), (u, Point::ORIGIN, PinDir::Input)],
+        );
+        b.add_net(
+            "n2",
+            [(d, Point::new(0.1, 0.0), PinDir::Output), (u, Point::new(0.1, 0.0), PinDir::Input)],
+        );
+        let nl = b.finish().unwrap();
+        let issues = validate_netlist(&nl);
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            NetlistIssue::ArityMismatch { actual: 2, declared: 1, .. }
+        )), "{issues:?}");
+        // Messages are human readable.
+        assert!(issues[0].to_string().len() > 5);
+    }
+
+    #[test]
+    fn generated_designs_validate_cleanly() {
+        // (Uses the builder directly rather than dpgen to avoid a cyclic
+        // dev-dependency; suite designs are validated in integration
+        // tests.)
+        let mut b = NetlistBuilder::new();
+        let l = b.add_lib_cell("NAND2", 3.0, 1.0, 2, 1);
+        let cells: Vec<_> = (0..10).map(|i| b.add_cell(&format!("u{i}"), l)).collect();
+        for i in 1..10 {
+            b.add_net(
+                &format!("n{i}"),
+                [
+                    (cells[i - 1], Point::ORIGIN, PinDir::Output),
+                    (cells[i], Point::ORIGIN, PinDir::Input),
+                ],
+            );
+        }
+        let nl = b.finish().unwrap();
+        assert!(validate_netlist(&nl).is_empty());
+    }
+}

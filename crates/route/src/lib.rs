@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! A lightweight global router for placement evaluation.
+//!
+//! The reproduced paper reports *routed* wirelength and congestion, not
+//! just HPWL. This crate provides the routing substrate for that
+//! comparison:
+//!
+//! * [`RoutingGrid`] — a 2-D gcell grid with per-edge horizontal/vertical
+//!   capacities ([`grid`]);
+//! * net decomposition into 2-pin segments via rectilinear MSTs, initial
+//!   **L-pattern** routing, and **negotiated-congestion rip-up &
+//!   reroute** (a compact PathFinder) with history costs and maze routing
+//!   ([`router`]);
+//! * the **RUDY** congestion estimate straight from a placement, no
+//!   routing needed ([`rudy`]).
+//!
+//! Absolute numbers are not comparable to a commercial router, but the
+//! *relative* routed wirelength and overflow of two placements of the same
+//! netlist — which is what the evaluation tables need — are preserved by
+//! any reasonable congestion-aware router.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdp_dpgen::{generate, GenConfig};
+//! use sdp_route::{route, RouteConfig};
+//!
+//! let d = generate(&GenConfig::named("dp_tiny", 1).unwrap());
+//! let report = route(&d.netlist, &d.placement, &d.design, &RouteConfig::default());
+//! assert!(report.wirelength > 0.0);
+//! ```
+
+pub mod grid;
+pub mod router;
+pub mod rudy;
+
+pub use grid::RoutingGrid;
+pub use router::{route, RouteConfig, RouteReport};
+pub use rudy::rudy_map;

@@ -1,0 +1,572 @@
+//! Net decomposition, L-pattern routing, and negotiated-congestion rip-up
+//! & reroute (a compact PathFinder).
+
+use crate::grid::{Dir, RoutingGrid};
+use sdp_geom::Point;
+use sdp_netlist::{Design, Netlist, Placement};
+use std::collections::BinaryHeap;
+
+/// Router configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteConfig {
+    /// Gcells per axis; `None` sizes gcells to about 4 row heights.
+    pub grid: Option<(usize, usize)>,
+    /// Routing tracks per gcell edge (both directions).
+    pub tracks_per_gcell: u32,
+    /// Maximum rip-up & reroute iterations.
+    pub rrr_iters: usize,
+    /// Congestion penalty multiplier per unit of overflow.
+    pub congestion_penalty: f64,
+    /// History cost increment per overflowed edge per iteration.
+    pub history_increment: f64,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        RouteConfig {
+            grid: None,
+            tracks_per_gcell: 12,
+            rrr_iters: 8,
+            congestion_penalty: 2.0,
+            history_increment: 0.5,
+        }
+    }
+}
+
+/// Result of routing one placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteReport {
+    /// Total routed wirelength (physical units).
+    pub wirelength: f64,
+    /// Total edge overflow after the final iteration.
+    pub overflow: u64,
+    /// Number of overflowed edges.
+    pub overflowed_edges: usize,
+    /// Maximum edge utilization.
+    pub max_utilization: f64,
+    /// Rip-up & reroute iterations actually run.
+    pub iterations: usize,
+    /// Number of 2-pin segments routed.
+    pub segments: usize,
+}
+
+/// One routed 2-pin segment: the sequence of gcells it passes through.
+#[derive(Debug, Clone)]
+struct Segment {
+    a: (usize, usize),
+    b: (usize, usize),
+    path: Vec<(usize, usize)>,
+}
+
+/// Routes a placed netlist and reports wirelength and congestion.
+///
+/// Pipeline: per-net rectilinear MST decomposition into 2-pin segments →
+/// initial best-L routing → iterative rip-up of segments crossing
+/// overflowed edges and maze rerouting with history costs.
+pub fn route(
+    netlist: &Netlist,
+    placement: &Placement,
+    design: &Design,
+    config: &RouteConfig,
+) -> RouteReport {
+    let region = design.region();
+    let (nx, ny) = config.grid.unwrap_or_else(|| {
+        let pitch = design.row_height() * 4.0;
+        (
+            ((region.width() / pitch).round() as usize).clamp(2, 256),
+            ((region.height() / pitch).round() as usize).clamp(2, 256),
+        )
+    });
+    let mut grid = RoutingGrid::new(
+        region,
+        nx,
+        ny,
+        config.tracks_per_gcell,
+        config.tracks_per_gcell,
+    );
+
+    // Decompose nets into 2-pin gcell segments.
+    let mut segments: Vec<Segment> = Vec::new();
+    for n in netlist.net_ids() {
+        let net = netlist.net(n);
+        let mut cells: Vec<(usize, usize)> = net
+            .pins
+            .iter()
+            .map(|&p| {
+                let at = placement.pin_position(netlist, p);
+                grid.gcell_of(region.clamp_point(at))
+            })
+            .collect();
+        cells.sort_unstable();
+        cells.dedup();
+        if cells.len() < 2 {
+            continue;
+        }
+        for (a, b) in mst_edges(&cells) {
+            segments.push(Segment { a, b, path: Vec::new() });
+        }
+    }
+
+    // Initial routing: best of the two L shapes by current congestion.
+    let mut history = vec![0.0f64; nx * ny * 2]; // per edge: [h..., v...]
+    for seg in &mut segments {
+        let path = best_l_path(seg.a, seg.b, &grid, config, &history);
+        commit(&mut grid, &path, 1);
+        seg.path = path;
+    }
+
+    // Negotiated-congestion rip-up & reroute. Not monotone in general, so
+    // the best solution seen is kept and restored at the end.
+    type SavedPaths = Vec<Vec<(usize, usize)>>;
+    let mut iterations = 0;
+    let mut best_paths: Option<(u64, SavedPaths)> = None;
+    for _iter in 0..config.rrr_iters {
+        let (overflow, _) = grid.total_overflow();
+        if best_paths.as_ref().is_none_or(|&(b, _)| overflow < b) {
+            best_paths = Some((overflow, segments.iter().map(|s| s.path.clone()).collect()));
+        }
+        if overflow == 0 {
+            break;
+        }
+        iterations += 1;
+        // Bump history on overflowed edges.
+        for y in 0..ny {
+            for x in 0..nx.saturating_sub(1) {
+                if grid.edge_overflow(x, y, Dir::Horizontal) > 0 {
+                    history[h_hist(nx, x, y)] += config.history_increment;
+                }
+            }
+        }
+        for y in 0..ny.saturating_sub(1) {
+            for x in 0..nx {
+                if grid.edge_overflow(x, y, Dir::Vertical) > 0 {
+                    history[v_hist(nx, ny, x, y)] += config.history_increment;
+                }
+            }
+        }
+        // Rip up and reroute segments crossing overflowed edges.
+        for seg in &mut segments {
+            if !crosses_overflow(&grid, &seg.path) {
+                continue;
+            }
+            commit(&mut grid, &seg.path, -1);
+            let path = maze_route(seg.a, seg.b, &grid, config, &history);
+            commit(&mut grid, &path, 1);
+            seg.path = path;
+        }
+    }
+
+    // Restore the best solution if the last iteration regressed.
+    if let Some((best, paths)) = best_paths {
+        if grid.total_overflow().0 > best {
+            for (seg, path) in segments.iter_mut().zip(paths) {
+                commit(&mut grid, &seg.path, -1);
+                commit(&mut grid, &path, 1);
+                seg.path = path;
+            }
+        }
+    }
+
+    let (overflow, overflowed_edges) = grid.total_overflow();
+    RouteReport {
+        wirelength: grid.total_wirelength(),
+        overflow,
+        overflowed_edges,
+        max_utilization: grid.max_utilization(),
+        iterations,
+        segments: segments.len(),
+    }
+}
+
+fn h_hist(nx: usize, x: usize, y: usize) -> usize {
+    y * (nx - 1) + x
+}
+
+fn v_hist(nx: usize, ny: usize, x: usize, y: usize) -> usize {
+    (nx - 1) * ny + y * nx + x
+}
+
+/// Rectilinear MST edges over distinct gcells (Prim, O(n²)).
+fn mst_edges(cells: &[(usize, usize)]) -> Vec<((usize, usize), (usize, usize))> {
+    let n = cells.len();
+    let dist = |a: (usize, usize), b: (usize, usize)| -> usize {
+        a.0.abs_diff(b.0) + a.1.abs_diff(b.1)
+    };
+    let mut in_tree = vec![false; n];
+    let mut best = vec![(usize::MAX, 0usize); n]; // (dist, parent)
+    in_tree[0] = true;
+    for i in 1..n {
+        best[i] = (dist(cells[0], cells[i]), 0);
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_d = usize::MAX;
+        for i in 0..n {
+            if !in_tree[i] && best[i].0 < pick_d {
+                pick_d = best[i].0;
+                pick = i;
+            }
+        }
+        in_tree[pick] = true;
+        edges.push((cells[best[pick].1], cells[pick]));
+        for i in 0..n {
+            if !in_tree[i] {
+                let d = dist(cells[pick], cells[i]);
+                if d < best[i].0 {
+                    best[i] = (d, pick);
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Cost of pushing one more wire over the edge leaving `(x, y)` toward `d`.
+fn edge_cost(
+    grid: &RoutingGrid,
+    history: &[f64],
+    config: &RouteConfig,
+    x: usize,
+    y: usize,
+    d: Dir,
+) -> f64 {
+    let usage = grid.usage(x, y, d);
+    let cap = grid.capacity(d);
+    let hist = match d {
+        Dir::Horizontal => history[h_hist(grid.nx(), x, y)],
+        Dir::Vertical => history[v_hist(grid.nx(), grid.ny(), x, y)],
+    };
+    let over = (usage as i64 + 1 - cap as i64).max(0) as f64;
+    (1.0 + hist) * (1.0 + config.congestion_penalty * over)
+}
+
+/// The cheaper of the two L-shaped paths from `a` to `b`.
+fn best_l_path(
+    a: (usize, usize),
+    b: (usize, usize),
+    grid: &RoutingGrid,
+    config: &RouteConfig,
+    history: &[f64],
+) -> Vec<(usize, usize)> {
+    let via_corner = |corner: (usize, usize)| -> (f64, Vec<(usize, usize)>) {
+        let mut path = vec![a];
+        let mut cost = 0.0;
+        let mut cur = a;
+        for target in [corner, b] {
+            while cur.0 != target.0 {
+                let (x, step) = if cur.0 < target.0 {
+                    (cur.0, 1i64)
+                } else {
+                    (cur.0 - 1, -1)
+                };
+                cost += edge_cost(grid, history, config, x, cur.1, Dir::Horizontal);
+                cur.0 = (cur.0 as i64 + step) as usize;
+                path.push(cur);
+            }
+            while cur.1 != target.1 {
+                let (y, step) = if cur.1 < target.1 {
+                    (cur.1, 1i64)
+                } else {
+                    (cur.1 - 1, -1)
+                };
+                cost += edge_cost(grid, history, config, cur.0, y, Dir::Vertical);
+                cur.1 = (cur.1 as i64 + step) as usize;
+                path.push(cur);
+            }
+        }
+        (cost, path)
+    };
+    let (c1, p1) = via_corner((b.0, a.1));
+    let (c2, p2) = via_corner((a.0, b.1));
+    if c1 <= c2 {
+        p1
+    } else {
+        p2
+    }
+}
+
+/// Dijkstra maze routing with congestion + history costs.
+fn maze_route(
+    a: (usize, usize),
+    b: (usize, usize),
+    grid: &RoutingGrid,
+    config: &RouteConfig,
+    history: &[f64],
+) -> Vec<(usize, usize)> {
+    let (nx, ny) = (grid.nx(), grid.ny());
+    let ix = |c: (usize, usize)| c.1 * nx + c.0;
+    let mut dist = vec![f64::INFINITY; nx * ny];
+    let mut prev = vec![u32::MAX; nx * ny];
+
+    #[derive(PartialEq)]
+    struct Item(f64, (usize, usize));
+    impl Eq for Item {}
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other
+                .0
+                .partial_cmp(&self.0)
+                .expect("costs are finite")
+                .then_with(|| (other.1).cmp(&self.1))
+        }
+    }
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap = BinaryHeap::new();
+    dist[ix(a)] = 0.0;
+    heap.push(Item(0.0, a));
+    while let Some(Item(d, cur)) = heap.pop() {
+        if cur == b {
+            break;
+        }
+        if d > dist[ix(cur)] {
+            continue;
+        }
+        let (x, y) = cur;
+        let mut relax = |nxt: (usize, usize), ecost: f64, heap: &mut BinaryHeap<Item>| {
+            let nd = d + ecost;
+            if nd < dist[ix(nxt)] {
+                dist[ix(nxt)] = nd;
+                prev[ix(nxt)] = ix(cur) as u32;
+                heap.push(Item(nd, nxt));
+            }
+        };
+        if x + 1 < nx {
+            let c = edge_cost(grid, history, config, x, y, Dir::Horizontal);
+            relax((x + 1, y), c, &mut heap);
+        }
+        if x > 0 {
+            let c = edge_cost(grid, history, config, x - 1, y, Dir::Horizontal);
+            relax((x - 1, y), c, &mut heap);
+        }
+        if y + 1 < ny {
+            let c = edge_cost(grid, history, config, x, y, Dir::Vertical);
+            relax((x, y + 1), c, &mut heap);
+        }
+        if y > 0 {
+            let c = edge_cost(grid, history, config, x, y - 1, Dir::Vertical);
+            relax((x, y - 1), c, &mut heap);
+        }
+    }
+    // Reconstruct.
+    let mut path = vec![b];
+    let mut cur = ix(b);
+    while cur != ix(a) {
+        let p = prev[cur];
+        debug_assert!(p != u32::MAX, "maze route failed to reach the source");
+        cur = p as usize;
+        path.push((cur % nx, cur / nx));
+    }
+    path.reverse();
+    path
+}
+
+/// Adds (`delta`=1) or removes (`delta`=-1) a path's usage.
+fn commit(grid: &mut RoutingGrid, path: &[(usize, usize)], delta: i32) {
+    for w in path.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if a.1 == b.1 {
+            grid.add_usage(a.0.min(b.0), a.1, Dir::Horizontal, delta);
+        } else {
+            grid.add_usage(a.0, a.1.min(b.1), Dir::Vertical, delta);
+        }
+    }
+}
+
+/// Does the path cross any currently-overflowed edge?
+fn crosses_overflow(grid: &RoutingGrid, path: &[(usize, usize)]) -> bool {
+    path.windows(2).any(|w| {
+        let (a, b) = (w[0], w[1]);
+        if a.1 == b.1 {
+            grid.edge_overflow(a.0.min(b.0), a.1, Dir::Horizontal) > 0
+        } else {
+            grid.edge_overflow(a.0, a.1.min(b.1), Dir::Vertical) > 0
+        }
+    })
+}
+
+/// Lower-bound wirelength: sum of HPWLs snapped to the grid (for sanity
+/// checks: routed length can never beat it).
+pub fn grid_hpwl_lower_bound(
+    netlist: &Netlist,
+    placement: &Placement,
+    design: &Design,
+    nx: usize,
+    ny: usize,
+) -> f64 {
+    let region = design.region();
+    let grid = RoutingGrid::new(region, nx, ny, 1, 1);
+    let mut total = 0.0;
+    for n in netlist.net_ids() {
+        let net = netlist.net(n);
+        let mut min = (usize::MAX, usize::MAX);
+        let mut max = (0usize, 0usize);
+        let mut pins = 0;
+        for &p in &net.pins {
+            let at: Point = placement.pin_position(netlist, p);
+            let g = grid.gcell_of(region.clamp_point(at));
+            min = (min.0.min(g.0), min.1.min(g.1));
+            max = (max.0.max(g.0), max.1.max(g.1));
+            pins += 1;
+        }
+        if pins >= 2 {
+            total += (max.0 - min.0) as f64 * grid.pitch_x()
+                + (max.1 - min.1) as f64 * grid.pitch_y();
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_dpgen::{generate, GenConfig};
+    use sdp_gp::{GlobalPlacer, GpConfig};
+    use sdp_legal::{legalize, LegalizeOptions};
+
+    fn placed(seed: u64) -> (Netlist, Design, Placement) {
+        let mut d = generate(&GenConfig::named("dp_tiny", seed).unwrap());
+        GlobalPlacer::new(GpConfig::fast()).place(&d.netlist, &d.design, &mut d.placement, None);
+        legalize(&d.netlist, &d.design, &mut d.placement, &LegalizeOptions::default());
+        (d.netlist, d.design, d.placement)
+    }
+
+    #[test]
+    fn routes_a_placed_design() {
+        let (nl, design, pl) = placed(1);
+        let report = route(&nl, &pl, &design, &RouteConfig::default());
+        assert!(report.segments > 0);
+        assert!(report.wirelength > 0.0);
+        // Routed length must be at least the grid HPWL lower bound.
+        let lb = grid_hpwl_lower_bound(&nl, &pl, &design, 16, 16);
+        assert!(
+            report.wirelength >= lb * 0.5,
+            "routed {} vs lower bound {lb}",
+            report.wirelength
+        );
+    }
+
+    #[test]
+    fn rrr_reduces_overflow() {
+        let (nl, design, pl) = placed(2);
+        // Starve the router to force congestion.
+        let starved = RouteConfig {
+            tracks_per_gcell: 2,
+            rrr_iters: 0,
+            ..RouteConfig::default()
+        };
+        let before = route(&nl, &pl, &design, &starved);
+        let with_rrr = RouteConfig {
+            tracks_per_gcell: 2,
+            rrr_iters: 10,
+            ..RouteConfig::default()
+        };
+        let after = route(&nl, &pl, &design, &with_rrr);
+        assert!(
+            after.overflow <= before.overflow,
+            "rrr must not worsen overflow: {} -> {}",
+            before.overflow,
+            after.overflow
+        );
+        if before.overflow > 0 {
+            assert!(after.iterations > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (nl, design, pl) = placed(3);
+        let a = route(&nl, &pl, &design, &RouteConfig::default());
+        let b = route(&nl, &pl, &design, &RouteConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_grid_is_respected_and_tighter_grids_cost_more() {
+        let (nl, design, pl) = placed(5);
+        let coarse = route(&nl, &pl, &design, &RouteConfig {
+            grid: Some((8, 8)),
+            ..RouteConfig::default()
+        });
+        let fine = route(&nl, &pl, &design, &RouteConfig {
+            grid: Some((32, 32)),
+            ..RouteConfig::default()
+        });
+        assert!(coarse.segments > 0 && fine.segments > 0);
+        // Finer grids resolve more detail; both wirelengths stay sane.
+        assert!(coarse.wirelength > 0.0 && fine.wirelength > 0.0);
+    }
+
+    #[test]
+    fn zero_rrr_iters_reports_initial_solution() {
+        let (nl, design, pl) = placed(6);
+        let r = route(&nl, &pl, &design, &RouteConfig {
+            rrr_iters: 0,
+            ..RouteConfig::default()
+        });
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn mst_edges_span_all_cells() {
+        let cells = vec![(0, 0), (3, 0), (0, 4), (5, 5)];
+        let edges = mst_edges(&cells);
+        assert_eq!(edges.len(), 3);
+        // Union-find check that the edges connect everything.
+        let mut parent: Vec<usize> = (0..cells.len()).collect();
+        fn find(p: &mut Vec<usize>, i: usize) -> usize {
+            if p[i] != i {
+                let r = find(p, p[i]);
+                p[i] = r;
+            }
+            p[i]
+        }
+        for (a, b) in &edges {
+            let ia = cells.iter().position(|c| c == a).unwrap();
+            let ib = cells.iter().position(|c| c == b).unwrap();
+            let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
+            parent[ra] = rb;
+        }
+        let root = find(&mut parent, 0);
+        assert!((0..cells.len()).all(|i| find(&mut parent, i) == root));
+    }
+
+    #[test]
+    fn l_path_is_monotone_and_connected() {
+        let grid = RoutingGrid::new(sdp_geom::Rect::new(0.0, 0.0, 10.0, 10.0), 10, 10, 4, 4);
+        let cfg = RouteConfig::default();
+        let hist = vec![0.0; 10 * 10 * 2];
+        let p = best_l_path((1, 1), (7, 5), &grid, &cfg, &hist);
+        assert_eq!(p.first(), Some(&(1, 1)));
+        assert_eq!(p.last(), Some(&(7, 5)));
+        assert_eq!(p.len(), 1 + 6 + 4);
+        for w in p.windows(2) {
+            let d = w[0].0.abs_diff(w[1].0) + w[0].1.abs_diff(w[1].1);
+            assert_eq!(d, 1, "path steps one gcell at a time");
+        }
+    }
+
+    #[test]
+    fn maze_route_avoids_congestion() {
+        let mut grid = RoutingGrid::new(sdp_geom::Rect::new(0.0, 0.0, 8.0, 8.0), 8, 8, 2, 2);
+        // Saturate the straight corridor between (0,4) and (7,4).
+        for x in 0..7 {
+            grid.add_usage(x, 4, Dir::Horizontal, 2);
+        }
+        let cfg = RouteConfig::default();
+        let hist = vec![0.0; 8 * 8 * 2];
+        let p = maze_route((0, 4), (7, 4), &grid, &cfg, &hist);
+        assert_eq!(p.first(), Some(&(0, 4)));
+        assert_eq!(p.last(), Some(&(7, 4)));
+        // The path must detour off row 4 somewhere.
+        assert!(
+            p.iter().any(|&(_, y)| y != 4),
+            "maze route should detour around the saturated corridor: {p:?}"
+        );
+    }
+}

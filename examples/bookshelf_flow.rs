@@ -1,0 +1,46 @@
+//! Interchange scenario: export a generated design to the Bookshelf
+//! format (ISPD placement-contest files), read it back, place the
+//! re-imported netlist, and save the placed `.pl` — the flow a user with
+//! real Bookshelf benchmarks would run.
+//!
+//! ```text
+//! cargo run --release -p sdp-core --example bookshelf_flow
+//! ```
+
+use sdp_core::{FlowConfig, StructurePlacer};
+use sdp_dpgen::{generate, GenConfig};
+use sdp_netlist::{read_bookshelf, write_bookshelf};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let dir = std::env::temp_dir().join("sdplace_bookshelf_demo");
+
+    // 1. Generate and export.
+    let d = generate(&GenConfig::named("dp_small", 7).expect("known preset"));
+    let aux = write_bookshelf(&dir, "dp_small", &d.netlist, &d.design, &d.placement)?;
+    println!("wrote bundle: {}", aux.display());
+
+    // 2. Read the bundle back — this is the path external benchmarks take.
+    let case = read_bookshelf(&aux)?;
+    println!("re-imported: {}", case.netlist);
+    assert_eq!(case.netlist.num_cells(), d.netlist.num_cells());
+    assert_eq!(case.netlist.num_nets(), d.netlist.num_nets());
+
+    // 3. Place the re-imported netlist (extraction runs on the Bookshelf
+    //    netlist — no generator metadata survives the files, so this
+    //    proves the flow needs no annotations).
+    let placer = StructurePlacer::new(FlowConfig::fast());
+    let out = placer.place(&case.netlist, &case.design, &case.placement);
+    println!(
+        "placed: HPWL {:.0}, {} groups extracted from the imported netlist, {} violations",
+        out.report.hpwl.total, out.report.num_groups, out.legal_violations
+    );
+
+    // 4. Save the placed positions as a Bookshelf bundle again.
+    let placed_aux = write_bookshelf(&dir, "dp_small_placed", &case.netlist, &case.design, &out.placement)?;
+    println!("wrote placed bundle: {}", placed_aux.display());
+
+    assert_eq!(out.legal_violations, 0);
+    assert!(out.report.num_groups > 0, "extraction must survive the round trip");
+    Ok(())
+}

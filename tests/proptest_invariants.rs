@@ -1,0 +1,151 @@
+//! Property-based tests (proptest) on the core data structures and
+//! numerical invariants.
+
+use proptest::prelude::*;
+use sdp_geom::{hpwl_of_points, mst_length, rsmt_estimate, BBox, Point, Rect};
+use sdp_gp::wirelength::eval_wirelength;
+use sdp_gp::WirelengthModel;
+use sdp_legal::RowSpace;
+use sdp_netlist::{NetlistBuilder, PinDir, Row};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1e3..1e3f64, -1e3..1e3f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), 0.0..50.0f64, 0.0..50.0f64)
+        .prop_map(|(p, w, h)| Rect::with_size(p, w, h))
+}
+
+proptest! {
+    /// Intersection area is symmetric, bounded by each operand's area,
+    /// and consistent with `overlaps`.
+    #[test]
+    fn rect_intersection_properties(a in arb_rect(), b in arb_rect()) {
+        let ab = a.intersection_area(&b);
+        let ba = b.intersection_area(&a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab <= a.area() + 1e-9);
+        prop_assert!(ab <= b.area() + 1e-9);
+        if ab > 1e-9 {
+            prop_assert!(a.overlaps(&b));
+        }
+        // Union contains both.
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a) && u.contains_rect(&b));
+    }
+
+    /// The accumulating bounding box agrees with the direct formula.
+    #[test]
+    fn bbox_matches_hpwl(points in prop::collection::vec(arb_point(), 0..40)) {
+        let bb: BBox = points.iter().copied().collect();
+        prop_assert_eq!(bb.half_perimeter(), hpwl_of_points(&points));
+        if let Some(r) = bb.rect() {
+            for p in &points {
+                prop_assert!(r.contains(*p));
+            }
+        } else {
+            prop_assert!(points.is_empty());
+        }
+    }
+
+    /// HPWL ≤ RSMT estimate ≤ MST, for any point set.
+    #[test]
+    fn wirelength_estimator_ordering(points in prop::collection::vec(arb_point(), 2..20)) {
+        let h = hpwl_of_points(&points);
+        let s = rsmt_estimate(&points);
+        let m = mst_length(&points);
+        prop_assert!(h <= s + 1e-6, "hpwl {} <= rsmt {}", h, s);
+        prop_assert!(s <= m + 1e-6, "rsmt {} <= mst {}", s, m);
+    }
+
+    /// LSE over-approximates and WA under-approximates the exact HPWL on
+    /// randomly built star nets, for any positive gamma.
+    #[test]
+    fn smooth_models_bracket_hpwl(
+        positions in prop::collection::vec(arb_point(), 2..12),
+        gamma in 0.05..8.0f64,
+    ) {
+        let mut b = NetlistBuilder::new();
+        let lib = b.add_lib_cell("C", 1.0, 1.0, 1, 1);
+        let cells: Vec<_> = (0..positions.len())
+            .map(|i| b.add_cell(&format!("u{i}"), lib))
+            .collect();
+        b.add_net(
+            "star",
+            cells.iter().enumerate().map(|(i, &c)| {
+                (c, Point::ORIGIN, if i == 0 { PinDir::Output } else { PinDir::Input })
+            }),
+        );
+        let nl = b.finish().expect("valid net");
+        let mut grad = vec![Point::ORIGIN; positions.len()];
+        let exact = sdp_gp::hpwl(&nl, &positions);
+        let lse = eval_wirelength(WirelengthModel::Lse, &nl, &positions, gamma, &mut grad);
+        grad.fill(Point::ORIGIN);
+        let wa = eval_wirelength(WirelengthModel::Wa, &nl, &positions, gamma, &mut grad);
+        prop_assert!(lse >= exact - 1e-9, "LSE {} >= {}", lse, exact);
+        prop_assert!(wa <= exact + 1e-9, "WA {} <= {}", wa, exact);
+        prop_assert!(lse.is_finite() && wa.is_finite());
+    }
+
+    /// RowSpace never hands out overlapping or out-of-row slots, no matter
+    /// the sequence of placements, and conserves free width exactly.
+    #[test]
+    fn row_space_slots_never_overlap(
+        requests in prop::collection::vec((0.0..100.0f64, 1.0..7.0f64), 1..40)
+    ) {
+        let row = Row { y: 0.0, height: 1.0, x1: 0.0, x2: 100.0, site_width: 1.0 };
+        let mut rs = RowSpace::new(&row);
+        let mut placed: Vec<(f64, f64)> = Vec::new();
+        let mut used = 0.0;
+        for (target, w) in requests {
+            let w = w.ceil();
+            if let Some(x) = rs.place_near(target, w) {
+                prop_assert!(x >= row.x1 - 1e-9 && x + w <= row.x2 + 1e-9);
+                prop_assert!((x - x.round()).abs() < 1e-9, "site aligned: {}", x);
+                for &(px, pw) in &placed {
+                    prop_assert!(
+                        x + w <= px + 1e-9 || px + pw <= x + 1e-9,
+                        "slot [{}, {}) overlaps [{}, {})", x, x + w, px, px + pw
+                    );
+                }
+                placed.push((x, w));
+                used += w;
+            }
+        }
+        prop_assert!((rs.free_width() - (100.0 - used)).abs() < 1e-9);
+    }
+
+    /// Clamping a point into a rect always lands inside and is idempotent.
+    #[test]
+    fn rect_clamp_idempotent(r in arb_rect(), p in arb_point()) {
+        let c = r.clamp_point(p);
+        prop_assert!(r.contains(c));
+        prop_assert_eq!(r.clamp_point(c), c);
+    }
+
+    /// Placement HPWL is translation-invariant.
+    #[test]
+    fn hpwl_translation_invariant(
+        positions in prop::collection::vec(arb_point(), 2..10),
+        dx in -100.0..100.0f64,
+        dy in -100.0..100.0f64,
+    ) {
+        let mut b = NetlistBuilder::new();
+        let lib = b.add_lib_cell("C", 1.0, 1.0, 1, 1);
+        let cells: Vec<_> = (0..positions.len())
+            .map(|i| b.add_cell(&format!("u{i}"), lib))
+            .collect();
+        b.add_net(
+            "n",
+            cells.iter().enumerate().map(|(i, &c)| {
+                (c, Point::ORIGIN, if i == 0 { PinDir::Output } else { PinDir::Input })
+            }),
+        );
+        let nl = b.finish().expect("valid");
+        let h1 = sdp_gp::hpwl(&nl, &positions);
+        let shifted: Vec<Point> = positions.iter().map(|&p| p + Point::new(dx, dy)).collect();
+        let h2 = sdp_gp::hpwl(&nl, &shifted);
+        prop_assert!((h1 - h2).abs() < 1e-6 * (1.0 + h1));
+    }
+}

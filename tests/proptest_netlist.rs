@@ -1,0 +1,143 @@
+//! Property-based tests over randomly generated *netlists*: the builder,
+//! Bookshelf round-trips, extraction, and the legalizer must hold their
+//! contracts on arbitrary (not just generator-shaped) circuits.
+
+use proptest::prelude::*;
+use sdp_geom::Point;
+use sdp_legal::{check_legal, legalize, LegalizeOptions};
+use sdp_netlist::{
+    read_bookshelf, write_bookshelf, Design, Netlist, NetlistBuilder, PinDir, Placement,
+};
+
+/// Strategy: a random connected-ish netlist of `n` cells with random
+/// 2..5-pin nets, random widths, and a couple of pads.
+fn arb_netlist() -> impl Strategy<Value = Netlist> {
+    (3usize..40, prop::collection::vec((0usize..40, 0usize..40), 2..60)).prop_map(
+        |(n, pairs)| {
+            let mut b = NetlistBuilder::new();
+            let libs = [
+                b.add_lib_cell("W2", 2.0, 1.0, 1, 1),
+                b.add_lib_cell("W3", 3.0, 1.0, 2, 1),
+                b.add_lib_cell("W5", 5.0, 1.0, 2, 1),
+            ];
+            let pad = b.add_lib_cell("PAD", 1.0, 1.0, 1, 1);
+            let cells: Vec<_> = (0..n)
+                .map(|i| b.add_cell(&format!("u{i}"), libs[i % libs.len()]))
+                .collect();
+            let p0 = b.add_fixed_cell("pad0", pad);
+            // Random 2-pin nets (self-loops skipped), plus one pad net.
+            let mut made = 0;
+            for (k, (a, c)) in pairs.into_iter().enumerate() {
+                let (a, c) = (a % n, c % n);
+                if a == c {
+                    continue;
+                }
+                b.add_net(
+                    &format!("n{k}"),
+                    [
+                        (cells[a], Point::ORIGIN, PinDir::Output),
+                        (cells[c], Point::ORIGIN, PinDir::Input),
+                    ],
+                );
+                made += 1;
+            }
+            if made == 0 {
+                b.add_net(
+                    "nf",
+                    [
+                        (cells[0], Point::ORIGIN, PinDir::Output),
+                        (cells[1], Point::ORIGIN, PinDir::Input),
+                    ],
+                );
+            }
+            b.add_net(
+                "npad",
+                [
+                    (p0, Point::ORIGIN, PinDir::Output),
+                    (cells[0], Point::ORIGIN, PinDir::Input),
+                ],
+            );
+            b.finish().expect("constructed netlist is valid")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bookshelf write → read preserves counts, names, fixedness, and HPWL.
+    #[test]
+    fn bookshelf_round_trip_on_random_netlists(nl in arb_netlist(), seed in 0u64..1000) {
+        let design = Design::uniform_rows(64.0, 1.0, 16, 1.0);
+        let mut pl = Placement::new(&nl);
+        // Pseudo-random but deterministic positions.
+        for (k, c) in nl.cell_ids().enumerate() {
+            let t = (k as u64).wrapping_mul(2654435761).wrapping_add(seed) as f64;
+            pl.set(c, Point::new((t % 601.0) / 10.0, ((t / 7.0) % 160.0) / 10.0));
+        }
+        let dir = std::env::temp_dir().join(format!("sdp_prop_bs_{seed}"));
+        let aux = write_bookshelf(&dir, "case", &nl, &design, &pl).expect("write");
+        let case = read_bookshelf(&aux).expect("read");
+        prop_assert_eq!(case.netlist.num_cells(), nl.num_cells());
+        prop_assert_eq!(case.netlist.num_nets(), nl.num_nets());
+        prop_assert_eq!(case.netlist.num_pins(), nl.num_pins());
+        prop_assert_eq!(case.netlist.num_movable(), nl.num_movable());
+        let h1 = pl.total_hpwl(&nl);
+        let h2 = case.placement.total_hpwl(&case.netlist);
+        prop_assert!((h1 - h2).abs() <= 1e-4 * (1.0 + h1), "{} vs {}", h1, h2);
+    }
+
+    /// Extraction never panics and never claims fixed cells, on arbitrary
+    /// netlists (most of which contain no datapath at all).
+    #[test]
+    fn extraction_is_total_on_random_netlists(nl in arb_netlist()) {
+        let r = sdp_extract::extract(&nl, &sdp_extract::ExtractConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for g in &r.groups {
+            for (_, _, c) in g.iter() {
+                prop_assert!(!nl.cell(c).fixed);
+                prop_assert!(seen.insert(c), "cell claimed twice");
+            }
+        }
+    }
+
+    /// The legalizer produces a legal placement from arbitrary starts
+    /// whenever capacity allows (our rows always have ample capacity).
+    #[test]
+    fn legalizer_is_total_on_random_starts(nl in arb_netlist(), seed in 0u64..1000) {
+        let design = Design::uniform_rows(128.0, 1.0, 16, 1.0);
+        let mut pl = Placement::new(&nl);
+        for (k, c) in nl.cell_ids().enumerate() {
+            let t = (k as u64).wrapping_mul(0x9e3779b9).wrapping_add(seed) as f64;
+            pl.set(c, Point::new((t % 1280.0) / 10.0, ((t / 3.0) % 160.0) / 10.0));
+        }
+        let stats = legalize(&nl, &design, &mut pl, &LegalizeOptions::default());
+        prop_assert_eq!(stats.failed, 0);
+        let violations = check_legal(&nl, &design, &pl);
+        // Fixed pads were placed at arbitrary spots; exclude violations
+        // that involve them (the generator flow places pads off-core).
+        let hard: Vec<_> = violations
+            .iter()
+            .filter(|v| !matches!(v, sdp_legal::Violation::FixedOverlap(_, _)))
+            .collect();
+        prop_assert!(hard.is_empty(), "{:?}", hard);
+    }
+
+    /// Netlist accessors are self-consistent: every pin's cell lists the
+    /// pin, every net's pins point back at the net.
+    #[test]
+    fn netlist_cross_references_are_consistent(nl in arb_netlist()) {
+        for n in nl.net_ids() {
+            for &p in &nl.net(n).pins {
+                prop_assert_eq!(nl.pin(p).net, n);
+                let owner = nl.pin(p).cell;
+                prop_assert!(nl.cell(owner).pins.contains(&p));
+            }
+        }
+        for c in nl.cell_ids() {
+            for &p in &nl.cell(c).pins {
+                prop_assert_eq!(nl.pin(p).cell, c);
+            }
+        }
+    }
+}
