@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sdp_dpgen::{generate, GenConfig};
 use sdp_geom::Point;
-use sdp_gp::DensityModel;
+use sdp_gp::{DensityModel, Executor};
 use std::hint::black_box;
 
 fn bench_density(c: &mut Criterion) {
@@ -23,13 +23,24 @@ fn bench_density(c: &mut Criterion) {
     let mut model = DensityModel::new(&d.netlist, region, &pos, 0.9, res, res);
     let mut grad = vec![Point::ORIGIN; pos.len()];
 
-    c.benchmark_group("density/dp_small")
-        .bench_function("eval_with_grad", |b| {
+    let mut g = c.benchmark_group("density/dp_small");
+    g.bench_function("eval_with_grad", |b| {
+        b.iter(|| {
+            grad.fill(Point::ORIGIN);
+            black_box(model.eval(&d.netlist, black_box(&pos), &mut grad))
+        })
+    });
+    // 1-vs-N thread comparison (bitwise identical results by design).
+    for threads in [1usize, 2, 4] {
+        let exec = Executor::new(threads);
+        g.bench_function(&format!("eval_with_grad/threads={threads}"), |b| {
             b.iter(|| {
                 grad.fill(Point::ORIGIN);
-                black_box(model.eval(&d.netlist, black_box(&pos), &mut grad))
+                black_box(model.eval_with(&d.netlist, black_box(&pos), &mut grad, &exec))
             })
         });
+    }
+    g.finish();
 }
 
 criterion_group! {

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use sdp_dpgen::{generate, GenConfig};
 use sdp_geom::Point;
 use sdp_gp::wirelength::eval_wirelength;
-use sdp_gp::{hpwl, WirelengthModel};
+use sdp_gp::{eval_wirelength_with, hpwl, Executor, WirelengthModel};
 use std::hint::black_box;
 
 fn bench_wirelength(c: &mut Criterion) {
@@ -47,6 +47,24 @@ fn bench_wirelength(c: &mut Criterion) {
             ))
         })
     });
+    // 1-vs-N thread comparison on the same workload (results are bitwise
+    // identical at every count; only wall-clock may differ).
+    for threads in [1usize, 2, 4] {
+        let exec = Executor::new(threads);
+        g.bench_function(&format!("wa_with_grad/threads={threads}"), |b| {
+            b.iter(|| {
+                grad.fill(Point::ORIGIN);
+                black_box(eval_wirelength_with(
+                    WirelengthModel::Wa,
+                    &d.netlist,
+                    black_box(&pos),
+                    2.0,
+                    &mut grad,
+                    &exec,
+                ))
+            })
+        });
+    }
     g.finish();
 }
 

@@ -40,7 +40,12 @@ fn main() -> ExitCode {
     );
     for id in ids {
         let r = run_experiment(id, mode).expect("validated above");
-        println!("=== {} — {} ({:.1}s) ===", r.id.to_uppercase(), r.title, r.seconds);
+        println!(
+            "=== {} — {} ({:.1}s) ===",
+            r.id.to_uppercase(),
+            r.title,
+            r.seconds
+        );
         println!("{}", r.table);
         println!("expected shape: {}\n", r.expected);
     }

@@ -27,9 +27,7 @@ impl Args {
                 if BOOL_FLAGS.contains(&name) {
                     args.options.insert(name.to_string(), None);
                 } else {
-                    let value = it
-                        .next()
-                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                     args.options.insert(name.to_string(), Some(value.clone()));
                 }
             } else {

@@ -32,6 +32,9 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     if args.flag("abacus") {
         config.legalizer = sdp_core::LegalizerKind::Abacus;
     }
+    if let Some(threads) = args.number::<usize>("threads")? {
+        config = config.with_threads(threads);
+    }
 
     let out = StructurePlacer::new(config).place(&case.netlist, &case.design, &case.placement);
     let r = &out.report;
@@ -58,8 +61,14 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         println!("wrote {}", aux.display());
     }
     if let Some(svg) = args.value("svg") {
-        write_placement_svg(svg, &case.netlist, &case.design, &out.placement, &out.groups)
-            .map_err(|e| e.to_string())?;
+        write_placement_svg(
+            svg,
+            &case.netlist,
+            &case.design,
+            &out.placement,
+            &out.groups,
+        )
+        .map_err(|e| e.to_string())?;
         println!("wrote {svg}");
     }
     if out.legal_violations > 0 {

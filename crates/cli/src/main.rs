@@ -25,7 +25,7 @@ USAGE:
   sdplace gen <preset | --gates N --fraction F> [--seed S] --out PATH
   sdplace extract <case.aux> [--rounds K]
   sdplace place <case.aux> [--baseline | --rigid] [--fast] [--abacus]
-                [--seed S] [--out PATH] [--svg FILE]
+                [--seed S] [--threads T] [--out PATH] [--svg FILE]
   sdplace route <case.aux> [--tracks N]
   sdplace eval <case.aux>
 
@@ -46,6 +46,8 @@ OPTIONS:
   --rigid         maximal-regularity profile (snap + row-lock groups)
   --fast          reduced-effort placer profile
   --abacus        Abacus legalizer (displacement-optimal rows)
+  --threads T     placement kernel threads; 0 = all cores, 1 = sequential
+                  (results are bitwise identical)        [default: 0]
   --rounds K      signature refinement depth for extract   [default: 1]
   --gates N       custom design size (with gen)
   --fraction F    custom datapath fraction in [0,1] (with gen)

@@ -37,7 +37,11 @@ fn gen_extract_place_route_eval_pipeline() {
     let prefix_s = prefix.to_str().expect("utf-8 tmp path");
 
     let out = sdplace(&["gen", "dp_tiny", "--seed", "3", "--out", prefix_s]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let aux = format!("{prefix_s}.aux");
 
     let out = sdplace(&["extract", &aux]);
@@ -56,7 +60,11 @@ fn gen_extract_place_route_eval_pipeline() {
         "--svg",
         svg.to_str().expect("utf-8"),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("legal violations | 0"));
     assert!(svg.exists(), "svg written");
@@ -85,9 +93,21 @@ fn gen_custom_fraction_design() {
     let prefix = tmp("custom/sweep");
     let prefix_s = prefix.to_str().expect("utf-8");
     let out = sdplace(&[
-        "gen", "--gates", "800", "--fraction", "0.5", "--seed", "2", "--out", prefix_s,
+        "gen",
+        "--gates",
+        "800",
+        "--fraction",
+        "0.5",
+        "--seed",
+        "2",
+        "--out",
+        prefix_s,
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("fraction"));
 }
 
@@ -97,7 +117,15 @@ fn gen_rejects_bad_input() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown preset"));
 
-    let out = sdplace(&["gen", "--gates", "100", "--fraction", "1.5", "--out", "/tmp/x"]);
+    let out = sdplace(&[
+        "gen",
+        "--gates",
+        "100",
+        "--fraction",
+        "1.5",
+        "--out",
+        "/tmp/x",
+    ]);
     assert!(!out.status.success());
 
     let out = sdplace(&["gen", "dp_tiny"]);

@@ -80,6 +80,9 @@ pub struct AlignTerm {
     groups: Vec<DatapathGroup>,
     config: AlignConfig,
     fits: Vec<GroupFit>,
+    /// Per-group axis feasibility, indexed `[vertical, horizontal]`;
+    /// see [`AlignTerm::restrict_axes`].
+    allowed: Vec<[bool; 2]>,
     weight: f64,
     ramp_accum: f64,
     active: bool,
@@ -100,15 +103,59 @@ impl AlignTerm {
                 axis: g.axis,
             })
             .collect();
+        let allowed = vec![[true; 2]; groups.len()];
         AlignTerm {
             groups,
             config,
             fits,
+            allowed,
             weight: 0.0,
             ramp_accum: 1.0,
             active: false,
             base_scale: None,
         }
+    }
+
+    /// Forbids orientations the core cannot realize: an axis is feasible
+    /// only if every *physical row* it would produce (bit rows when
+    /// bits-vertical, stage columns laid flat when bits-horizontal) fits
+    /// within `max_row_width`. The residual comparison in refit may then
+    /// only flip a group onto a feasible axis — otherwise the objective
+    /// happily shapes arrays wider than any placement row, and the later
+    /// row snap has no legal window to commit them to. Groups for which
+    /// neither axis fits are left unrestricted (alignment stays
+    /// best-effort). A group currently sitting on a forbidden axis is
+    /// flipped immediately.
+    pub fn restrict_axes(&mut self, netlist: &Netlist, max_row_width: f64) {
+        if !max_row_width.is_finite() {
+            return;
+        }
+        let fits_in_row = |w: f64| w <= max_row_width + 1e-9;
+        for (gi, g) in self.groups.iter().enumerate() {
+            let vertical = (0..g.bits())
+                .all(|b| fits_in_row(g.bit_row(b).map(|c| netlist.cell_width(c)).sum()));
+            let horizontal = (0..g.stages())
+                .all(|s| fits_in_row(g.stage_col(s).map(|c| netlist.cell_width(c)).sum()));
+            self.allowed[gi] = if vertical || horizontal {
+                [vertical, horizontal]
+            } else {
+                [true; 2]
+            };
+        }
+        for gi in 0..self.groups.len() {
+            let axis = self.fits[gi].axis;
+            if !self.axis_allowed(gi, axis) {
+                self.fits[gi].axis = axis.transposed();
+                self.groups[gi].axis = axis.transposed();
+            }
+        }
+    }
+
+    fn axis_allowed(&self, gi: usize, axis: GroupAxis) -> bool {
+        self.allowed[gi][match axis {
+            GroupAxis::BitsVertical => 0,
+            GroupAxis::BitsHorizontal => 1,
+        }]
     }
 
     /// The groups being aligned (with their current orientation choices).
@@ -151,12 +198,7 @@ impl AlignTerm {
 
     /// Fits a group under one orientation and returns `(fit, residual)`.
     /// `axis` decides which coordinate plays the row role.
-    fn fit_group(
-        &self,
-        g: &DatapathGroup,
-        pos: &[Point],
-        axis: GroupAxis,
-    ) -> (GroupFit, f64) {
+    fn fit_group(&self, g: &DatapathGroup, pos: &[Point], axis: GroupAxis) -> (GroupFit, f64) {
         let row_coord = |p: Point| match axis {
             GroupAxis::BitsVertical => p.y,
             GroupAxis::BitsHorizontal => p.x,
@@ -213,9 +255,14 @@ impl AlignTerm {
         for gi in 0..self.groups.len() {
             let g = &self.groups[gi];
             let cur_axis = self.fits[gi].axis;
+            let alt_axis = cur_axis.transposed();
             let (fit_cur, res_cur) = self.fit_group(g, pos, cur_axis);
-            let (fit_alt, res_alt) = self.fit_group(g, pos, cur_axis.transposed());
-            if res_alt < res_cur * self.config.hysteresis {
+            if !self.axis_allowed(gi, alt_axis) {
+                self.fits[gi] = fit_cur;
+                continue;
+            }
+            let (fit_alt, res_alt) = self.fit_group(g, pos, alt_axis);
+            if !self.axis_allowed(gi, cur_axis) || res_alt < res_cur * self.config.hysteresis {
                 self.fits[gi] = fit_alt;
                 self.groups[gi].axis = fit_alt.axis;
             } else {
@@ -297,9 +344,7 @@ impl AlignTerm {
             };
             self.base_scale = Some(scale);
         }
-        self.weight = self.config.beta
-            * self.base_scale.expect("set above")
-            * self.ramp_accum;
+        self.weight = self.config.beta * self.base_scale.expect("set above") * self.ramp_accum;
     }
 }
 
@@ -421,7 +466,9 @@ mod tests {
     #[test]
     fn weight_ramps_and_caps() {
         let mut term = AlignTerm::new(vec![group2x3()], AlignConfig::default());
-        let pos: Vec<Point> = (0..6).map(|i| Point::new(i as f64, i as f64 * 0.5)).collect();
+        let pos: Vec<Point> = (0..6)
+            .map(|i| Point::new(i as f64, i as f64 * 0.5))
+            .collect();
         term.begin_outer(0, 0.0, &pos);
         let w1 = term.weight();
         term.begin_outer(1, 0.0, &pos);
@@ -496,6 +543,40 @@ mod tests {
         let v = term.eval(&nl, &pos, &mut grad);
         assert!(v.is_finite());
         assert!(grad.iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn width_restriction_blocks_infeasible_flip() {
+        let nl = grid_netlist(6);
+        // 3 bits x 2 stages of unit-width cells: bit rows are 2 wide,
+        // stage columns laid flat would be 3 wide.
+        let g = DatapathGroup::from_dense(
+            "tall",
+            vec![
+                vec![CellId::new(0), CellId::new(1)],
+                vec![CellId::new(2), CellId::new(3)],
+                vec![CellId::new(4), CellId::new(5)],
+            ],
+        );
+        let mut term = AlignTerm::new(vec![g], AlignConfig::default());
+        // Rows only 2.5 wide: bits-horizontal (3-wide rows) is forbidden.
+        term.restrict_axes(&nl, 2.5);
+        // Bits laid out horizontally: the residual comparison alone would
+        // flip the group (cf. orientation_flips_for_wide_flat_groups).
+        let pos: Vec<Point> = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.1, 4.0),
+            Point::new(6.0, 0.1),
+            Point::new(6.1, 4.1),
+            Point::new(12.0, -0.1),
+            Point::new(12.1, 3.9),
+        ];
+        term.begin_outer(0, 0.0, &pos);
+        assert_eq!(
+            term.groups()[0].axis,
+            GroupAxis::BitsVertical,
+            "infeasible orientation must not be chosen"
+        );
     }
 
     #[test]

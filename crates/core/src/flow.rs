@@ -117,6 +117,14 @@ impl FlowConfig {
         self.align.beta = 1.0;
         self
     }
+
+    /// Sets the kernel thread count ([`sdp_gp::GpConfig::threads`]):
+    /// `0` uses all available cores, `1` the sequential legacy path.
+    /// Results are bitwise identical at every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.gp.threads = threads;
+        self
+    }
 }
 
 /// Wall-clock seconds of each phase (table T5).
@@ -205,11 +213,18 @@ impl StructurePlacer {
         // are folded into stacked chunks — a 240-bit multiplier array
         // cannot stand as 240 consecutive rows in a 100-row core.
         let t0 = Instant::now();
+        // Narrowest core row: the width every physical group row must fit
+        // into, wherever its snap window lands.
+        let max_row_width = design
+            .rows()
+            .iter()
+            .map(|r| r.x2 - r.x1)
+            .fold(f64::INFINITY, f64::min);
         let groups = if self.config.structure_aware {
             let raw = extract(netlist, &self.config.extract).groups;
             let max_rows = ((design.region().height() / design.row_height() / 3.0) as usize)
                 .max(self.config.extract.min_bits);
-            fold_groups(raw, max_rows)
+            fold_groups_to_width(fold_groups(raw, max_rows), netlist, max_row_width)
         } else {
             Vec::new()
         };
@@ -233,6 +248,7 @@ impl StructurePlacer {
                 ..self.config.align
             },
         );
+        align_term.restrict_axes(netlist, max_row_width);
         let gp_stats = if self.config.structure_aware {
             let mut stats = placer.place_inflated(
                 gp_netlist,
@@ -260,12 +276,12 @@ impl StructurePlacer {
                     None,
                     Some(netlist),
                 );
-                stats.trace.extend(rstats.trace.iter().map(|t| {
-                    sdp_gp::IterationTrace {
+                stats
+                    .trace
+                    .extend(rstats.trace.iter().map(|t| sdp_gp::IterationTrace {
                         outer: t.outer + stats.outer_iters,
                         ..*t
-                    }
-                }));
+                    }));
                 stats.outer_iters += rstats.outer_iters;
                 stats.final_hpwl = rstats.final_hpwl;
                 stats.final_overflow = rstats.final_overflow;
@@ -285,12 +301,12 @@ impl StructurePlacer {
                     ..self.config.gp
                 });
                 let rstats = refine.place(netlist, design, &mut placement, None);
-                stats.trace.extend(rstats.trace.iter().map(|t| {
-                    sdp_gp::IterationTrace {
+                stats
+                    .trace
+                    .extend(rstats.trace.iter().map(|t| sdp_gp::IterationTrace {
                         outer: t.outer + stats.outer_iters,
                         ..*t
-                    }
-                }));
+                    }));
                 stats.outer_iters += rstats.outer_iters;
                 stats.final_hpwl = rstats.final_hpwl;
                 stats.final_overflow = rstats.final_overflow;
@@ -386,17 +402,76 @@ fn fold_groups(groups: Vec<DatapathGroup>, max_rows: usize) -> Vec<DatapathGroup
         let chunks = g.bits().div_ceil(max_rows);
         // Even chunk sizes (the last chunk must not degenerate).
         let per = g.bits().div_ceil(chunks);
-        for (k, start) in (0..g.bits()).step_by(per).enumerate() {
+        out.extend(split_bits(&g, per));
+    }
+    out
+}
+
+/// Folds `BitsHorizontal` groups whose *stage rows* are wider than the
+/// narrowest core row. Such a group lays one cell per bit side by side
+/// on each row, so a wide bus can demand a row the core simply does not
+/// have — no snap window exists and alignment silently degrades.
+/// Splitting the bits into the fewest even chunks whose stage rows all
+/// fit restores a realizable shape (`BitsVertical` groups are
+/// unaffected: their bit-row width is fixed by the stage count, which
+/// folding cannot reduce).
+fn fold_groups_to_width(
+    groups: Vec<DatapathGroup>,
+    netlist: &Netlist,
+    max_row_width: f64,
+) -> Vec<DatapathGroup> {
+    let stage_rows_fit = |g: &DatapathGroup, per: usize| -> bool {
+        (0..g.bits()).step_by(per).all(|start| {
+            let end = (start + per).min(g.bits());
+            (0..g.stages()).all(|s| {
+                let w: f64 = (start..end)
+                    .filter_map(|b| g.cell_at(b, s))
+                    .map(|c| netlist.cell_width(c))
+                    .sum();
+                w <= max_row_width + 1e-9
+            })
+        })
+    };
+    let mut out = Vec::with_capacity(groups.len());
+    for g in groups {
+        if g.axis != GroupAxis::BitsHorizontal || !max_row_width.is_finite() {
+            out.push(g);
+            continue;
+        }
+        // Fewest even chunks whose every stage row fits.
+        let mut chunks = 1;
+        let per = loop {
+            let per = g.bits().div_ceil(chunks);
+            if per == 1 || stage_rows_fit(&g, per) {
+                break per;
+            }
+            chunks += 1;
+        };
+        if g.bits() <= per {
+            out.push(g);
+        } else {
+            out.extend(split_bits(&g, per));
+        }
+    }
+    out
+}
+
+/// Splits a group's bits into consecutive chunks of at most `per` bits.
+/// Chunk k is named `g.name()/k` and inherits the group's axis.
+fn split_bits(g: &DatapathGroup, per: usize) -> Vec<DatapathGroup> {
+    (0..g.bits())
+        .step_by(per)
+        .enumerate()
+        .map(|(k, start)| {
             let end = (start + per).min(g.bits());
             let matrix: Vec<Vec<Option<sdp_netlist::CellId>>> = (start..end)
                 .map(|b| (0..g.stages()).map(|s| g.cell_at(b, s)).collect())
                 .collect();
             let mut chunk = DatapathGroup::new(format!("{}/{k}", g.name()), matrix);
             chunk.axis = g.axis;
-            out.push(chunk);
-        }
-    }
-    out
+            chunk
+        })
+        .collect()
 }
 
 impl StructurePlacer {
@@ -517,12 +592,17 @@ fn boost_datapath_nets(
 }
 
 /// Snaps every group onto aligned rows: bit `b` of a group goes to row
-/// `r0 + b`, where `r0` centres the group's fitted row line inside the
-/// core — so the whole array lands on *consecutive* rows exactly as the
-/// alignment objective shaped it. Each cell takes the legal slot nearest
-/// its global-placement x on its assigned row. Cells whose row is full
-/// are left for Tetris (counted as fallback). Returns the snapped
-/// (locked) cells and the fallback count.
+/// `r0 + b`, where `r0` is chosen as close as possible to the fitted row
+/// line the alignment objective shaped — so the whole array lands on
+/// *consecutive* rows. Earlier (larger) groups can exhaust the rows under
+/// a group's fitted position, so the base row is searched outward from
+/// the fitted one and the nearest window where **every** cell of the
+/// group fits intact wins; committing to a full window keeps each bit
+/// row on a single y instead of scattering its overflow to the
+/// legalizer. Each cell takes the legal slot nearest its
+/// global-placement x on its assigned row. Only when no window can hold
+/// the whole group are the unplaceable cells left for Tetris (counted as
+/// fallback). Returns the snapped (locked) cells and the fallback count.
 fn snap_groups(
     netlist: &Netlist,
     design: &Design,
@@ -577,35 +657,108 @@ fn snap_groups(
         }
         offsets.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let alpha = offsets[offsets.len() / 2];
-        let r0 = (((alpha - rows[0].y) / rh).round() as isize)
-            .clamp(0, (nrows.saturating_sub(g.bits())) as isize) as usize;
+        let max_base = nrows.saturating_sub(g.bits());
+        let r0 = (((alpha - rows[0].y) / rh).round() as isize).clamp(0, max_base as isize) as usize;
 
-        for b in 0..g.bits() {
-            let ri = (r0 + b).min(nrows - 1);
-            let yc = rows[ri].y + rows[ri].height / 2.0;
-            // Left-to-right so same-row neighbours do not leapfrog.
-            let mut ordered: Vec<CellId> = g.bit_row(b).collect();
-            ordered.sort_by(|&a, &b| {
-                placement
-                    .get(a)
-                    .x
-                    .partial_cmp(&placement.get(b).x)
-                    .expect("positions are finite")
-            });
-            for c in ordered {
-                let w = netlist.cell_width(c);
-                let target_left = placement.get(c).x - w / 2.0;
-                match spaces[ri].place_near(target_left, w) {
-                    Some(x) => {
-                        placement.set(c, Point::new(x + w / 2.0, yc));
+        // Search base rows outward from the fitted one (below before
+        // above at equal distance) and commit to the nearest window that
+        // holds the whole group.
+        let mut snapped = false;
+        if g.bits() <= nrows {
+            let mut candidates: Vec<usize> = Vec::with_capacity(max_base + 1);
+            candidates.push(r0);
+            for d in 1..=max_base {
+                if r0 >= d {
+                    candidates.push(r0 - d);
+                }
+                if r0 + d <= max_base {
+                    candidates.push(r0 + d);
+                }
+            }
+            for base in candidates {
+                if let Some((trial, placed)) =
+                    try_snap_window(netlist, placement, &g, &spaces, rows, base)
+                {
+                    for (b, space) in trial.into_iter().enumerate() {
+                        spaces[base + b] = space;
+                    }
+                    for (c, p) in placed {
+                        placement.set(c, p);
                         locked.insert(c);
                     }
-                    None => fallback += 1,
+                    snapped = true;
+                    break;
+                }
+            }
+        }
+
+        if !snapped {
+            // No window holds the group intact (or it is taller than the
+            // core): best-effort placement at the fitted rows, leaving
+            // whatever does not fit for Tetris.
+            for b in 0..g.bits() {
+                let ri = (r0 + b).min(nrows - 1);
+                let yc = rows[ri].y + rows[ri].height / 2.0;
+                for c in sorted_by_x(placement, g.bit_row(b)) {
+                    let w = netlist.cell_width(c);
+                    let target_left = placement.get(c).x - w / 2.0;
+                    match spaces[ri].place_near(target_left, w) {
+                        Some(x) => {
+                            placement.set(c, Point::new(x + w / 2.0, yc));
+                            locked.insert(c);
+                        }
+                        None => fallback += 1,
+                    }
                 }
             }
         }
     }
     (locked, fallback)
+}
+
+/// Cells ordered left-to-right by current x so same-row neighbours do
+/// not leapfrog when claiming slots.
+fn sorted_by_x(placement: &Placement, cells: impl Iterator<Item = CellId>) -> Vec<CellId> {
+    let mut ordered: Vec<CellId> = cells.collect();
+    ordered.sort_by(|&a, &b| {
+        placement
+            .get(a)
+            .x
+            .partial_cmp(&placement.get(b).x)
+            .expect("positions are finite")
+    });
+    ordered
+}
+
+/// The outcome of a successful [`try_snap_window`]: the updated row
+/// spaces for the window plus the chosen cell positions.
+type SnapWindow = (Vec<RowSpace>, Vec<(CellId, Point)>);
+
+/// Tries to snap the whole (bits-vertical) group into the row window
+/// starting at `base`. Succeeds only if *every* cell finds a slot;
+/// returns the updated row spaces for the window plus the chosen
+/// positions, leaving `spaces` untouched on failure.
+fn try_snap_window(
+    netlist: &Netlist,
+    placement: &Placement,
+    g: &DatapathGroup,
+    spaces: &[RowSpace],
+    rows: &[sdp_netlist::Row],
+    base: usize,
+) -> Option<SnapWindow> {
+    let mut trial: Vec<RowSpace> = (0..g.bits()).map(|b| spaces[base + b].clone()).collect();
+    let mut placed = Vec::new();
+    for (b, space) in trial.iter_mut().enumerate() {
+        let ri = base + b;
+        let yc = rows[ri].y + rows[ri].height / 2.0;
+        for c in sorted_by_x(placement, g.bit_row(b)) {
+            let w = netlist.cell_width(c);
+            let target_left = placement.get(c).x - w / 2.0;
+            let x = space.place_near(target_left, w)?;
+            placed.push((c, Point::new(x + w / 2.0, yc)));
+        }
+    }
+    Some((trial, placed))
 }
 
 #[cfg(test)]
@@ -647,11 +800,8 @@ mod tests {
         // Baseline has no groups to measure; measure its geometry against
         // the aware run's groups for a fair comparison.
         let d = generate(&GenConfig::named("dp_tiny", 2).unwrap());
-        let base_align = sdp_eval::alignment_report(
-            &base.placement,
-            &aware.groups,
-            d.design.row_height(),
-        );
+        let base_align =
+            sdp_eval::alignment_report(&base.placement, &aware.groups, d.design.row_height());
         assert!(
             aware.report.alignment.aligned_row_fraction > base_align.aligned_row_fraction,
             "aligned fraction: aware {} vs baseline {}",
@@ -698,10 +848,8 @@ mod tests {
         }
         assert_eq!(seen.len(), 200);
         // Short groups pass through untouched.
-        let short = DatapathGroup::from_dense(
-            "s",
-            (0..8).map(|b| vec![CellId::new(1000 + b)]).collect(),
-        );
+        let short =
+            DatapathGroup::from_dense("s", (0..8).map(|b| vec![CellId::new(1000 + b)]).collect());
         let kept = fold_groups(vec![short.clone()], 30);
         assert_eq!(kept[0].bits(), 8);
         assert_eq!(kept[0].name(), short.name());
@@ -788,6 +936,9 @@ mod tests {
             }
         }
         assert!(rows_total > 0);
-        assert_eq!(shared, rows_total, "rigid mode puts each bit row on one row");
+        assert_eq!(
+            shared, rows_total,
+            "rigid mode puts each bit row on one row"
+        );
     }
 }

@@ -194,7 +194,10 @@ pub fn barrel_shifter(c: &mut WireCircuit, data: &[WireId], shift: &[WireId]) ->
 /// wires are supplied (needs `log2(ways)`), or bus widths differ.
 pub fn mux_tree(c: &mut WireCircuit, buses: &[Vec<WireId>], sels: &[WireId]) -> BlockOut {
     let ways = buses.len();
-    assert!(ways >= 2 && ways.is_power_of_two(), "ways must be a power of two >= 2");
+    assert!(
+        ways >= 2 && ways.is_power_of_two(),
+        "ways must be a power of two >= 2"
+    );
     let width = buses[0].len();
     assert!(buses.iter().all(|b| b.len() == width), "bus widths differ");
     let levels = ways.trailing_zeros() as usize;
@@ -302,7 +305,13 @@ pub fn array_multiplier(c: &mut WireCircuit, a: &[WireId], b: &[WireId], zero: W
 ///
 /// Ground truth: one `width × 11` group — stages are
 /// `[and, or, xor, add.xor, add.xor, add.and, add.and, add.or, mux, mux, mux]`.
-pub fn alu(c: &mut WireCircuit, a: &[WireId], b: &[WireId], op: &[WireId], cin: WireId) -> BlockOut {
+pub fn alu(
+    c: &mut WireCircuit,
+    a: &[WireId],
+    b: &[WireId],
+    op: &[WireId],
+    cin: WireId,
+) -> BlockOut {
     let width = a.len();
     assert_eq!(a.len(), b.len(), "operand widths differ");
     assert!(op.len() >= 2, "alu needs two op-select wires");
@@ -466,7 +475,7 @@ mod tests {
         assert_eq!(blk.groups[0].1.len(), 4); // pp: 4 bits x 4 stages
         assert_eq!(blk.groups[0].1[0].len(), 4);
         assert_eq!(blk.groups[1].1[0].len(), 5); // adder row
-        // Gate count: 16 ANDs + 3 rows * 4 bits * 5 gates = 76.
+                                                 // Gate count: 16 ANDs + 3 rows * 4 bits * 5 gates = 76.
         assert_eq!(c.num_gates(), 76);
         // Product width: out has low bits + final acc + carry = 3 + 4 + 1.
         assert_eq!(blk.out.len(), 8);

@@ -310,17 +310,14 @@ impl WireCircuit {
         let pad_lib = b.add_lib_cell("PAD", 1.0, 1.0, 1, 1);
         let libs: Vec<_> = GateKind::ALL
             .iter()
-            .map(|&k| {
-                b.add_lib_cell(
-                    k.master_name(),
-                    k.width(),
-                    1.0,
-                    k.num_inputs() as u8,
-                    1,
-                )
-            })
+            .map(|&k| b.add_lib_cell(k.master_name(), k.width(), 1.0, k.num_inputs() as u8, 1))
             .collect();
-        let lib_of = |k: GateKind| libs[GateKind::ALL.iter().position(|&x| x == k).expect("all kinds listed")];
+        let lib_of = |k: GateKind| {
+            libs[GateKind::ALL
+                .iter()
+                .position(|&x| x == k)
+                .expect("all kinds listed")]
+        };
 
         // Cells.
         let gate_cells: Vec<CellId> = self
@@ -392,15 +389,14 @@ impl WireCircuit {
 
         // Nets.
         for (wi, u) in uses.iter().enumerate() {
-            let Some((drv, doff)) = u.driver else { continue };
+            let Some((drv, doff)) = u.driver else {
+                continue;
+            };
             if u.sinks.is_empty() {
                 continue;
             }
-            let conns = std::iter::once((drv, doff, PinDir::Output)).chain(
-                u.sinks
-                    .iter()
-                    .map(|&(c, off)| (c, off, PinDir::Input)),
-            );
+            let conns = std::iter::once((drv, doff, PinDir::Output))
+                .chain(u.sinks.iter().map(|&(c, off)| (c, off, PinDir::Input)));
             b.add_net(&format!("w{wi}"), conns);
         }
 

@@ -116,7 +116,12 @@ pub struct GenConfig {
 
 impl GenConfig {
     /// Creates a config with explicit blocks and glue size.
-    pub fn new(name: impl Into<String>, seed: u64, blocks: Vec<BlockSpec>, glue_gates: usize) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        seed: u64,
+        blocks: Vec<BlockSpec>,
+        glue_gates: usize,
+    ) -> Self {
         GenConfig {
             name: name.into(),
             seed,
@@ -139,14 +144,23 @@ impl GenConfig {
         use BlockSpec::*;
         let (blocks, glue): (Vec<BlockSpec>, usize) = match name {
             "dp_tiny" => (
-                vec![RippleAdder { width: 8 }, BarrelShifter { width: 8, levels: 3 }],
+                vec![
+                    RippleAdder { width: 8 },
+                    BarrelShifter {
+                        width: 8,
+                        levels: 3,
+                    },
+                ],
                 150,
             ),
             "dp_small" => (
                 vec![
                     Alu { width: 16 },
                     RegFile { width: 16, regs: 4 },
-                    BarrelShifter { width: 16, levels: 4 },
+                    BarrelShifter {
+                        width: 16,
+                        levels: 4,
+                    },
                 ],
                 1100,
             ),
@@ -155,7 +169,10 @@ impl GenConfig {
                     Multiplier { width: 16 },
                     Alu { width: 32 },
                     RegFile { width: 32, regs: 8 },
-                    BarrelShifter { width: 32, levels: 5 },
+                    BarrelShifter {
+                        width: 32,
+                        levels: 5,
+                    },
                     MuxTree { width: 32, ways: 4 },
                 ],
                 4800,
@@ -165,8 +182,14 @@ impl GenConfig {
                     Multiplier { width: 24 },
                     Alu { width: 64 },
                     Alu { width: 64 },
-                    RegFile { width: 64, regs: 16 },
-                    BarrelShifter { width: 64, levels: 6 },
+                    RegFile {
+                        width: 64,
+                        regs: 16,
+                    },
+                    BarrelShifter {
+                        width: 64,
+                        levels: 6,
+                    },
                     MuxTree { width: 64, ways: 8 },
                 ],
                 11000,
@@ -178,9 +201,18 @@ impl GenConfig {
                     Alu { width: 64 },
                     Alu { width: 64 },
                     Alu { width: 64 },
-                    RegFile { width: 64, regs: 32 },
-                    BarrelShifter { width: 64, levels: 6 },
-                    BarrelShifter { width: 64, levels: 6 },
+                    RegFile {
+                        width: 64,
+                        regs: 32,
+                    },
+                    BarrelShifter {
+                        width: 64,
+                        levels: 6,
+                    },
+                    BarrelShifter {
+                        width: 64,
+                        levels: 6,
+                    },
                     MuxTree { width: 64, ways: 8 },
                 ],
                 24000,
@@ -203,7 +235,10 @@ impl GenConfig {
         total_gates: usize,
         fraction: f64,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         use BlockSpec::*;
         let tile = [Alu { width: 16 }, RegFile { width: 16, regs: 2 }];
         let tile_gates: usize = tile.iter().map(|b| b.gate_count()).sum();
@@ -247,11 +282,19 @@ mod tests {
     fn gate_counts() {
         assert_eq!(BlockSpec::RippleAdder { width: 8 }.gate_count(), 40);
         assert_eq!(
-            BlockSpec::CarrySelectAdder { width: 12, block: 4 }.gate_count(),
+            BlockSpec::CarrySelectAdder {
+                width: 12,
+                block: 4
+            }
+            .gate_count(),
             20 + 88 + 4
         );
         assert_eq!(
-            BlockSpec::BarrelShifter { width: 16, levels: 4 }.gate_count(),
+            BlockSpec::BarrelShifter {
+                width: 16,
+                levels: 4
+            }
+            .gate_count(),
             64
         );
         assert_eq!(BlockSpec::MuxTree { width: 8, ways: 4 }.gate_count(), 24);
@@ -298,7 +341,11 @@ mod tests {
     fn display_labels() {
         assert_eq!(BlockSpec::Multiplier { width: 16 }.to_string(), "mul16");
         assert_eq!(
-            BlockSpec::BarrelShifter { width: 8, levels: 3 }.to_string(),
+            BlockSpec::BarrelShifter {
+                width: 8,
+                levels: 3
+            }
+            .to_string(),
             "shift8x3"
         );
     }

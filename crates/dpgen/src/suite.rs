@@ -59,21 +59,20 @@ pub fn generate(cfg: &GenConfig) -> GeneratedDesign {
     let mut taps: Vec<WireId> = control_pool.clone();
 
     for (bi, spec) in cfg.blocks.iter().enumerate() {
-        let mut operand = |c: &mut WireCircuit, rng: &mut StdRng, w: usize, tag: &str| -> Vec<WireId> {
-            let reuse = bus_pool
-                .iter()
-                .position(|b| b.len() >= w)
-                .filter(|_| rng.random_range(0..100) < 50);
-            match reuse {
-                Some(ix) => {
-                    let bus = bus_pool.swap_remove(ix);
-                    bus[..w].to_vec()
+        let mut operand =
+            |c: &mut WireCircuit, rng: &mut StdRng, w: usize, tag: &str| -> Vec<WireId> {
+                let reuse = bus_pool
+                    .iter()
+                    .position(|b| b.len() >= w)
+                    .filter(|_| rng.random_range(0..100) < 50);
+                match reuse {
+                    Some(ix) => {
+                        let bus = bus_pool.swap_remove(ix);
+                        bus[..w].to_vec()
+                    }
+                    None => (0..w).map(|i| c.input(format!("b{bi}_{tag}{i}"))).collect(),
                 }
-                None => (0..w)
-                    .map(|i| c.input(format!("b{bi}_{tag}{i}")))
-                    .collect(),
-            }
-        };
+            };
         let sel = |rng: &mut StdRng, n: usize| -> Vec<WireId> {
             (0..n)
                 .map(|_| control_pool[rng.random_range(0..control_pool.len())])
@@ -90,8 +89,7 @@ pub fn generate(cfg: &GenConfig) -> GeneratedDesign {
             BlockSpec::CarrySelectAdder { width, block } => {
                 let a = operand(&mut c, &mut rng, width, "a");
                 let b = operand(&mut c, &mut rng, width, "b");
-                let (blk, _cout) =
-                    blocks::carry_select_adder(&mut c, &a, &b, zero, one, block);
+                let (blk, _cout) = blocks::carry_select_adder(&mut c, &a, &b, zero, one, block);
                 blk
             }
             BlockSpec::BarrelShifter { width, levels } => {
@@ -113,7 +111,10 @@ pub fn generate(cfg: &GenConfig) -> GeneratedDesign {
                 for r in 0..regs {
                     let we = control_pool[rng.random_range(0..control_pool.len())];
                     let blk = blocks::register_rank(&mut c, &d, we, clk);
-                    groups.push((format!("reg{r}"), blk.groups.into_iter().next().expect("one group").1));
+                    groups.push((
+                        format!("reg{r}"),
+                        blk.groups.into_iter().next().expect("one group").1,
+                    ));
                     outs = blk.out;
                 }
                 BlockOut { out: outs, groups }
@@ -139,8 +140,14 @@ pub fn generate(cfg: &GenConfig) -> GeneratedDesign {
                     let alu = blocks::alu(&mut c, &bus_a, &bus_b, &op, zero);
                     let we = control_pool[rng.random_range(0..control_pool.len())];
                     let reg = blocks::register_rank(&mut c, &alu.out, we, clk);
-                    groups.push((format!("s{stage}_alu"), alu.groups.into_iter().next().expect("one").1));
-                    groups.push((format!("s{stage}_reg"), reg.groups.into_iter().next().expect("one").1));
+                    groups.push((
+                        format!("s{stage}_alu"),
+                        alu.groups.into_iter().next().expect("one").1,
+                    ));
+                    groups.push((
+                        format!("s{stage}_reg"),
+                        reg.groups.into_iter().next().expect("one").1,
+                    ));
                     bus_a = reg.out.clone();
                     out = reg.out;
                 }
@@ -185,7 +192,9 @@ pub fn generate(cfg: &GenConfig) -> GeneratedDesign {
     }
 
     // Lower to a netlist.
-    let lowered = c.lower(&cfg.name).expect("generated circuit is well formed");
+    let lowered = c
+        .lower(&cfg.name)
+        .expect("generated circuit is well formed");
     let map = |g: GateId| -> CellId { lowered.gate_cells[g.ix()] };
 
     let truth = GroundTruth {

@@ -87,8 +87,20 @@ mod tests {
         let d = b.add_cell("d", l);
         let e = b.add_cell("e", l);
         // Net 1 connects two datapath cells; net 2 is glue.
-        b.add_net("dp", [(a, Point::ORIGIN, PinDir::Output), (c, Point::ORIGIN, PinDir::Input)]);
-        b.add_net("gl", [(d, Point::ORIGIN, PinDir::Output), (e, Point::ORIGIN, PinDir::Input)]);
+        b.add_net(
+            "dp",
+            [
+                (a, Point::ORIGIN, PinDir::Output),
+                (c, Point::ORIGIN, PinDir::Input),
+            ],
+        );
+        b.add_net(
+            "gl",
+            [
+                (d, Point::ORIGIN, PinDir::Output),
+                (e, Point::ORIGIN, PinDir::Input),
+            ],
+        );
         let nl = b.finish().unwrap();
         let mut pl = Placement::new(&nl);
         pl.set(a, Point::new(0.0, 0.0));
@@ -109,7 +121,13 @@ mod tests {
         let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
         let a = b.add_cell("a", l);
         let d = b.add_cell("d", l);
-        b.add_net("mix", [(a, Point::ORIGIN, PinDir::Output), (d, Point::ORIGIN, PinDir::Input)]);
+        b.add_net(
+            "mix",
+            [
+                (a, Point::ORIGIN, PinDir::Output),
+                (d, Point::ORIGIN, PinDir::Input),
+            ],
+        );
         let nl = b.finish().unwrap();
         let mut pl = Placement::new(&nl);
         pl.set(d, Point::new(2.0, 0.0));
@@ -127,13 +145,24 @@ mod tests {
         b.add_net(
             "star",
             cells.iter().enumerate().map(|(i, &c)| {
-                (c, Point::ORIGIN, if i == 0 { PinDir::Output } else { PinDir::Input })
+                (
+                    c,
+                    Point::ORIGIN,
+                    if i == 0 {
+                        PinDir::Output
+                    } else {
+                        PinDir::Input
+                    },
+                )
             }),
         );
         let nl = b.finish().unwrap();
         let mut pl = Placement::new(&nl);
         for (i, &c) in cells.iter().enumerate() {
-            pl.set(c, Point::new((i as f64 * 3.7) % 10.0, (i as f64 * 2.3) % 7.0));
+            pl.set(
+                c,
+                Point::new((i as f64 * 3.7) % 10.0, (i as f64 * 2.3) % 7.0),
+            );
         }
         let st = steiner_wl(&nl, &pl);
         let h = pl.total_hpwl(&nl);
@@ -147,7 +176,13 @@ mod tests {
         let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
         let a = b.add_cell("a", l);
         let c = b.add_cell("c", l);
-        b.add_net("n", [(a, Point::ORIGIN, PinDir::Output), (c, Point::ORIGIN, PinDir::Input)]);
+        b.add_net(
+            "n",
+            [
+                (a, Point::ORIGIN, PinDir::Output),
+                (c, Point::ORIGIN, PinDir::Input),
+            ],
+        );
         let nl = b.finish().unwrap();
         let mut pl = Placement::new(&nl);
         pl.set(c, Point::new(1.0, 1.0));

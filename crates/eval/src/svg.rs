@@ -38,7 +38,10 @@ pub fn write_placement_svg(
         file,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
     )?;
-    writeln!(file, r##"<rect width="100%" height="100%" fill="#ffffff"/>"##)?;
+    writeln!(
+        file,
+        r##"<rect width="100%" height="100%" fill="#ffffff"/>"##
+    )?;
     // Core outline.
     let core = design.region();
     writeln!(
@@ -171,8 +174,20 @@ mod tests {
         let u = b.add_cell("u", l);
         let v = b.add_cell("v", l);
         let p = b.add_fixed_cell("p", l);
-        b.add_net("n", [(u, Point::ORIGIN, PinDir::Output), (v, Point::ORIGIN, PinDir::Input)]);
-        b.add_net("m", [(p, Point::ORIGIN, PinDir::Output), (u, Point::ORIGIN, PinDir::Input)]);
+        b.add_net(
+            "n",
+            [
+                (u, Point::ORIGIN, PinDir::Output),
+                (v, Point::ORIGIN, PinDir::Input),
+            ],
+        );
+        b.add_net(
+            "m",
+            [
+                (p, Point::ORIGIN, PinDir::Output),
+                (u, Point::ORIGIN, PinDir::Input),
+            ],
+        );
         let nl = b.finish().unwrap();
         let design = Design::uniform_rows(20.0, 1.0, 4, 1.0);
         let mut pl = Placement::new(&nl);

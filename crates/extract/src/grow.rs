@@ -19,11 +19,7 @@ struct Seed {
 }
 
 /// Groups cells by signature, keeping classes of plausible bit width.
-fn classes_of(
-    netlist: &Netlist,
-    sigs: &[u64],
-    min_bits: usize,
-) -> Vec<(u64, Vec<CellId>)> {
+fn classes_of(netlist: &Netlist, sigs: &[u64], min_bits: usize) -> Vec<(u64, Vec<CellId>)> {
     let mut map: HashMap<u64, Vec<CellId>> = HashMap::new();
     for c in netlist.movable_ids() {
         map.entry(sigs[c.ix()]).or_default().push(c);
@@ -44,11 +40,7 @@ fn classes_of(
 /// sink of a sink of `u` lands back in the class. Cells with a unique
 /// successor and unique predecessor form paths; each sufficiently long
 /// path becomes a bit-ordered seed.
-fn chain_paths(
-    class: &[CellId],
-    rel: &Relations,
-    min_bits: usize,
-) -> Vec<Vec<CellId>> {
+fn chain_paths(class: &[CellId], rel: &Relations, min_bits: usize) -> Vec<Vec<CellId>> {
     let in_class: HashSet<CellId> = class.iter().copied().collect();
     let mut next: HashMap<CellId, CellId> = HashMap::new();
     let mut prev_count: HashMap<CellId, usize> = HashMap::new();
@@ -437,9 +429,10 @@ mod tests {
                     g.iter().find(|&(_, _, x)| x == c).map(|(b, s, _)| (b, s))
                 };
                 if let Some((b0, s0)) = stage_of(path[0]) {
-                    let consecutive = path.iter().enumerate().all(|(k, &c)| {
-                        stage_of(c) == Some((b0 + k, s0))
-                    });
+                    let consecutive = path
+                        .iter()
+                        .enumerate()
+                        .all(|(k, &c)| stage_of(c) == Some((b0 + k, s0)));
                     if consecutive && path.len() >= 5 {
                         found = true;
                     }
@@ -455,8 +448,7 @@ mod tests {
         let r = extract(&nl, &ExtractConfig::default());
         assert!(!r.groups.is_empty());
         let truth_cells = truth[0].cell_set();
-        let extracted: HashSet<CellId> =
-            r.groups.iter().flat_map(|g| g.cell_set()).collect();
+        let extracted: HashSet<CellId> = r.groups.iter().flat_map(|g| g.cell_set()).collect();
         let hit = truth_cells.intersection(&extracted).count();
         // Signature rounds peel ~2 boundary bits; expect most cells back.
         assert!(
@@ -471,8 +463,7 @@ mod tests {
         let (nl, truth) = lone_shifter(16, 4);
         let r = extract(&nl, &ExtractConfig::default());
         let truth_cells = truth[0].cell_set();
-        let extracted: HashSet<CellId> =
-            r.groups.iter().flat_map(|g| g.cell_set()).collect();
+        let extracted: HashSet<CellId> = r.groups.iter().flat_map(|g| g.cell_set()).collect();
         let hit = truth_cells.intersection(&extracted).count();
         assert!(
             hit as f64 > 0.6 * truth_cells.len() as f64,
@@ -486,8 +477,7 @@ mod tests {
         let (nl, truth) = sdp_dpgen::blocks_for_tests::lone_carry_select(16, 4);
         let r = extract(&nl, &ExtractConfig::default());
         let truth_cells = truth[0].cell_set();
-        let extracted: HashSet<CellId> =
-            r.groups.iter().flat_map(|g| g.cell_set()).collect();
+        let extracted: HashSet<CellId> = r.groups.iter().flat_map(|g| g.cell_set()).collect();
         let hit = truth_cells.intersection(&extracted).count();
         assert!(
             hit as f64 > 0.5 * truth_cells.len() as f64,
@@ -501,8 +491,7 @@ mod tests {
         let (nl, truth) = lone_alu(16);
         let r = extract(&nl, &ExtractConfig::default());
         let truth_cells = truth[0].cell_set();
-        let extracted: HashSet<CellId> =
-            r.groups.iter().flat_map(|g| g.cell_set()).collect();
+        let extracted: HashSet<CellId> = r.groups.iter().flat_map(|g| g.cell_set()).collect();
         let hit = truth_cells.intersection(&extracted).count();
         assert!(
             hit as f64 > 0.6 * truth_cells.len() as f64,

@@ -38,8 +38,7 @@ pub fn score(
     _netlist: &Netlist,
 ) -> ExtractionScore {
     let truth_cells: HashSet<CellId> = truth.iter().flat_map(|g| g.cell_set()).collect();
-    let extracted_cells: HashSet<CellId> =
-        extracted.iter().flat_map(|g| g.cell_set()).collect();
+    let extracted_cells: HashSet<CellId> = extracted.iter().flat_map(|g| g.cell_set()).collect();
 
     let tp = extracted_cells.intersection(&truth_cells).count();
     let precision = if extracted_cells.is_empty() {
@@ -142,10 +141,7 @@ mod tests {
     #[test]
     fn missing_half_hits_recall() {
         let nl = dummy_netlist(8);
-        let truth = DatapathGroup::from_dense(
-            "t",
-            vec![vec![c(0), c(1)], vec![c(2), c(3)]],
-        );
+        let truth = DatapathGroup::from_dense("t", vec![vec![c(0), c(1)], vec![c(2), c(3)]]);
         let partial = DatapathGroup::from_dense("e", vec![vec![c(0), c(1)]]);
         let s = score(&[partial], &[truth], &nl);
         assert_eq!(s.precision, 1.0);
@@ -157,10 +153,7 @@ mod tests {
     fn glue_in_groups_hits_precision() {
         let nl = dummy_netlist(8);
         let truth = DatapathGroup::from_dense("t", vec![vec![c(0), c(1)]]);
-        let noisy = DatapathGroup::from_dense(
-            "e",
-            vec![vec![c(0), c(1)], vec![c(6), c(7)]],
-        );
+        let noisy = DatapathGroup::from_dense("e", vec![vec![c(0), c(1)], vec![c(6), c(7)]]);
         let s = score(&[noisy], &[truth], &nl);
         assert_eq!(s.precision, 0.5);
         assert_eq!(s.recall, 1.0);
@@ -169,15 +162,9 @@ mod tests {
     #[test]
     fn scrambled_columns_hit_coherence() {
         let nl = dummy_netlist(8);
-        let truth = DatapathGroup::from_dense(
-            "t",
-            vec![vec![c(0), c(1)], vec![c(2), c(3)]],
-        );
+        let truth = DatapathGroup::from_dense("t", vec![vec![c(0), c(1)], vec![c(2), c(3)]]);
         // Second extracted column swaps the bits: offsets +1 and −1.
-        let scrambled = DatapathGroup::from_dense(
-            "e",
-            vec![vec![c(0), c(3)], vec![c(2), c(1)]],
-        );
+        let scrambled = DatapathGroup::from_dense("e", vec![vec![c(0), c(3)], vec![c(2), c(1)]]);
         let s = score(&[scrambled], &[truth], &nl);
         assert_eq!(s.recall, 1.0);
         // Column 0's pair is bit-adjacent in truth; column 1's is reversed.

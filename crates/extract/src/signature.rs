@@ -174,9 +174,6 @@ mod tests {
     #[test]
     fn signatures_are_stable_across_runs() {
         let d = generate(&GenConfig::named("dp_tiny", 2).unwrap());
-        assert_eq!(
-            signatures(&d.netlist, 2, 6),
-            signatures(&d.netlist, 2, 6)
-        );
+        assert_eq!(signatures(&d.netlist, 2, 6), signatures(&d.netlist, 2, 6));
     }
 }

@@ -30,7 +30,10 @@ impl Rect {
     /// Panics if `x1 > x2` or `y1 > y2`, or if any coordinate is NaN.
     #[inline]
     pub fn new(x1: f64, y1: f64, x2: f64, y2: f64) -> Self {
-        assert!(x1 <= x2 && y1 <= y2, "inverted rect ({x1},{y1})-({x2},{y2})");
+        assert!(
+            x1 <= x2 && y1 <= y2,
+            "inverted rect ({x1},{y1})-({x2},{y2})"
+        );
         Rect {
             lo: Point::new(x1, y1),
             hi: Point::new(x2, y2),
@@ -116,10 +119,7 @@ impl Rect {
     /// Centre point.
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new(
-            (self.lo.x + self.hi.x) / 2.0,
-            (self.lo.y + self.hi.y) / 2.0,
-        )
+        Point::new((self.lo.x + self.hi.x) / 2.0, (self.lo.y + self.hi.y) / 2.0)
     }
 
     /// Returns `true` if `p` lies inside or on the boundary.
@@ -193,12 +193,7 @@ impl Rect {
     /// Panics if shrinking would invert the rectangle.
     #[inline]
     pub fn inflated(&self, m: f64) -> Rect {
-        Rect::new(
-            self.lo.x - m,
-            self.lo.y - m,
-            self.hi.x + m,
-            self.hi.y + m,
-        )
+        Rect::new(self.lo.x - m, self.lo.y - m, self.hi.x + m, self.hi.y + m)
     }
 
     /// Clamps a point into the rectangle.

@@ -13,8 +13,9 @@
 //! area already in the bin). Both the value and the analytic gradient with
 //! respect to every movable cell centre are provided.
 
+use crate::exec::{chunk_ranges, Executor};
 use sdp_geom::{BinGrid, Point, Rect};
-use sdp_netlist::Netlist;
+use sdp_netlist::{CellId, Netlist};
 
 /// The bell-shaped kernel on one axis.
 ///
@@ -175,8 +176,120 @@ impl DensityModel {
     /// [`DensityModel::overflow`].
     pub fn eval(&mut self, netlist: &Netlist, pos: &[Point], grad: &mut [Point]) -> f64 {
         self.accumulate_potential(netlist, pos);
+        let penalty = self.penalty();
 
-        // Penalty and per-bin overfill.
+        // Gradient: d/dx Σ (over_b)⁺² = Σ 2 over_b⁺ · c_i · θy · dθx/dx.
+        for c in netlist.movable_ids() {
+            let g = self.cell_gradient(netlist, c, pos[c.ix()]);
+            grad[c.ix()].x += g.x;
+            grad[c.ix()].y += g.y;
+        }
+        penalty
+    }
+
+    /// Like [`DensityModel::eval`], evaluated across `exec`'s thread pool.
+    ///
+    /// The evaluation runs in three phases: (1) per-cell kernel masses and
+    /// potential deposits are computed in parallel over contiguous chunks
+    /// of the movable-cell list, then applied to the shared potential
+    /// field sequentially in chunk order — replaying the exact addition
+    /// sequence of the sequential pass; (2) the per-bin penalty fold stays
+    /// sequential (it is O(bins)); (3) per-cell gradients are computed in
+    /// parallel (each cell's gradient is written by exactly one chunk).
+    /// The result is bitwise identical to [`DensityModel::eval`] at any
+    /// thread count.
+    pub fn eval_with(
+        &mut self,
+        netlist: &Netlist,
+        pos: &[Point],
+        grad: &mut [Point],
+        exec: &Executor,
+    ) -> f64 {
+        if exec.threads() == 1 {
+            return self.eval(netlist, pos, grad);
+        }
+        let movable: Vec<CellId> = netlist.movable_ids().collect();
+        let chunks = chunk_ranges(movable.len(), CELL_CHUNK);
+
+        // Phase 1: masses + deposits in parallel, applied in chunk order.
+        let parts: Vec<PotentialChunk> = {
+            let grid = &self.grid;
+            let inflation = &self.inflation;
+            let movable = &movable;
+            exec.map(chunks.len(), |ci| {
+                let mut part = PotentialChunk {
+                    norms: Vec::with_capacity(chunks[ci].len()),
+                    deposits: Vec::new(),
+                };
+                for &c in &movable[chunks[ci].clone()] {
+                    let m = netlist.master_of(c);
+                    let center = pos[c.ix()];
+                    let infl = inflation[c.ix()];
+                    let bx = Bell::new(m.width * infl, grid.bin_w());
+                    let by = Bell::new(m.height, grid.bin_h());
+                    let mut mass = 0.0;
+                    for_bins_in_radius(grid, center, &bx, &by, |bix| {
+                        let bc = grid.bin_center(bix);
+                        mass +=
+                            bx.theta((center.x - bc.x).abs()) * by.theta((center.y - bc.y).abs());
+                    });
+                    let ci_norm = if mass > 1e-12 {
+                        m.area() * infl / mass
+                    } else {
+                        0.0
+                    };
+                    part.norms.push((c.ix(), ci_norm));
+                    if ci_norm == 0.0 {
+                        continue;
+                    }
+                    for_bins_in_radius(grid, center, &bx, &by, |bix| {
+                        let bc = grid.bin_center(bix);
+                        let t =
+                            bx.theta((center.x - bc.x).abs()) * by.theta((center.y - bc.y).abs());
+                        if t > 0.0 {
+                            part.deposits.push((grid.flat(bix), ci_norm * t));
+                        }
+                    });
+                }
+                part
+            })
+        };
+        self.potential.fill(0.0);
+        for part in parts {
+            for (cell, ci_norm) in part.norms {
+                self.norm[cell] = ci_norm;
+            }
+            for (f, v) in part.deposits {
+                self.potential[f] += v;
+            }
+        }
+
+        // Phase 2: per-bin penalty (sequential, cheap).
+        let penalty = self.penalty();
+
+        // Phase 3: per-cell gradients. Each cell belongs to exactly one
+        // chunk, so there is no cross-chunk accumulation to order.
+        let grads: Vec<Vec<(usize, Point)>> = {
+            let this = &*self;
+            let movable = &movable;
+            exec.map(chunks.len(), |ci| {
+                movable[chunks[ci].clone()]
+                    .iter()
+                    .map(|&c| (c.ix(), this.cell_gradient(netlist, c, pos[c.ix()])))
+                    .collect()
+            })
+        };
+        for part in grads {
+            for (cell, g) in part {
+                grad[cell].x += g.x;
+                grad[cell].y += g.y;
+            }
+        }
+        penalty
+    }
+
+    /// The penalty fold over the current potential field.
+    fn penalty(&self) -> f64 {
         let mut penalty = 0.0;
         for (f, &p) in self.potential.iter().enumerate() {
             let over = p - self.capacity[f];
@@ -184,40 +297,39 @@ impl DensityModel {
                 penalty += over * over;
             }
         }
-
-        // Gradient: d/dx Σ (over_b)⁺² = Σ 2 over_b⁺ · c_i · θy · dθx/dx.
-        for c in netlist.movable_ids() {
-            let m = netlist.master_of(c);
-            let center = pos[c.ix()];
-            let infl = self.inflation[c.ix()];
-            let bx = Bell::new(m.width * infl, self.grid.bin_w());
-            let by = Bell::new(m.height, self.grid.bin_h());
-            let ci = self.norm[c.ix()];
-            if ci == 0.0 {
-                continue;
-            }
-            let mut gx = 0.0;
-            let mut gy = 0.0;
-            self.for_bins_in_radius(center, &bx, &by, |this, bix| {
-                let bc = this.grid.bin_center(bix);
-                let f = this.grid.flat(bix);
-                let over = this.potential[f] - this.capacity[f];
-                if over <= 0.0 {
-                    return;
-                }
-                let dx = center.x - bc.x;
-                let dy = center.y - bc.y;
-                let tx = bx.theta(dx.abs());
-                let ty = by.theta(dy.abs());
-                let dtx = bx.dtheta(dx.abs()) * dx.signum();
-                let dty = by.dtheta(dy.abs()) * dy.signum();
-                gx += 2.0 * over * ci * dtx * ty;
-                gy += 2.0 * over * ci * tx * dty;
-            });
-            grad[c.ix()].x += gx;
-            grad[c.ix()].y += gy;
-        }
         penalty
+    }
+
+    /// One movable cell's density gradient at `center`, given the current
+    /// potential field and normalization constants.
+    fn cell_gradient(&self, netlist: &Netlist, c: CellId, center: Point) -> Point {
+        let m = netlist.master_of(c);
+        let infl = self.inflation[c.ix()];
+        let bx = Bell::new(m.width * infl, self.grid.bin_w());
+        let by = Bell::new(m.height, self.grid.bin_h());
+        let ci = self.norm[c.ix()];
+        if ci == 0.0 {
+            return Point::ORIGIN;
+        }
+        let mut gx = 0.0;
+        let mut gy = 0.0;
+        for_bins_in_radius(&self.grid, center, &bx, &by, |bix| {
+            let bc = self.grid.bin_center(bix);
+            let f = self.grid.flat(bix);
+            let over = self.potential[f] - self.capacity[f];
+            if over <= 0.0 {
+                return;
+            }
+            let dx = center.x - bc.x;
+            let dy = center.y - bc.y;
+            let tx = bx.theta(dx.abs());
+            let ty = by.theta(dy.abs());
+            let dtx = bx.dtheta(dx.abs()) * dx.signum();
+            let dty = by.dtheta(dy.abs()) * dy.signum();
+            gx += 2.0 * over * ci * dtx * ty;
+            gy += 2.0 * over * ci * tx * dty;
+        });
+        Point::new(gx, gy)
     }
 
     /// Total overflow ratio at the last-evaluated positions: the summed
@@ -244,23 +356,26 @@ impl DensityModel {
             let by = Bell::new(m.height, self.grid.bin_h());
             // Pass 1: kernel mass for normalization (Σ θxθy → cell area).
             let mut mass = 0.0;
-            self.for_bins_in_radius(center, &bx, &by, |this, bix| {
-                let bc = this.grid.bin_center(bix);
+            for_bins_in_radius(&self.grid, center, &bx, &by, |bix| {
+                let bc = self.grid.bin_center(bix);
                 mass += bx.theta((center.x - bc.x).abs()) * by.theta((center.y - bc.y).abs());
             });
-            let ci = if mass > 1e-12 { m.area() * infl / mass } else { 0.0 };
+            let ci = if mass > 1e-12 {
+                m.area() * infl / mass
+            } else {
+                0.0
+            };
             self.norm[c.ix()] = ci;
             if ci == 0.0 {
                 continue;
             }
             // Pass 2: deposit normalized potential.
             let mut deposits: Vec<(usize, f64)> = Vec::new();
-            self.for_bins_in_radius(center, &bx, &by, |this, bix| {
-                let bc = this.grid.bin_center(bix);
-                let t =
-                    bx.theta((center.x - bc.x).abs()) * by.theta((center.y - bc.y).abs());
+            for_bins_in_radius(&self.grid, center, &bx, &by, |bix| {
+                let bc = self.grid.bin_center(bix);
+                let t = bx.theta((center.x - bc.x).abs()) * by.theta((center.y - bc.y).abs());
                 if t > 0.0 {
-                    deposits.push((this.grid.flat(bix), ci * t));
+                    deposits.push((self.grid.flat(bix), ci * t));
                 }
             });
             for (f, v) in deposits {
@@ -268,26 +383,37 @@ impl DensityModel {
             }
         }
     }
+}
 
-    /// Visits every bin whose centre lies within the kernel radius of
-    /// `center`.
-    fn for_bins_in_radius<F: FnMut(&Self, (usize, usize))>(
-        &self,
-        center: Point,
-        bx: &Bell,
-        by: &Bell,
-        mut f: F,
-    ) {
-        let r = Rect::centered_at(center, 2.0 * bx.radius(), 2.0 * by.radius());
-        let clipped = match r.intersection(&self.grid.region()) {
-            Some(c) => c,
-            None => return,
-        };
-        let ((ix_lo, ix_hi), (iy_lo, iy_hi)) = self.grid.bins_overlapping(&clipped);
-        for iy in iy_lo..=iy_hi {
-            for ix in ix_lo..=ix_hi {
-                f(self, (ix, iy));
-            }
+/// Movable-cell chunk size for parallel evaluation. Purely a scheduling
+/// granularity: results never depend on it.
+const CELL_CHUNK: usize = 128;
+
+/// One chunk's phase-1 output: per-cell normalization constants and
+/// potential deposits, both in cell order.
+struct PotentialChunk {
+    norms: Vec<(usize, f64)>,
+    deposits: Vec<(usize, f64)>,
+}
+
+/// Visits every bin whose centre lies within the kernel radius of
+/// `center`.
+fn for_bins_in_radius<F: FnMut((usize, usize))>(
+    grid: &BinGrid,
+    center: Point,
+    bx: &Bell,
+    by: &Bell,
+    mut f: F,
+) {
+    let r = Rect::centered_at(center, 2.0 * bx.radius(), 2.0 * by.radius());
+    let clipped = match r.intersection(&grid.region()) {
+        Some(c) => c,
+        None => return,
+    };
+    let ((ix_lo, ix_hi), (iy_lo, iy_hi)) = grid.bins_overlapping(&clipped);
+    for iy in iy_lo..=iy_hi {
+        for ix in ix_lo..=ix_hi {
+            f((ix, iy));
         }
     }
 }
@@ -404,7 +530,13 @@ mod tests {
         let small = b.add_lib_cell("INV", 2.0, 1.0, 1, 1);
         let m = b.add_fixed_cell("m", big);
         let u = b.add_cell("u", small);
-        b.add_net("n", [(m, Point::ORIGIN, PinDir::Output), (u, Point::ORIGIN, PinDir::Input)]);
+        b.add_net(
+            "n",
+            [
+                (m, Point::ORIGIN, PinDir::Output),
+                (u, Point::ORIGIN, PinDir::Input),
+            ],
+        );
         let nl = b.finish().unwrap();
         let region = Rect::new(0.0, 0.0, 16.0, 16.0);
         let mut pos = vec![Point::ORIGIN; 2];
@@ -469,6 +601,40 @@ mod tests {
         let region = Rect::new(0.0, 0.0, 8.0, 8.0);
         let mut m = DensityModel::new(&nl, region, &[Point::ORIGIN; 4], 0.7, 4, 4);
         m.set_inflation(vec![1.0; 3]);
+    }
+
+    #[test]
+    fn parallel_eval_is_bitwise_identical_to_sequential() {
+        use crate::exec::Executor;
+        use sdp_dpgen::{generate, GenConfig};
+        let d = generate(&GenConfig::named("dp_tiny", 13).unwrap());
+        let pos = d.placement.positions();
+        let region = d.design.region();
+        let base = DensityModel::new(&d.netlist, region, pos, 0.8, 16, 16);
+
+        let mut m1 = base.clone();
+        let mut g1 = vec![Point::ORIGIN; pos.len()];
+        let p1 = m1.eval(&d.netlist, pos, &mut g1);
+
+        for threads in [2usize, 4, 8] {
+            let exec = Executor::new(threads);
+            let mut mn = base.clone();
+            let mut gn = vec![Point::ORIGIN; pos.len()];
+            let pn = mn.eval_with(&d.netlist, pos, &mut gn, &exec);
+            assert_eq!(p1.to_bits(), pn.to_bits(), "penalty @ {threads} threads");
+            assert_eq!(
+                m1.overflow().to_bits(),
+                mn.overflow().to_bits(),
+                "overflow @ {threads} threads"
+            );
+            for (k, (a, b)) in g1.iter().zip(&gn).enumerate() {
+                assert_eq!(
+                    (a.x.to_bits(), a.y.to_bits()),
+                    (b.x.to_bits(), b.y.to_bits()),
+                    "grad[{k}] @ {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! Deterministic fixed-size thread pool for the placement kernels.
+//!
+//! The smooth-wirelength and density models decompose per-net / per-cell,
+//! which makes them embarrassingly parallel — but naive parallel reduction
+//! reorders floating-point additions and breaks the placer's bitwise
+//! determinism guarantee. This module provides the execution substrate the
+//! kernels build on:
+//!
+//! * [`Executor`] — a fixed-size pool of worker threads (plus the calling
+//!   thread) that maps an indexed set of jobs to results **in index
+//!   order**. Job *scheduling* is dynamic (work stealing over an atomic
+//!   counter) and therefore non-deterministic, but the returned `Vec` is
+//!   always ordered by job index, so any reduction the caller performs in
+//!   that order is independent of thread count and scheduling.
+//! * [`chunk_ranges`] — splits `0..len` into contiguous chunks whose
+//!   boundaries depend only on `len`, never on the thread count.
+//!
+//! With `threads == 1` the executor runs every job inline on the calling
+//! thread with no pool, no atomics, and no boxing — the legacy sequential
+//! path.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work shipped to a pool worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counts outstanding jobs; `wait` blocks until all have completed.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut left = self.remaining.lock().expect("latch poisoned");
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().expect("latch poisoned");
+        while *left > 0 {
+            left = self.done.wait(left).expect("latch poisoned");
+        }
+    }
+}
+
+/// A fixed set of worker threads consuming jobs from a shared queue.
+struct ThreadPool {
+    workers: Vec<JoinHandle<()>>,
+    sender: Option<Sender<Job>>,
+}
+
+impl ThreadPool {
+    fn new(workers: usize) -> Self {
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("sdp-gp-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("failed to spawn placement worker thread")
+            })
+            .collect();
+        ThreadPool {
+            workers,
+            sender: Some(sender),
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        self.sender
+            .as_ref()
+            .expect("pool is live while executor exists")
+            .send(job)
+            .expect("worker threads outlive the executor");
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // channel closed: executor dropped
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.sender.take(); // close the channel so workers exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Runs indexed job sets across a fixed number of threads, returning
+/// results in job-index order.
+///
+/// Construct one per placement run and share it across kernel
+/// evaluations; worker threads persist for the executor's lifetime.
+pub struct Executor {
+    pool: Option<ThreadPool>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Creates an executor with the given thread count. `0` selects the
+    /// machine's available parallelism; `1` is the sequential legacy path
+    /// (no pool is created).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let pool = if threads > 1 {
+            Some(ThreadPool::new(threads - 1))
+        } else {
+            None
+        };
+        Executor { pool, threads }
+    }
+
+    /// A single-threaded executor: every job runs inline on the caller.
+    pub fn sequential() -> Self {
+        Executor {
+            pool: None,
+            threads: 1,
+        }
+    }
+
+    /// The effective thread count (callers + workers).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates `f(0), f(1), …, f(n-1)` across the pool and returns the
+    /// results **in index order**. The calling thread participates, so an
+    /// executor with `threads == 1` degenerates to a plain sequential map.
+    ///
+    /// Scheduling is dynamic (jobs are stolen off an atomic counter), but
+    /// because the output preserves index order, any fold the caller does
+    /// over it is deterministic regardless of thread count.
+    ///
+    /// If any job panics, the panic is re-raised on the calling thread
+    /// after all in-flight jobs have finished (no worker is left holding a
+    /// dangling reference).
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let pool = match &self.pool {
+            Some(pool) if n > 1 => pool,
+            _ => return (0..n).map(f).collect(),
+        };
+
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let shared = Shared {
+            f: &f,
+            slots: SlotsPtr(slots.as_mut_ptr()),
+            n,
+            next: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        };
+
+        let helpers = (self.threads - 1).min(n.saturating_sub(1));
+        let latch = Latch::new(helpers);
+        {
+            let shared_ref = &shared;
+            let latch_ref = &latch;
+            for _ in 0..helpers {
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    drain(shared_ref);
+                    latch_ref.count_down();
+                });
+                // SAFETY: the job borrows `shared`, `f`, and `latch`, which
+                // live on this stack frame. `latch.wait()` below blocks
+                // until every submitted job has run `count_down`, so the
+                // borrows cannot outlive this frame. The transmute only
+                // erases the lifetime; layout is identical.
+                let job: Job =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+                pool.submit(job);
+            }
+            // The caller works too; trap panics so we still wait for the
+            // helpers (they borrow our stack) before unwinding.
+            let caller_panic = catch_unwind(AssertUnwindSafe(|| drain(shared_ref))).err();
+            latch.wait();
+            if let Some(payload) = caller_panic {
+                resume_unwind(payload);
+            }
+        }
+        if let Some(payload) = shared.panic.lock().expect("panic slot poisoned").take() {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job index was drained"))
+            .collect()
+    }
+}
+
+/// Raw pointer to the result slots; each index is written by exactly one
+/// thread (whoever wins it off the atomic counter), and the latch's mutex
+/// establishes the happens-before edge for the caller's reads.
+struct SlotsPtr<T>(*mut Option<T>);
+
+// SAFETY: `SlotsPtr` is only used to write disjoint indices from multiple
+// threads; `T: Send` is required at the `map` boundary.
+unsafe impl<T: Send> Send for SlotsPtr<T> {}
+unsafe impl<T: Send> Sync for SlotsPtr<T> {}
+
+struct Shared<'a, T, F> {
+    f: &'a F,
+    slots: SlotsPtr<T>,
+    n: usize,
+    next: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Steals job indices until none remain, writing each result into its
+/// slot. On panic, records the payload (first wins) and stops stealing;
+/// remaining indices are drained by the other participants.
+fn drain<T, F>(shared: &Shared<'_, T, F>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    loop {
+        let i = shared.next.fetch_add(1, Ordering::Relaxed);
+        if i >= shared.n {
+            return;
+        }
+        match catch_unwind(AssertUnwindSafe(|| (shared.f)(i))) {
+            Ok(value) => {
+                // SAFETY: index `i` was claimed exclusively via fetch_add,
+                // so no other thread writes this slot; `i < n` is checked
+                // above and the buffer holds `n` slots.
+                unsafe { *shared.slots.0.add(i) = Some(value) };
+            }
+            Err(payload) => {
+                let mut slot = shared.panic.lock().expect("panic slot poisoned");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                // Mark the queue exhausted so peers stop promptly; their
+                // already-claimed jobs still finish. (Storing `n`, not
+                // `usize::MAX`, keeps later `fetch_add`s from wrapping.)
+                shared.next.store(shared.n, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+/// Splits `0..len` into contiguous chunks of roughly `target` items.
+/// Boundaries depend only on `len` and `target` — never on the thread
+/// count — so chunked computations reduce identically on any executor.
+pub fn chunk_ranges(len: usize, target: usize) -> Vec<Range<usize>> {
+    assert!(target > 0, "chunk target must be positive");
+    if len == 0 {
+        return Vec::new();
+    }
+    let count = len.div_ceil(target);
+    let base = len / count;
+    let extra = len % count;
+    let mut ranges = Vec::with_capacity(count);
+    let mut start = 0;
+    for i in 0..count {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_range_exactly() {
+        for len in [0usize, 1, 5, 127, 128, 129, 1000] {
+            for target in [1usize, 7, 64, 128, 4096] {
+                let ranges = chunk_ranges(len, target);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    assert!(!r.is_empty());
+                    expect = r.end;
+                }
+                assert_eq!(expect, len);
+                // Balanced: sizes differ by at most one.
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(|r| r.len()).min(),
+                    ranges.iter().map(|r| r.len()).max(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_do_not_depend_on_thread_count() {
+        // Trivially true by construction; pin it so a refactor cannot
+        // accidentally thread the executor through.
+        assert_eq!(chunk_ranges(1000, 128), chunk_ranges(1000, 128));
+    }
+
+    #[test]
+    fn map_returns_results_in_index_order() {
+        for threads in [1, 2, 4, 8] {
+            let exec = Executor::new(threads);
+            let out = exec.map(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_fewer_jobs_than_threads() {
+        let exec = Executor::new(8);
+        assert_eq!(exec.map(1, |i| i + 1), vec![1]);
+        assert_eq!(exec.map(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn executor_is_reusable_across_calls() {
+        let exec = Executor::new(4);
+        for round in 0..50 {
+            let out = exec.map(17, move |i| i + round);
+            assert_eq!(out, (0..17).map(|i| i + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_means_available_parallelism() {
+        let exec = Executor::new(0);
+        assert!(exec.threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let exec = Executor::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            exec.map(64, |i| {
+                if i == 33 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+        // The pool must still be usable afterwards.
+        assert_eq!(exec.map(4, |i| i), vec![0, 1, 2, 3]);
+    }
+}

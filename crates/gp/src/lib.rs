@@ -12,7 +12,10 @@
 //!   back-tracking line search ([`optimizer`]);
 //! * **first-choice clustering** for a multilevel V-cycle ([`cluster`]);
 //! * the **outer placement loop** with λ (density-weight) scheduling
-//!   ([`placer`]).
+//!   ([`placer`]);
+//! * a **deterministic thread pool** ([`exec`]) that evaluates the
+//!   wirelength and density kernels in parallel with bitwise-identical
+//!   results at any thread count ([`GpConfig::threads`]).
 //!
 //! The placer is structure-oblivious by itself: it is exactly the baseline
 //! the paper compares against. Structure-aware placement (`sdp-core`) plugs
@@ -33,11 +36,13 @@
 
 pub mod cluster;
 pub mod density;
+pub mod exec;
 pub mod optimizer;
 pub mod placer;
 pub mod wirelength;
 
 pub use density::DensityModel;
+pub use exec::Executor;
 pub use optimizer::{minimize_cg, CgOptions, Objective};
 pub use placer::{ExtraTerm, GlobalPlacer, GpConfig, IterationTrace, PlaceStats};
-pub use wirelength::{hpwl, WirelengthModel};
+pub use wirelength::{eval_wirelength_with, hpwl, WirelengthModel};

@@ -4,8 +4,9 @@
 
 use crate::cluster::{self, Clustering};
 use crate::density::DensityModel;
+use crate::exec::Executor;
 use crate::optimizer::{minimize_cg, CgOptions, Objective};
-use crate::wirelength::{eval_wirelength, hpwl, WirelengthModel};
+use crate::wirelength::{eval_wirelength_with, hpwl, WirelengthModel};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sdp_geom::{Point, Rect};
@@ -49,6 +50,10 @@ pub struct GpConfig {
     /// Cluster the netlist first when it has more movable cells than this
     /// (`0` disables the multilevel cycle).
     pub cluster_threshold: usize,
+    /// Worker threads for the wirelength/density kernels: `0` = available
+    /// parallelism, `1` = the sequential legacy path. Results are bitwise
+    /// identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for GpConfig {
@@ -63,6 +68,7 @@ impl Default for GpConfig {
             bins: None,
             seed: 1,
             cluster_threshold: 12_000,
+            threads: 0,
         }
     }
 }
@@ -116,7 +122,7 @@ pub struct GlobalPlacer {
 }
 
 /// The composed objective: wirelength + λ·density + extra.
-struct Composed<'n, 'd, 'e, 't> {
+struct Composed<'n, 'd, 'e, 't, 'x> {
     netlist: &'n Netlist,
     movable: &'n [CellId],
     pos: Vec<Point>,
@@ -128,9 +134,10 @@ struct Composed<'n, 'd, 'e, 't> {
     lambda: f64,
     inner: Rect,
     wl_scale: f64,
+    exec: &'x Executor,
 }
 
-impl Composed<'_, '_, '_, '_> {
+impl Composed<'_, '_, '_, '_, '_> {
     fn scatter(&mut self, x: &[Point]) {
         for (k, &c) in self.movable.iter().enumerate() {
             self.pos[c.ix()] = x[k];
@@ -138,22 +145,25 @@ impl Composed<'_, '_, '_, '_> {
     }
 }
 
-impl Objective for Composed<'_, '_, '_, '_> {
+impl Objective for Composed<'_, '_, '_, '_, '_> {
     fn eval(&mut self, x: &[Point], grad: &mut [Point]) -> f64 {
         self.scatter(x);
         self.grad_full.fill(Point::ORIGIN);
-        let wl = eval_wirelength(
+        let wl = eval_wirelength_with(
             self.model,
             self.netlist,
             &self.pos,
             self.gamma,
             &mut self.grad_full,
+            self.exec,
         );
         for g in self.grad_full.iter_mut() {
             *g = *g * self.wl_scale;
         }
         let mut dgrad = vec![Point::ORIGIN; self.pos.len()];
-        let dens = self.density.eval(self.netlist, &self.pos, &mut dgrad);
+        let dens = self
+            .density
+            .eval_with(self.netlist, &self.pos, &mut dgrad, self.exec);
         for (g, d) in self.grad_full.iter_mut().zip(&dgrad) {
             *g += *d * self.lambda;
         }
@@ -228,6 +238,8 @@ impl GlobalPlacer {
         eval_netlist: Option<&Netlist>,
     ) -> PlaceStats {
         let start = Instant::now();
+        // One pool per run, shared by every kernel evaluation.
+        let exec = Executor::new(self.config.threads);
 
         // Optional multilevel V-cycle: place a clustered netlist first and
         // seed the flat placement from it.
@@ -266,9 +278,9 @@ impl GlobalPlacer {
         let mut gamma = 8.0 * bin_w.max(bin_h);
         let (lambda0, wl_scale) = {
             let mut gwl = vec![Point::ORIGIN; pos.len()];
-            eval_wirelength(self.config.model, netlist, &pos, gamma, &mut gwl);
+            eval_wirelength_with(self.config.model, netlist, &pos, gamma, &mut gwl, &exec);
             let mut gd = vec![Point::ORIGIN; pos.len()];
-            density.eval(netlist, &pos, &mut gd);
+            density.eval_with(netlist, &pos, &mut gd, &exec);
             let swl: f64 = gwl.iter().map(|g| g.manhattan()).sum();
             let sd: f64 = gd.iter().map(|g| g.manhattan()).sum();
             let lambda0 = if sd > 1e-12 { swl / sd } else { 1.0 };
@@ -302,6 +314,7 @@ impl GlobalPlacer {
                     lambda,
                     inner: region,
                     wl_scale,
+                    exec: &exec,
                 };
                 minimize_cg(
                     &mut obj,
@@ -457,6 +470,31 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_the_placement() {
+        let run = |threads: usize| {
+            let mut d = generate(&GenConfig::named("dp_tiny", 9).unwrap());
+            let placer = GlobalPlacer::new(GpConfig {
+                threads,
+                ..GpConfig::fast()
+            });
+            placer.place(&d.netlist, &d.design, &mut d.placement, None);
+            d.placement.positions().to_vec()
+        };
+        let p1 = run(1);
+        for threads in [2usize, 4] {
+            let pn = run(threads);
+            assert_eq!(p1.len(), pn.len());
+            for (k, (a, b)) in p1.iter().zip(&pn).enumerate() {
+                assert_eq!(
+                    (a.x.to_bits(), a.y.to_bits()),
+                    (b.x.to_bits(), b.y.to_bits()),
+                    "cell {k} differs at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn wa_model_also_places() {
         let mut d = generate(&GenConfig::named("dp_tiny", 4).unwrap());
         let placer = GlobalPlacer::new(GpConfig {
@@ -497,7 +535,11 @@ mod tests {
             ..GpConfig::fast()
         });
         let stats = placer.place(&d.netlist, &d.design, &mut d.placement, None);
-        assert!(stats.final_overflow <= 0.5, "overflow {}", stats.final_overflow);
+        assert!(
+            stats.final_overflow <= 0.5,
+            "overflow {}",
+            stats.final_overflow
+        );
         for c in d.netlist.movable_ids() {
             assert!(d.design.region().contains(d.placement.get(c)));
         }

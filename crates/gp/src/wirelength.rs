@@ -14,8 +14,9 @@
 //! Both are evaluated with max-shifted exponentials for numerical
 //! stability, and accumulate gradients per *cell* (pin offsets are rigid).
 
+use crate::exec::{chunk_ranges, Executor};
 use sdp_geom::Point;
-use sdp_netlist::Netlist;
+use sdp_netlist::{NetId, Netlist};
 
 /// Which smooth wirelength model the placer differentiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -79,46 +80,142 @@ pub fn eval_wirelength(
     debug_assert_eq!(grad.len(), pos.len());
     let mut total = 0.0;
     // Scratch buffers reused across nets.
-    let mut xs: Vec<f64> = Vec::with_capacity(16);
-    let mut ys: Vec<f64> = Vec::with_capacity(16);
+    let mut scratch = NetScratch::default();
     for n in netlist.net_ids() {
-        let net = netlist.net(n);
-        if net.pins.len() < 2 {
-            continue;
+        total += eval_net(model, netlist, n, pos, gamma, &mut scratch, |cell, g| {
+            grad[cell].x += g.x;
+            grad[cell].y += g.y;
+        });
+    }
+    total
+}
+
+/// Like [`eval_wirelength`], evaluated across `exec`'s thread pool.
+///
+/// Nets are split into contiguous index chunks (boundaries depend only on
+/// the net count, see [`chunk_ranges`]); each chunk records its per-net
+/// values and per-pin gradient contributions, and the caller folds those
+/// records in net order. Every floating-point operation therefore happens
+/// in exactly the sequence the sequential path uses, making the result —
+/// total and gradient — bitwise identical to [`eval_wirelength`] at any
+/// thread count.
+pub fn eval_wirelength_with(
+    model: WirelengthModel,
+    netlist: &Netlist,
+    pos: &[Point],
+    gamma: f64,
+    grad: &mut [Point],
+    exec: &Executor,
+) -> f64 {
+    if exec.threads() == 1 {
+        return eval_wirelength(model, netlist, pos, gamma, grad);
+    }
+    debug_assert!(gamma > 0.0, "gamma must be positive");
+    debug_assert_eq!(grad.len(), pos.len());
+
+    let num_nets = netlist.num_nets();
+    let chunks = chunk_ranges(num_nets, NET_CHUNK);
+    let parts: Vec<WlChunk> = exec.map(chunks.len(), |ci| {
+        let mut scratch = NetScratch::default();
+        let mut part = WlChunk {
+            values: Vec::with_capacity(chunks[ci].len()),
+            deposits: Vec::new(),
+        };
+        for i in chunks[ci].clone() {
+            let v = eval_net(
+                model,
+                netlist,
+                NetId::new(i),
+                pos,
+                gamma,
+                &mut scratch,
+                |cell, g| part.deposits.push((cell as u32, g)),
+            );
+            part.values.push(v);
         }
-        xs.clear();
-        ys.clear();
-        for &p in &net.pins {
-            let pin = netlist.pin(p);
-            let at = pos[pin.cell.ix()] + pin.offset;
-            xs.push(at.x);
-            ys.push(at.y);
+        part
+    });
+
+    // Reduce in chunk-index order: per-net values and per-pin deposits are
+    // folded individually, replaying the sequential addition sequence.
+    let mut total = 0.0;
+    for part in parts {
+        for v in part.values {
+            total += v;
         }
-        let w = net.weight;
-        match model {
-            WirelengthModel::Lse => {
-                let (vx, gx) = lse_axis(&xs, gamma);
-                let (vy, gy) = lse_axis(&ys, gamma);
-                total += w * (vx + vy);
-                for (k, &p) in net.pins.iter().enumerate() {
-                    let cell = netlist.pin(p).cell.ix();
-                    grad[cell].x += w * gx[k];
-                    grad[cell].y += w * gy[k];
-                }
-            }
-            WirelengthModel::Wa => {
-                let (vx, gx) = wa_axis(&xs, gamma);
-                let (vy, gy) = wa_axis(&ys, gamma);
-                total += w * (vx + vy);
-                for (k, &p) in net.pins.iter().enumerate() {
-                    let cell = netlist.pin(p).cell.ix();
-                    grad[cell].x += w * gx[k];
-                    grad[cell].y += w * gy[k];
-                }
-            }
+        for (cell, g) in part.deposits {
+            let cell = cell as usize;
+            grad[cell].x += g.x;
+            grad[cell].y += g.y;
         }
     }
     total
+}
+
+/// Net-index chunk size for parallel evaluation. Purely a scheduling
+/// granularity: results never depend on it.
+const NET_CHUNK: usize = 256;
+
+/// One chunk's contributions: per-net smooth values (in net order) and
+/// per-pin gradient deposits (in pin-visit order).
+struct WlChunk {
+    values: Vec<f64>,
+    deposits: Vec<(u32, Point)>,
+}
+
+/// Reusable per-net coordinate buffers.
+#[derive(Default)]
+struct NetScratch {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+/// Evaluates one net, emitting each pin's weighted gradient contribution
+/// through `emit(cell_ix, contribution)` in pin order. Returns the net's
+/// weighted smooth wirelength (`0.0` for degenerate nets).
+///
+/// Both the sequential and the parallel evaluators funnel through this
+/// function, so their arithmetic is identical by construction.
+#[inline]
+fn eval_net(
+    model: WirelengthModel,
+    netlist: &Netlist,
+    n: NetId,
+    pos: &[Point],
+    gamma: f64,
+    scratch: &mut NetScratch,
+    mut emit: impl FnMut(usize, Point),
+) -> f64 {
+    let net = netlist.net(n);
+    if net.pins.len() < 2 {
+        return 0.0;
+    }
+    scratch.xs.clear();
+    scratch.ys.clear();
+    for &p in &net.pins {
+        let pin = netlist.pin(p);
+        let at = pos[pin.cell.ix()] + pin.offset;
+        scratch.xs.push(at.x);
+        scratch.ys.push(at.y);
+    }
+    let w = net.weight;
+    let (vx, gx, vy, gy) = match model {
+        WirelengthModel::Lse => {
+            let (vx, gx) = lse_axis(&scratch.xs, gamma);
+            let (vy, gy) = lse_axis(&scratch.ys, gamma);
+            (vx, gx, vy, gy)
+        }
+        WirelengthModel::Wa => {
+            let (vx, gx) = wa_axis(&scratch.xs, gamma);
+            let (vy, gy) = wa_axis(&scratch.ys, gamma);
+            (vx, gx, vy, gy)
+        }
+    };
+    for (k, &p) in net.pins.iter().enumerate() {
+        let cell = netlist.pin(p).cell.ix();
+        emit(cell, Point::new(w * gx[k], w * gy[k]));
+    }
+    w * (vx + vy)
 }
 
 /// LSE on one axis: value and per-pin gradient.
@@ -198,10 +295,17 @@ mod tests {
         let cells: Vec<_> = (0..5).map(|i| b.add_cell(&format!("u{i}"), l)).collect();
         b.add_net(
             "hub",
-            cells
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| (c, Point::ORIGIN, if i == 0 { PinDir::Output } else { PinDir::Input })),
+            cells.iter().enumerate().map(|(i, &c)| {
+                (
+                    c,
+                    Point::ORIGIN,
+                    if i == 0 {
+                        PinDir::Output
+                    } else {
+                        PinDir::Input
+                    },
+                )
+            }),
         );
         b.finish().unwrap()
     }
@@ -328,12 +432,45 @@ mod tests {
     }
 
     #[test]
+    fn parallel_eval_is_bitwise_identical_to_sequential() {
+        use crate::exec::Executor;
+        use sdp_dpgen::{generate, GenConfig};
+        let d = generate(&GenConfig::named("dp_tiny", 11).unwrap());
+        let pos = d.placement.positions();
+        for model in [WirelengthModel::Lse, WirelengthModel::Wa] {
+            let mut g1 = vec![Point::ORIGIN; pos.len()];
+            let v1 = eval_wirelength(model, &d.netlist, pos, 0.7, &mut g1);
+            for threads in [2usize, 4, 8] {
+                let exec = Executor::new(threads);
+                let mut gn = vec![Point::ORIGIN; pos.len()];
+                let vn = eval_wirelength_with(model, &d.netlist, pos, 0.7, &mut gn, &exec);
+                assert_eq!(
+                    v1.to_bits(),
+                    vn.to_bits(),
+                    "{model:?} value @ {threads} threads"
+                );
+                for (k, (a, b)) in g1.iter().zip(&gn).enumerate() {
+                    assert_eq!(
+                        (a.x.to_bits(), a.y.to_bits()),
+                        (b.x.to_bits(), b.y.to_bits()),
+                        "{model:?} grad[{k}] @ {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn gradient_pushes_pins_together() {
         let nl = chain(2);
         let pos = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
         let mut g = vec![Point::ORIGIN; 2];
         eval_wirelength(WirelengthModel::Lse, &nl, &pos, 1.0, &mut g);
-        assert!(g[0].x < 0.0, "left cell pulled right means negative grad? g0={}", g[0].x);
+        assert!(
+            g[0].x < 0.0,
+            "left cell pulled right means negative grad? g0={}",
+            g[0].x
+        );
         assert!(g[1].x > 0.0);
         // Descending the gradient shrinks wirelength: x0 −= η g0 moves x0 right.
     }

@@ -137,6 +137,20 @@ pub fn legalize_abacus(
     options: &LegalizeOptions,
 ) -> LegalStats {
     let rows = design.rows();
+    // A rowless (degenerate) design can host nothing: report every
+    // movable, non-locked cell as failed instead of panicking on
+    // `rows[0]` below.
+    if rows.is_empty() {
+        return LegalStats {
+            placed: 0,
+            failed: netlist
+                .movable_ids()
+                .filter(|c| !options.locked.contains(c))
+                .count(),
+            total_displacement: 0.0,
+            max_displacement: 0.0,
+        };
+    }
     // Build per-row segments between blockages.
     let mut segments: Vec<Vec<Segment>> = rows
         .iter()
@@ -227,9 +241,7 @@ pub fn legalize_abacus(
             {
                 let yc = rows[ri].y + rows[ri].height / 2.0;
                 for (si, seg) in segments[ri].iter().enumerate() {
-                    if let Some(c) =
-                        seg.trial_cost(netlist, placement, yc, cell, weight, tx, w)
-                    {
+                    if let Some(c) = seg.trial_cost(netlist, placement, yc, cell, weight, tx, w) {
                         if best.is_none_or(|(b, _, _)| c < b) {
                             best = Some((c, ri, si));
                         }
@@ -362,6 +374,20 @@ mod tests {
         legalize_abacus(&nl, &design, &mut a, &LegalizeOptions::default());
         legalize_abacus(&nl, &design, &mut b, &LegalizeOptions::default());
         assert_eq!(a.positions(), b.positions());
+    }
+
+    #[test]
+    fn rowless_design_fails_all_cells_without_panicking() {
+        let (nl, _design, mut pl) = placed(5);
+        let rowless = Design::new(sdp_geom::Rect::new(0.0, 0.0, 10.0, 10.0), vec![]);
+        let before = pl.positions().to_vec();
+        let stats = legalize_abacus(&nl, &rowless, &mut pl, &LegalizeOptions::default());
+        assert_eq!(stats.placed, 0);
+        assert_eq!(stats.failed, nl.num_movable());
+        assert_eq!(stats.total_displacement, 0.0);
+        assert_eq!(stats.max_displacement, 0.0);
+        // Nothing moved.
+        assert_eq!(pl.positions(), &before[..]);
     }
 
     #[test]

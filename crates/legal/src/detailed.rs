@@ -2,7 +2,7 @@
 //! legal placement.
 
 use sdp_geom::{BBox, Point};
-use sdp_netlist::{CellId, Design, Netlist, NetId, Placement};
+use sdp_netlist::{CellId, Design, NetId, Netlist, Placement};
 use std::collections::HashSet;
 
 /// Options for [`detailed_place`].
@@ -124,9 +124,7 @@ impl Occupancy {
         let mut gaps = Vec::new();
         let mut cursor = lo;
         let cells = &self.rows[ri];
-        let start = cells.partition_point(|&(x, c)| {
-            x + netlist.cell_width(c) <= lo
-        });
+        let start = cells.partition_point(|&(x, c)| x + netlist.cell_width(c) <= lo);
         for &(x1, c) in &cells[start..] {
             if x1 >= hi {
                 break;
@@ -243,7 +241,10 @@ pub fn detailed_place(
             let (row_lo, row_hi) = if row_locked {
                 (tri, tri)
             } else {
-                (tri.saturating_sub(1), (tri + 1).min(design.rows().len() - 1))
+                (
+                    tri.saturating_sub(1),
+                    (tri + 1).min(design.rows().len() - 1),
+                )
             };
             for ri in row_lo..=row_hi {
                 let r = &design.rows()[ri];
@@ -259,7 +260,11 @@ pub fn detailed_place(
                         continue;
                     }
                     let lo = r.snap_x(g1);
-                    let lo = if lo < g1 - 1e-9 { lo + r.site_width } else { lo };
+                    let lo = if lo < g1 - 1e-9 {
+                        lo + r.site_width
+                    } else {
+                        lo
+                    };
                     let hi = g2 - w;
                     if hi < lo - 1e-9 {
                         continue;
@@ -377,9 +382,10 @@ fn reorder_pass(
             }
             let trio = [row[idx].1, row[idx + 1].1, row[idx + 2].1];
             idx += 1;
-            if trio.iter().any(|c| {
-                netlist.cell(*c).fixed || options.locked.contains(c)
-            }) {
+            if trio
+                .iter()
+                .any(|c| netlist.cell(*c).fixed || options.locked.contains(c))
+            {
                 continue;
             }
             let x0 = placement.cell_rect(netlist, trio[0]).x1();
@@ -398,10 +404,7 @@ fn reorder_pass(
                 placement.get(trio[1]),
                 placement.get(trio[2]),
             ];
-            let mut nets: Vec<NetId> = trio
-                .iter()
-                .flat_map(|&c| netlist.nets_of_cell(c))
-                .collect();
+            let mut nets: Vec<NetId> = trio.iter().flat_map(|&c| netlist.nets_of_cell(c)).collect();
             nets.sort_unstable();
             nets.dedup();
             let before = nets_hpwl(netlist, placement, &nets);
@@ -409,10 +412,7 @@ fn reorder_pass(
             for perm in PERM3.iter().skip(1) {
                 let mut cursor = x0;
                 for &k in perm {
-                    placement.set(
-                        trio[k],
-                        Point::new(cursor + widths[k] / 2.0, y[k]),
-                    );
+                    placement.set(trio[k], Point::new(cursor + widths[k] / 2.0, y[k]));
                     cursor += widths[k];
                 }
                 let after = nets_hpwl(netlist, placement, &nets);
@@ -451,7 +451,12 @@ mod tests {
     fn legal_tiny(seed: u64) -> (sdp_netlist::Netlist, Design, Placement) {
         let mut d = generate(&GenConfig::named("dp_tiny", seed).unwrap());
         GlobalPlacer::new(GpConfig::fast()).place(&d.netlist, &d.design, &mut d.placement, None);
-        legalize(&d.netlist, &d.design, &mut d.placement, &LegalizeOptions::default());
+        legalize(
+            &d.netlist,
+            &d.design,
+            &mut d.placement,
+            &LegalizeOptions::default(),
+        );
         (d.netlist, d.design, d.placement)
     }
 
@@ -510,8 +515,12 @@ mod tests {
             },
         );
         let on = detailed_place(&nl, &design, &mut pl, &DetailedOptions::default());
-        assert!(on.hpwl_after <= off.hpwl_after + 1e-9,
-            "reordering never hurts: {} vs {}", on.hpwl_after, off.hpwl_after);
+        assert!(
+            on.hpwl_after <= off.hpwl_after + 1e-9,
+            "reordering never hurts: {} vs {}",
+            on.hpwl_after,
+            off.hpwl_after
+        );
         assert!(check_legal(&nl, &design, &pl).is_empty());
     }
 

@@ -216,7 +216,7 @@ mod tests {
     fn off_grid_blockage_still_yields_site_aligned_slots() {
         let mut rs = RowSpace::new(&row());
         rs.block(10.5, 3.0); // off-grid blockage edge
-        // Packing against the blockage from the left must stay on sites.
+                             // Packing against the blockage from the left must stay on sites.
         let x = rs.place_near(9.0, 2.0).unwrap();
         assert_eq!(x.fract(), 0.0, "left edge {x} on a site");
         assert!(x + 2.0 <= 10.5 + 1e-9);

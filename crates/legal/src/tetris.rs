@@ -184,10 +184,7 @@ mod tests {
         for (k, &c) in locked_ids.iter().enumerate() {
             let m = nl.master_of(c);
             let row = &design.rows()[k];
-            pl.set(
-                c,
-                Point::new(2.0 + m.width / 2.0, row.y + row.height / 2.0),
-            );
+            pl.set(c, Point::new(2.0 + m.width / 2.0, row.y + row.height / 2.0));
         }
         let options = LegalizeOptions {
             locked: locked_ids.iter().copied().collect(),
@@ -222,7 +219,10 @@ mod tests {
         let v = b.add_cell("v", big);
         b.add_net(
             "n",
-            [(u, Point::ORIGIN, PinDir::Output), (v, Point::ORIGIN, PinDir::Input)],
+            [
+                (u, Point::ORIGIN, PinDir::Output),
+                (v, Point::ORIGIN, PinDir::Input),
+            ],
         );
         let nl = b.finish().unwrap();
         let design = Design::uniform_rows(10.0, 1.0, 2, 1.0);

@@ -117,7 +117,10 @@ mod tests {
         let v = b.add_cell("v", l);
         b.add_net(
             "n",
-            [(u, Point::ORIGIN, PinDir::Output), (v, Point::ORIGIN, PinDir::Input)],
+            [
+                (u, Point::ORIGIN, PinDir::Output),
+                (v, Point::ORIGIN, PinDir::Input),
+            ],
         );
         let nl = b.finish().unwrap();
         let design = Design::uniform_rows(10.0, 1.0, 3, 1.0);
@@ -143,7 +146,10 @@ mod tests {
         pl.set(u, Point::new(2.0, 0.5));
         pl.set(v, Point::new(3.0, 0.5));
         let vs = check_legal(&nl, &design, &pl);
-        assert!(vs.iter().any(|x| matches!(x, Violation::Overlap(_, _))), "{vs:?}");
+        assert!(
+            vs.iter().any(|x| matches!(x, Violation::Overlap(_, _))),
+            "{vs:?}"
+        );
     }
 
     #[test]
@@ -154,8 +160,14 @@ mod tests {
         pl.set(u, Point::new(1.0, 0.7)); // off row
         pl.set(v, Point::new(4.5, 1.5)); // off site (left edge 3.5)
         let vs = check_legal(&nl, &design, &pl);
-        assert!(vs.iter().any(|x| matches!(x, Violation::OffRow(_))), "{vs:?}");
-        assert!(vs.iter().any(|x| matches!(x, Violation::OffSite(_))), "{vs:?}");
+        assert!(
+            vs.iter().any(|x| matches!(x, Violation::OffRow(_))),
+            "{vs:?}"
+        );
+        assert!(
+            vs.iter().any(|x| matches!(x, Violation::OffSite(_))),
+            "{vs:?}"
+        );
     }
 
     #[test]

@@ -225,8 +225,20 @@ mod tests {
         let l = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
         let u = b.add_cell("u", l);
         let v = b.add_cell("v", l);
-        b.add_net("n", [(u, Point::ORIGIN, PinDir::Output), (v, Point::ORIGIN, PinDir::Input)]);
-        b.add_net("n", [(v, Point::ORIGIN, PinDir::Output), (u, Point::ORIGIN, PinDir::Input)]);
+        b.add_net(
+            "n",
+            [
+                (u, Point::ORIGIN, PinDir::Output),
+                (v, Point::ORIGIN, PinDir::Input),
+            ],
+        );
+        b.add_net(
+            "n",
+            [
+                (v, Point::ORIGIN, PinDir::Output),
+                (u, Point::ORIGIN, PinDir::Input),
+            ],
+        );
         assert!(b.finish().is_err());
     }
 
@@ -259,7 +271,13 @@ mod tests {
         let inv = b.add_lib_cell("INV", 1.0, 1.0, 1, 1);
         let p = b.add_fixed_cell("p0", pad);
         let u = b.add_cell("u0", inv);
-        b.add_net("n", [(p, Point::ORIGIN, PinDir::Output), (u, Point::ORIGIN, PinDir::Input)]);
+        b.add_net(
+            "n",
+            [
+                (p, Point::ORIGIN, PinDir::Output),
+                (u, Point::ORIGIN, PinDir::Input),
+            ],
+        );
         let nl = b.finish().unwrap();
         assert!(nl.cell(p).fixed);
         assert!(!nl.cell(u).fixed);
@@ -275,7 +293,10 @@ mod tests {
         let n = b.add_weighted_net(
             "crit",
             3.0,
-            [(u, Point::ORIGIN, PinDir::Output), (v, Point::ORIGIN, PinDir::Input)],
+            [
+                (u, Point::ORIGIN, PinDir::Output),
+                (v, Point::ORIGIN, PinDir::Input),
+            ],
         );
         let nl = b.finish().unwrap();
         assert_eq!(nl.net(n).weight, 3.0);

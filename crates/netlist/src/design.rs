@@ -56,11 +56,11 @@ pub struct Design {
 impl Design {
     /// Creates a floorplan from an explicit region and row list.
     ///
-    /// # Panics
-    ///
-    /// Panics if `rows` is empty.
+    /// An empty row list is allowed (a degenerate floorplan, e.g. a
+    /// macro-only die): consumers that need rows — [`Design::row_height`],
+    /// [`Design::row_at_y`] — panic on such a design, and legalizers
+    /// report every cell as failed.
     pub fn new(region: Rect, rows: Vec<Row>) -> Self {
-        assert!(!rows.is_empty(), "design needs at least one row");
         Design { region, rows }
     }
 
@@ -116,6 +116,10 @@ impl Design {
     }
 
     /// Common row height (height of the first row; uniform in practice).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a rowless design.
     pub fn row_height(&self) -> f64 {
         self.rows[0].height
     }
@@ -198,9 +202,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one row")]
-    fn empty_rows_panic() {
-        let _ = Design::new(Rect::new(0.0, 0.0, 1.0, 1.0), vec![]);
+    fn empty_rows_construct_a_degenerate_design() {
+        let d = Design::new(Rect::new(0.0, 0.0, 1.0, 1.0), vec![]);
+        assert!(d.rows().is_empty());
+        assert_eq!(d.placeable_area(), 0.0);
     }
 
     #[test]

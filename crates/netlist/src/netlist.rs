@@ -212,12 +212,18 @@ impl Netlist {
     /// Iterates over the nets incident to a cell (may repeat a net if the
     /// cell has several pins on it).
     pub fn nets_of_cell(&self, c: CellId) -> impl Iterator<Item = NetId> + '_ {
-        self.cells[c.ix()].pins.iter().map(|&p| self.pins[p.ix()].net)
+        self.cells[c.ix()]
+            .pins
+            .iter()
+            .map(|&p| self.pins[p.ix()].net)
     }
 
     /// Iterates over the cells on a net (may repeat a cell).
     pub fn cells_of_net(&self, n: NetId) -> impl Iterator<Item = CellId> + '_ {
-        self.nets[n.ix()].pins.iter().map(|&p| self.pins[p.ix()].cell)
+        self.nets[n.ix()]
+            .pins
+            .iter()
+            .map(|&p| self.pins[p.ix()].cell)
     }
 
     /// The driving pin of a net, if one is marked `Output`.

@@ -1,6 +1,6 @@
 //! Placement state: one centre coordinate per cell.
 
-use crate::{CellId, Netlist, NetId, PinId};
+use crate::{CellId, NetId, Netlist, PinId};
 use sdp_geom::{BBox, Point, Rect};
 
 /// The positions of every cell in a netlist (cell *centres*).
@@ -183,7 +183,10 @@ mod tests {
         b.add_weighted_net(
             "n",
             2.0,
-            [(u, Point::ORIGIN, PinDir::Output), (v, Point::ORIGIN, PinDir::Input)],
+            [
+                (u, Point::ORIGIN, PinDir::Output),
+                (v, Point::ORIGIN, PinDir::Input),
+            ],
         );
         let nl = b.finish().unwrap();
         let mut p = Placement::new(&nl);

@@ -62,7 +62,11 @@ impl NetlistStats {
             fixed: cells - movable,
             nets,
             pins,
-            avg_net_degree: if nets == 0 { 0.0 } else { pins as f64 / nets as f64 },
+            avg_net_degree: if nets == 0 {
+                0.0
+            } else {
+                pins as f64 / nets as f64
+            },
             max_net_degree: max_deg,
             movable_area: netlist.movable_area(),
             degree_histogram: hist,
@@ -112,7 +116,10 @@ mod tests {
         );
         b.add_net(
             "n2",
-            [(u, Point::ORIGIN, PinDir::Output), (v, Point::ORIGIN, PinDir::Input)],
+            [
+                (u, Point::ORIGIN, PinDir::Output),
+                (v, Point::ORIGIN, PinDir::Input),
+            ],
         );
         let nl = b.finish().unwrap();
         let s = NetlistStats::of(&nl);

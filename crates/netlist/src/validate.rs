@@ -125,7 +125,10 @@ mod tests {
         let w = b.add_cell("w", l);
         b.add_net(
             "floating",
-            [(u, Point::ORIGIN, PinDir::Input), (v, Point::ORIGIN, PinDir::Input)],
+            [
+                (u, Point::ORIGIN, PinDir::Input),
+                (v, Point::ORIGIN, PinDir::Input),
+            ],
         );
         b.add_net(
             "contended",
@@ -150,7 +153,10 @@ mod tests {
         let _lonely = b.add_cell("lonely", l);
         b.add_net(
             "n",
-            [(u, Point::ORIGIN, PinDir::Output), (v, Point::ORIGIN, PinDir::Input)],
+            [
+                (u, Point::ORIGIN, PinDir::Output),
+                (v, Point::ORIGIN, PinDir::Input),
+            ],
         );
         let nl = b.finish().unwrap();
         let issues = validate_netlist(&nl);
@@ -166,18 +172,31 @@ mod tests {
         // Two input pins on a 1-input master.
         b.add_net(
             "n1",
-            [(d, Point::ORIGIN, PinDir::Output), (u, Point::ORIGIN, PinDir::Input)],
+            [
+                (d, Point::ORIGIN, PinDir::Output),
+                (u, Point::ORIGIN, PinDir::Input),
+            ],
         );
         b.add_net(
             "n2",
-            [(d, Point::new(0.1, 0.0), PinDir::Output), (u, Point::new(0.1, 0.0), PinDir::Input)],
+            [
+                (d, Point::new(0.1, 0.0), PinDir::Output),
+                (u, Point::new(0.1, 0.0), PinDir::Input),
+            ],
         );
         let nl = b.finish().unwrap();
         let issues = validate_netlist(&nl);
-        assert!(issues.iter().any(|i| matches!(
-            i,
-            NetlistIssue::ArityMismatch { actual: 2, declared: 1, .. }
-        )), "{issues:?}");
+        assert!(
+            issues.iter().any(|i| matches!(
+                i,
+                NetlistIssue::ArityMismatch {
+                    actual: 2,
+                    declared: 1,
+                    ..
+                }
+            )),
+            "{issues:?}"
+        );
         // Messages are human readable.
         assert!(issues[0].to_string().len() > 5);
     }

@@ -103,7 +103,11 @@ pub fn route(
             continue;
         }
         for (a, b) in mst_edges(&cells) {
-            segments.push(Segment { a, b, path: Vec::new() });
+            segments.push(Segment {
+                a,
+                b,
+                path: Vec::new(),
+            });
         }
     }
 
@@ -189,9 +193,8 @@ fn v_hist(nx: usize, ny: usize, x: usize, y: usize) -> usize {
 /// Rectilinear MST edges over distinct gcells (Prim, O(n²)).
 fn mst_edges(cells: &[(usize, usize)]) -> Vec<((usize, usize), (usize, usize))> {
     let n = cells.len();
-    let dist = |a: (usize, usize), b: (usize, usize)| -> usize {
-        a.0.abs_diff(b.0) + a.1.abs_diff(b.1)
-    };
+    let dist =
+        |a: (usize, usize), b: (usize, usize)| -> usize { a.0.abs_diff(b.0) + a.1.abs_diff(b.1) };
     let mut in_tree = vec![false; n];
     let mut best = vec![(usize::MAX, 0usize); n]; // (dist, parent)
     in_tree[0] = true;
@@ -415,8 +418,8 @@ pub fn grid_hpwl_lower_bound(
             pins += 1;
         }
         if pins >= 2 {
-            total += (max.0 - min.0) as f64 * grid.pitch_x()
-                + (max.1 - min.1) as f64 * grid.pitch_y();
+            total +=
+                (max.0 - min.0) as f64 * grid.pitch_x() + (max.1 - min.1) as f64 * grid.pitch_y();
         }
     }
     total
@@ -432,7 +435,12 @@ mod tests {
     fn placed(seed: u64) -> (Netlist, Design, Placement) {
         let mut d = generate(&GenConfig::named("dp_tiny", seed).unwrap());
         GlobalPlacer::new(GpConfig::fast()).place(&d.netlist, &d.design, &mut d.placement, None);
-        legalize(&d.netlist, &d.design, &mut d.placement, &LegalizeOptions::default());
+        legalize(
+            &d.netlist,
+            &d.design,
+            &mut d.placement,
+            &LegalizeOptions::default(),
+        );
         (d.netlist, d.design, d.placement)
     }
 
@@ -489,14 +497,24 @@ mod tests {
     #[test]
     fn explicit_grid_is_respected_and_tighter_grids_cost_more() {
         let (nl, design, pl) = placed(5);
-        let coarse = route(&nl, &pl, &design, &RouteConfig {
-            grid: Some((8, 8)),
-            ..RouteConfig::default()
-        });
-        let fine = route(&nl, &pl, &design, &RouteConfig {
-            grid: Some((32, 32)),
-            ..RouteConfig::default()
-        });
+        let coarse = route(
+            &nl,
+            &pl,
+            &design,
+            &RouteConfig {
+                grid: Some((8, 8)),
+                ..RouteConfig::default()
+            },
+        );
+        let fine = route(
+            &nl,
+            &pl,
+            &design,
+            &RouteConfig {
+                grid: Some((32, 32)),
+                ..RouteConfig::default()
+            },
+        );
         assert!(coarse.segments > 0 && fine.segments > 0);
         // Finer grids resolve more detail; both wirelengths stay sane.
         assert!(coarse.wirelength > 0.0 && fine.wirelength > 0.0);
@@ -505,10 +523,15 @@ mod tests {
     #[test]
     fn zero_rrr_iters_reports_initial_solution() {
         let (nl, design, pl) = placed(6);
-        let r = route(&nl, &pl, &design, &RouteConfig {
-            rrr_iters: 0,
-            ..RouteConfig::default()
-        });
+        let r = route(
+            &nl,
+            &pl,
+            &design,
+            &RouteConfig {
+                rrr_iters: 0,
+                ..RouteConfig::default()
+            },
+        );
         assert_eq!(r.iterations, 0);
     }
 

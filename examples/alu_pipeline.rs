@@ -20,7 +20,10 @@ fn main() {
             BlockSpec::Alu { width: 32 },
             BlockSpec::Alu { width: 32 },
             BlockSpec::RegFile { width: 32, regs: 8 },
-            BlockSpec::BarrelShifter { width: 32, levels: 5 },
+            BlockSpec::BarrelShifter {
+                width: 32,
+                levels: 5,
+            },
             BlockSpec::MuxTree { width: 32, ways: 4 },
         ],
         3000,
@@ -28,15 +31,17 @@ fn main() {
     let d = generate(&cfg);
     println!("design `{}`: {}", d.name, d.netlist);
 
-    let base = StructurePlacer::new(FlowConfig::default().baseline())
-        .place(&d.netlist, &d.design, &d.placement);
-    let aware = StructurePlacer::new(FlowConfig::default())
-        .place(&d.netlist, &d.design, &d.placement);
+    let base = StructurePlacer::new(FlowConfig::default().baseline()).place(
+        &d.netlist,
+        &d.design,
+        &d.placement,
+    );
+    let aware =
+        StructurePlacer::new(FlowConfig::default()).place(&d.netlist, &d.design, &d.placement);
 
     // Evaluate both against the same group set (the aware run's).
     let base_hpwl = hpwl_breakdown(&d.netlist, &base.placement, &aware.groups);
-    let base_align =
-        alignment_report(&base.placement, &aware.groups, d.design.row_height());
+    let base_align = alignment_report(&base.placement, &aware.groups, d.design.row_height());
     let route_cfg = RouteConfig::default();
     let base_route = route(&d.netlist, &base.placement, &d.design, &route_cfg);
     let aware_route = route(&d.netlist, &aware.placement, &d.design, &route_cfg);

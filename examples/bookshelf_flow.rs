@@ -37,10 +37,19 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // 4. Save the placed positions as a Bookshelf bundle again.
-    let placed_aux = write_bookshelf(&dir, "dp_small_placed", &case.netlist, &case.design, &out.placement)?;
+    let placed_aux = write_bookshelf(
+        &dir,
+        "dp_small_placed",
+        &case.netlist,
+        &case.design,
+        &out.placement,
+    )?;
     println!("wrote placed bundle: {}", placed_aux.display());
 
     assert_eq!(out.legal_violations, 0);
-    assert!(out.report.num_groups > 0, "extraction must survive the round trip");
+    assert!(
+        out.report.num_groups > 0,
+        "extraction must survive the round trip"
+    );
     Ok(())
 }

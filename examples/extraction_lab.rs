@@ -30,7 +30,10 @@ fn main() {
             g.num_cells().to_string(),
         ]);
     }
-    println!("extracted inventory ({:.1} ms):\n{inv}", result.seconds * 1e3);
+    println!(
+        "extracted inventory ({:.1} ms):\n{inv}",
+        result.seconds * 1e3
+    );
 
     // Knob sweep: signature rounds trade recall for discrimination.
     let mut sweep = Table::new(["rounds", "precision", "recall", "f1", "coherence"]);

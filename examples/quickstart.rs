@@ -44,8 +44,14 @@ fn main() {
 
     // 4. A picture: datapath groups in colour, glue in gray.
     let svg = std::env::temp_dir().join("sdplace_quickstart.svg");
-    if sdp_eval::write_placement_svg(&svg, &design.netlist, &design.design, &out.placement, &out.groups)
-        .is_ok()
+    if sdp_eval::write_placement_svg(
+        &svg,
+        &design.netlist,
+        &design.design,
+        &out.placement,
+        &out.groups,
+    )
+    .is_ok()
     {
         println!("placement rendered to {}", svg.display());
     }

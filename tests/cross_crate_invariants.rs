@@ -11,7 +11,12 @@ use sdp_route::{route, RouteConfig};
 fn placed_tiny(seed: u64) -> (sdp_dpgen::GeneratedDesign, Placement) {
     let mut d = generate(&GenConfig::named("dp_tiny", seed).expect("known preset"));
     GlobalPlacer::new(GpConfig::fast()).place(&d.netlist, &d.design, &mut d.placement, None);
-    legalize(&d.netlist, &d.design, &mut d.placement, &LegalizeOptions::default());
+    legalize(
+        &d.netlist,
+        &d.design,
+        &mut d.placement,
+        &LegalizeOptions::default(),
+    );
     let p = d.placement.clone();
     (d, p)
 }

@@ -17,8 +17,11 @@ fn tiny(seed: u64) -> sdp_dpgen::GeneratedDesign {
 #[test]
 fn baseline_flow_end_to_end() {
     let d = tiny(100);
-    let out = StructurePlacer::new(FlowConfig::fast().baseline())
-        .place(&d.netlist, &d.design, &d.placement);
+    let out = StructurePlacer::new(FlowConfig::fast().baseline()).place(
+        &d.netlist,
+        &d.design,
+        &d.placement,
+    );
     assert_eq!(out.legal_violations, 0);
     assert!(out.report.hpwl.total > 0.0);
     assert_eq!(out.report.num_groups, 0);
@@ -29,8 +32,7 @@ fn baseline_flow_end_to_end() {
 #[test]
 fn structure_aware_flow_end_to_end() {
     let d = tiny(101);
-    let out =
-        StructurePlacer::new(FlowConfig::fast()).place(&d.netlist, &d.design, &d.placement);
+    let out = StructurePlacer::new(FlowConfig::fast()).place(&d.netlist, &d.design, &d.placement);
     assert_eq!(out.legal_violations, 0);
     assert!(out.report.num_groups > 0, "extraction must find structure");
     assert!(out.report.num_group_cells > 50);
@@ -45,10 +47,12 @@ fn datapath_hpwl_stays_competitive() {
     // The reproduced claim (T3 shape): structure-aware placement keeps
     // datapath-net HPWL within a few percent of (or below) the baseline.
     let d = generate(&GenConfig::named("dp_small", 5).expect("known preset"));
-    let base = StructurePlacer::new(FlowConfig::fast().baseline())
-        .place(&d.netlist, &d.design, &d.placement);
-    let aware =
-        StructurePlacer::new(FlowConfig::fast()).place(&d.netlist, &d.design, &d.placement);
+    let base = StructurePlacer::new(FlowConfig::fast().baseline()).place(
+        &d.netlist,
+        &d.design,
+        &d.placement,
+    );
+    let aware = StructurePlacer::new(FlowConfig::fast()).place(&d.netlist, &d.design, &d.placement);
     let base_bd = hpwl_breakdown(&d.netlist, &base.placement, &aware.groups);
     let ratio = aware.report.hpwl.datapath / base_bd.datapath;
     assert!(
@@ -60,8 +64,8 @@ fn datapath_hpwl_stays_competitive() {
 #[test]
 fn rigid_mode_aligns_every_row() {
     let d = tiny(102);
-    let out = StructurePlacer::new(FlowConfig::fast().rigid())
-        .place(&d.netlist, &d.design, &d.placement);
+    let out =
+        StructurePlacer::new(FlowConfig::fast().rigid()).place(&d.netlist, &d.design, &d.placement);
     assert_eq!(out.legal_violations, 0);
     assert_eq!(out.report.alignment.aligned_row_fraction, 1.0);
     assert_eq!(out.report.alignment.mean_row_y_spread, 0.0);
@@ -70,9 +74,13 @@ fn rigid_mode_aligns_every_row() {
 #[test]
 fn routed_placement_has_bounded_congestion() {
     let d = tiny(103);
-    let out =
-        StructurePlacer::new(FlowConfig::fast()).place(&d.netlist, &d.design, &d.placement);
-    let report = route(&d.netlist, &out.placement, &d.design, &RouteConfig::default());
+    let out = StructurePlacer::new(FlowConfig::fast()).place(&d.netlist, &d.design, &d.placement);
+    let report = route(
+        &d.netlist,
+        &out.placement,
+        &d.design,
+        &RouteConfig::default(),
+    );
     assert!(report.wirelength > 0.0);
     assert_eq!(report.overflow, 0, "tiny design must route cleanly");
 }
@@ -80,12 +88,14 @@ fn routed_placement_has_bounded_congestion() {
 #[test]
 fn placed_result_round_trips_through_bookshelf() {
     let d = tiny(104);
-    let out =
-        StructurePlacer::new(FlowConfig::fast()).place(&d.netlist, &d.design, &d.placement);
-    let dir = std::env::temp_dir().join("sdp_fullflow_bookshelf");
-    let aux = write_bookshelf(&dir, "t", &d.netlist, &d.design, &out.placement)
-        .expect("write bookshelf");
+    let out = StructurePlacer::new(FlowConfig::fast()).place(&d.netlist, &d.design, &d.placement);
+    // Unique per-invocation dir: concurrent test binaries (or stale
+    // artifacts from an aborted run) must not collide.
+    let dir = std::env::temp_dir().join(format!("sdp_fullflow_bookshelf_{}", std::process::id()));
+    let aux =
+        write_bookshelf(&dir, "t", &d.netlist, &d.design, &out.placement).expect("write bookshelf");
     let case = read_bookshelf(&aux).expect("read bookshelf");
+    std::fs::remove_dir_all(&dir).ok();
     // Same HPWL after the round trip (positions and offsets preserved).
     let before = out.placement.total_hpwl(&d.netlist);
     let after = case.placement.total_hpwl(&case.netlist);
@@ -115,6 +125,26 @@ fn whole_flow_is_deterministic_across_runs() {
     assert_eq!(p1, p2);
     assert_eq!(h1, h2);
     assert_eq!(g1, g2);
+}
+
+#[test]
+fn thread_count_is_transparent_to_the_flow() {
+    // The parallel wirelength/density kernels replay their reductions in
+    // a fixed order, so the entire flow must be bitwise identical at any
+    // thread count.
+    let run = |threads: usize| {
+        let d = tiny(106);
+        let out = StructurePlacer::new(FlowConfig::fast().with_threads(threads)).place(
+            &d.netlist,
+            &d.design,
+            &d.placement,
+        );
+        (out.placement.positions().to_vec(), out.report.hpwl.total)
+    };
+    let (pos_seq, hpwl_seq) = run(1);
+    let (pos_par, hpwl_par) = run(4);
+    assert_eq!(pos_seq, pos_par);
+    assert_eq!(hpwl_seq, hpwl_par);
 }
 
 #[test]

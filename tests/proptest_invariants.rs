@@ -13,8 +13,7 @@ fn arb_point() -> impl Strategy<Value = Point> {
 }
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    (arb_point(), 0.0..50.0f64, 0.0..50.0f64)
-        .prop_map(|(p, w, h)| Rect::with_size(p, w, h))
+    (arb_point(), 0.0..50.0f64, 0.0..50.0f64).prop_map(|(p, w, h)| Rect::with_size(p, w, h))
 }
 
 proptest! {

@@ -12,8 +12,11 @@ use sdp_netlist::{
 /// Strategy: a random connected-ish netlist of `n` cells with random
 /// 2..5-pin nets, random widths, and a couple of pads.
 fn arb_netlist() -> impl Strategy<Value = Netlist> {
-    (3usize..40, prop::collection::vec((0usize..40, 0usize..40), 2..60)).prop_map(
-        |(n, pairs)| {
+    (
+        3usize..40,
+        prop::collection::vec((0usize..40, 0usize..40), 2..60),
+    )
+        .prop_map(|(n, pairs)| {
             let mut b = NetlistBuilder::new();
             let libs = [
                 b.add_lib_cell("W2", 2.0, 1.0, 1, 1),
@@ -58,8 +61,7 @@ fn arb_netlist() -> impl Strategy<Value = Netlist> {
                 ],
             );
             b.finish().expect("constructed netlist is valid")
-        },
-    )
+        })
 }
 
 proptest! {

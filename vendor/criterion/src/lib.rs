@@ -1,0 +1,158 @@
+//! Minimal, dependency-free stand-in for the subset of the `criterion`
+//! crate this workspace uses.
+//!
+//! The build environment has no network access to a crates.io registry,
+//! so the workspace vendors the benchmarking surface it needs:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark runs
+//! a short warm-up followed by `sample_size` timed samples and reports
+//! the median, mean, and fastest sample on stdout. There are no
+//! statistical comparisons against saved baselines.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a common prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples after a warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~50 ms have elapsed (at least once) so cold
+        // caches and lazy statics do not pollute the first sample.
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            if warm_start.elapsed() > Duration::from_millis(50) {
+                break;
+            }
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<40} (no samples — closure never called iter)");
+        return;
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    println!(
+        "{name:<40} median {:>12?}  mean {:>12?}  min {:>12?}  ({} samples)",
+        median,
+        mean,
+        min,
+        sorted.len()
+    );
+}
+
+/// Declares a benchmark group function that runs each target with the
+/// given configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
