@@ -82,6 +82,48 @@ fn gen_extract_place_route_eval_pipeline() {
 }
 
 #[test]
+fn extraction_is_identical_across_hash_seeds() {
+    // Every process gets fresh random SipHash keys for `HashMap`/`HashSet`,
+    // so running extraction in two separate subprocesses and comparing
+    // their full output proves it never observes hash-iteration order —
+    // the invariant `sdp-lint`'s `nondeterministic-iter` rule enforces
+    // statically. Only the elapsed-time line may differ.
+    let prefix = tmp("hashseed/case");
+    let prefix_s = prefix.to_str().expect("utf-8 tmp path");
+    let out = sdplace(&["gen", "dp_small", "--seed", "7", "--out", prefix_s]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let aux = format!("{prefix_s}.aux");
+
+    let extract_once = || {
+        let out = sdplace(&["extract", &aux]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.contains(" ms)")) // drop the wall-clock line
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let first = extract_once();
+    let second = extract_once();
+    assert!(
+        first.contains("group | bits | stages | cells"),
+        "sanity: extraction ran\n{first}"
+    );
+    assert_eq!(
+        first, second,
+        "extraction output must not depend on the process's hash seed"
+    );
+}
+
+#[test]
 fn place_baseline_and_rigid_conflict() {
     let out = sdplace(&["place", "whatever.aux", "--baseline", "--rigid"]);
     assert!(!out.status.success());

@@ -212,6 +212,7 @@ impl StructurePlacer {
         // Phase 1: extraction. Groups taller than a fraction of the core
         // are folded into stacked chunks — a 240-bit multiplier array
         // cannot stand as 240 consecutive rows in a 100-row core.
+        // sdp-lint: allow(wall-clock-in-library) -- phase timing reported in PlaceStats; never feeds placement decisions
         let t0 = Instant::now();
         // Narrowest core row: the width every physical group row must fit
         // into, wherever its snap window lands.
@@ -233,6 +234,7 @@ impl StructurePlacer {
         // Phase 2: global placement (+ alignment term). The placer sees a
         // netlist whose intra-group nets are up-weighted; every metric is
         // computed on the original netlist.
+        // sdp-lint: allow(wall-clock-in-library) -- phase timing reported in PlaceStats; never feeds placement decisions
         let t0 = Instant::now();
         let gp_netlist = if self.config.structure_aware && self.config.dp_net_weight != 1.0 {
             boost_datapath_nets(netlist, &groups, self.config.dp_net_weight)
@@ -323,6 +325,7 @@ impl StructurePlacer {
         times.global = t0.elapsed().as_secs_f64();
 
         // Phase 3: structure-first legalization.
+        // sdp-lint: allow(wall-clock-in-library) -- phase timing reported in PlaceStats; never feeds placement decisions
         let t0 = Instant::now();
         let (locked, rows_fallback) = if self.config.structure_aware && self.config.rigid_groups {
             snap_groups(netlist, design, &mut placement, &groups)
@@ -342,6 +345,7 @@ impl StructurePlacer {
         times.legalize = t0.elapsed().as_secs_f64();
 
         // Phase 4: detailed placement.
+        // sdp-lint: allow(wall-clock-in-library) -- phase timing reported in PlaceStats; never feeds placement decisions
         let t0 = Instant::now();
         let detailed_stats = detailed_place(
             netlist,

@@ -3,7 +3,7 @@
 use crate::relations::Relations;
 use crate::ExtractConfig;
 use sdp_netlist::{CellId, DatapathGroup, Netlist};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Maximum stages one group may grow to (safety valve against pathological
 /// expansion through long buffer chains).
@@ -19,8 +19,9 @@ struct Seed {
 }
 
 /// Groups cells by signature, keeping classes of plausible bit width.
+/// Keyed by a `BTreeMap` so class order never depends on hash seeds.
 fn classes_of(netlist: &Netlist, sigs: &[u64], min_bits: usize) -> Vec<(u64, Vec<CellId>)> {
-    let mut map: HashMap<u64, Vec<CellId>> = HashMap::new();
+    let mut map: BTreeMap<u64, Vec<CellId>> = BTreeMap::new();
     for c in netlist.movable_ids() {
         map.entry(sigs[c.ix()]).or_default().push(c);
     }
@@ -219,8 +220,9 @@ fn expand_sinks(
     taken: &HashSet<CellId>,
     min_coverage: f64,
 ) -> Vec<Column> {
-    // Collect (bit, sink) pairs per signature.
-    let mut by_sig: HashMap<u64, Vec<(usize, CellId)>> = HashMap::new();
+    // Collect (bit, sink) pairs per signature; BTreeMap iteration yields
+    // signatures in sorted order, independent of hash seeds.
+    let mut by_sig: BTreeMap<u64, Vec<(usize, CellId)>> = BTreeMap::new();
     let mut present = 0usize;
     for (bit, c) in col.iter().enumerate() {
         let Some(c) = *c else { continue };
@@ -231,11 +233,8 @@ fn expand_sinks(
             }
         }
     }
-    let mut sig_keys: Vec<u64> = by_sig.keys().copied().collect();
-    sig_keys.sort_unstable();
     let mut out = Vec::new();
-    for k in sig_keys {
-        let cand = by_sig.remove(&k).expect("key exists");
+    for (_, cand) in by_sig {
         if let Some(col) = select_injective(cand, present, col.len(), min_coverage) {
             out.push(col);
         }
@@ -255,7 +254,7 @@ fn select_dominant(
     if cand.is_empty() {
         return None;
     }
-    let mut counts: HashMap<u64, usize> = HashMap::new();
+    let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
     for &(_, c) in &cand {
         *counts.entry(sigs[c.ix()]).or_insert(0) += 1;
     }
@@ -413,6 +412,7 @@ mod tests {
     use super::*;
     use crate::{extract, signature::signatures, ExtractConfig};
     use sdp_dpgen::blocks_for_tests::{lone_adder, lone_alu, lone_shifter};
+    use std::collections::BTreeSet;
 
     #[test]
     fn chain_paths_find_the_carry_chain() {
@@ -448,7 +448,7 @@ mod tests {
         let r = extract(&nl, &ExtractConfig::default());
         assert!(!r.groups.is_empty());
         let truth_cells = truth[0].cell_set();
-        let extracted: HashSet<CellId> = r.groups.iter().flat_map(|g| g.cell_set()).collect();
+        let extracted: BTreeSet<CellId> = r.groups.iter().flat_map(|g| g.cell_set()).collect();
         let hit = truth_cells.intersection(&extracted).count();
         // Signature rounds peel ~2 boundary bits; expect most cells back.
         assert!(
@@ -463,7 +463,7 @@ mod tests {
         let (nl, truth) = lone_shifter(16, 4);
         let r = extract(&nl, &ExtractConfig::default());
         let truth_cells = truth[0].cell_set();
-        let extracted: HashSet<CellId> = r.groups.iter().flat_map(|g| g.cell_set()).collect();
+        let extracted: BTreeSet<CellId> = r.groups.iter().flat_map(|g| g.cell_set()).collect();
         let hit = truth_cells.intersection(&extracted).count();
         assert!(
             hit as f64 > 0.6 * truth_cells.len() as f64,
@@ -477,7 +477,7 @@ mod tests {
         let (nl, truth) = sdp_dpgen::blocks_for_tests::lone_carry_select(16, 4);
         let r = extract(&nl, &ExtractConfig::default());
         let truth_cells = truth[0].cell_set();
-        let extracted: HashSet<CellId> = r.groups.iter().flat_map(|g| g.cell_set()).collect();
+        let extracted: BTreeSet<CellId> = r.groups.iter().flat_map(|g| g.cell_set()).collect();
         let hit = truth_cells.intersection(&extracted).count();
         assert!(
             hit as f64 > 0.5 * truth_cells.len() as f64,
@@ -491,7 +491,7 @@ mod tests {
         let (nl, truth) = lone_alu(16);
         let r = extract(&nl, &ExtractConfig::default());
         let truth_cells = truth[0].cell_set();
-        let extracted: HashSet<CellId> = r.groups.iter().flat_map(|g| g.cell_set()).collect();
+        let extracted: BTreeSet<CellId> = r.groups.iter().flat_map(|g| g.cell_set()).collect();
         let hit = truth_cells.intersection(&extracted).count();
         assert!(
             hit as f64 > 0.6 * truth_cells.len() as f64,

@@ -104,6 +104,7 @@ impl ExtractionResult {
 
 /// Runs the full extraction pipeline on a netlist.
 pub fn extract(netlist: &Netlist, config: &ExtractConfig) -> ExtractionResult {
+    // sdp-lint: allow(wall-clock-in-library) -- fills the `seconds` runtime field of the result; never feeds extraction decisions
     let start = Instant::now();
     let sigs = signature::signatures(netlist, config.rounds, config.max_net_degree);
     let rel = relations::Relations::build(netlist, config.max_net_degree);

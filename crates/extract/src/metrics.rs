@@ -1,7 +1,7 @@
 //! Extraction quality metrics against ground truth (table T2).
 
 use sdp_netlist::{CellId, DatapathGroup, Netlist};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 /// Precision/recall/F1 of extracted datapath cells, plus bit-row purity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,8 +37,8 @@ pub fn score(
     truth: &[DatapathGroup],
     _netlist: &Netlist,
 ) -> ExtractionScore {
-    let truth_cells: HashSet<CellId> = truth.iter().flat_map(|g| g.cell_set()).collect();
-    let extracted_cells: HashSet<CellId> = extracted.iter().flat_map(|g| g.cell_set()).collect();
+    let truth_cells: BTreeSet<CellId> = truth.iter().flat_map(|g| g.cell_set()).collect();
+    let extracted_cells: BTreeSet<CellId> = extracted.iter().flat_map(|g| g.cell_set()).collect();
 
     let tp = extracted_cells.intersection(&truth_cells).count();
     let precision = if extracted_cells.is_empty() {

@@ -7,7 +7,7 @@
 //! in which clusters become single cells and fully-internal nets vanish.
 
 use sdp_netlist::{CellId, Netlist, NetlistBuilder, PinDir};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The result of one clustering level.
 #[derive(Debug, Clone)]
@@ -56,7 +56,7 @@ pub fn cluster_netlist(netlist: &Netlist, ratio: f64) -> Clustering {
             }
             let root = find(&mut parent, seed.ix() as u32);
             // Score candidate partners over incident nets.
-            let mut scores: HashMap<u32, f64> = HashMap::new();
+            let mut scores: BTreeMap<u32, f64> = BTreeMap::new();
             for net_id in netlist.nets_of_cell(seed) {
                 let net = netlist.net(net_id);
                 let deg = net.pins.len();
@@ -84,10 +84,9 @@ pub fn cluster_netlist(netlist: &Netlist, ratio: f64) -> Clustering {
                 .filter(|&(cand, _)| {
                     cluster_area[root as usize] + cluster_area[cand as usize] <= max_area
                 })
-                // Ties broken by candidate id: HashMap iteration order is
-                // randomized per process, and identical bit slices produce
-                // identical scores — without this, clustered (large)
-                // designs placed in different processes diverge.
+                // Ties broken by candidate id: identical bit slices produce
+                // identical scores, and the explicit total order keeps the
+                // winner independent of how `scores` was populated.
                 .max_by(|a, b| {
                     a.1.partial_cmp(&b.1)
                         .expect("scores are finite")

@@ -207,11 +207,10 @@ impl Executor {
                     drain(shared_ref);
                     latch_ref.count_down();
                 });
-                // SAFETY: the job borrows `shared`, `f`, and `latch`, which
-                // live on this stack frame. `latch.wait()` below blocks
-                // until every submitted job has run `count_down`, so the
-                // borrows cannot outlive this frame. The transmute only
-                // erases the lifetime; layout is identical.
+                // SAFETY: the job borrows `shared` and `latch`, which live
+                // on this frame; `latch.wait()` below blocks until every
+                // submitted job ran `count_down`, so the borrows cannot
+                // outlive the frame. The transmute only erases the lifetime.
                 let job: Job =
                     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
                 pool.submit(job);
@@ -388,5 +387,159 @@ mod tests {
         assert!(result.is_err());
         // The pool must still be usable afterwards.
         assert_eq!(exec.map(4, |i| i), vec![0, 1, 2, 3]);
+    }
+}
+
+/// Model-check of the slot-dispatch protocol under perturbed thread
+/// schedules: `cargo test -p sdp-gp --features loom-check`.
+///
+/// [`Executor::map`] is built on three claims: (1) job indices claimed
+/// via `fetch_add` are unique tickets, so the raw-pointer slot writes are
+/// disjoint; (2) the latch's mutex — not `join` — is what makes those
+/// writes visible to the caller; (3) the panic path's `store(n)` halts
+/// peers without double-claiming. This module re-implements exactly that
+/// protocol on `loom` primitives so the model runtime can drive it
+/// through many schedules; the assertions fail on any lost or duplicated
+/// slot write.
+#[cfg(all(test, feature = "loom-check"))]
+mod loom_check {
+    use loom::sync::atomic::{AtomicUsize, Ordering};
+    use loom::sync::{Arc, Condvar, Mutex};
+    use loom::thread;
+
+    /// Mirror of [`super::SlotsPtr`] for loom-scheduled threads.
+    struct SlotsPtr(*mut Option<usize>);
+
+    // SAFETY: as in production, every index is written by exactly one
+    // thread — claims are unique `fetch_add` tickets (asserted below).
+    unsafe impl Send for SlotsPtr {}
+    unsafe impl Sync for SlotsPtr {}
+
+    /// The shared state of one `map` call: slots, the claim counter, and
+    /// the latch. `writes[i]` counts stores into slot `i` so the test can
+    /// prove exclusivity, which the production code only claims.
+    struct Proto {
+        slots: SlotsPtr,
+        writes: Vec<AtomicUsize>,
+        n: usize,
+        next: AtomicUsize,
+        remaining: Mutex<usize>,
+        done: Condvar,
+    }
+
+    /// The model's job body: a pure function of the index.
+    fn job(i: usize) -> usize {
+        i * i + 1
+    }
+
+    /// Mirror of [`super::drain`]'s happy path.
+    fn drain(p: &Proto) {
+        loop {
+            let i = p.next.fetch_add(1, Ordering::Relaxed);
+            if i >= p.n {
+                return;
+            }
+            // SAFETY: `i` is a unique ticket below `n`, so no other
+            // thread writes this slot; the buffer holds `n` slots.
+            unsafe { *p.slots.0.add(i) = Some(job(i)) };
+            p.writes[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Mirror of [`super::Latch::count_down`].
+    fn count_down(p: &Proto) {
+        let mut left = p.remaining.lock().expect("latch poisoned");
+        *left -= 1;
+        if *left == 0 {
+            p.done.notify_all();
+        }
+    }
+
+    /// Mirror of [`super::Latch::wait`].
+    fn wait(p: &Proto) {
+        let mut left = p.remaining.lock().expect("latch poisoned");
+        while *left > 0 {
+            left = p.done.wait(left).expect("latch poisoned");
+        }
+    }
+
+    #[test]
+    fn slot_writes_are_exclusive_and_complete() {
+        loom::model(|| {
+            const JOBS: usize = 5;
+            const HELPERS: usize = 2;
+            let mut slots: Box<[Option<usize>]> = vec![None; JOBS].into_boxed_slice();
+            let proto = Arc::new(Proto {
+                slots: SlotsPtr(slots.as_mut_ptr()),
+                writes: (0..JOBS).map(|_| AtomicUsize::new(0)).collect(),
+                n: JOBS,
+                next: AtomicUsize::new(0),
+                remaining: Mutex::new(HELPERS),
+                done: Condvar::new(),
+            });
+            let handles: Vec<_> = (0..HELPERS)
+                .map(|_| {
+                    let p = Arc::clone(&proto);
+                    thread::spawn(move || {
+                        drain(&p);
+                        count_down(&p);
+                    })
+                })
+                .collect();
+            // The caller participates, then blocks on the latch. All
+            // exclusivity checks run after `wait` but *before* `join`:
+            // the latch alone must order the helpers' writes.
+            drain(&proto);
+            wait(&proto);
+            for (i, w) in proto.writes.iter().enumerate() {
+                assert_eq!(w.load(Ordering::Relaxed), 1, "slot {i} written once");
+            }
+            for h in handles {
+                h.join().expect("helper panicked");
+            }
+            for (i, s) in slots.iter().enumerate() {
+                assert_eq!(*s, Some(job(i)), "slot {i} holds its job's result");
+            }
+        });
+    }
+
+    #[test]
+    fn exhaustion_store_halts_peers_without_double_claims() {
+        // The panic path in `drain` marks the queue exhausted with
+        // `store(n)`. Racing peers may still claim in-flight tickets,
+        // but no index may ever be claimed twice or out of range.
+        loom::model(|| {
+            const JOBS: usize = 6;
+            let next = Arc::new(AtomicUsize::new(0));
+            let claimed = Arc::new(Mutex::new(Vec::new()));
+            let stopper = {
+                let next = Arc::clone(&next);
+                let claimed = Arc::clone(&claimed);
+                thread::spawn(move || {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i < JOBS {
+                        claimed.lock().expect("claims poisoned").push(i);
+                    }
+                    next.store(JOBS, Ordering::Relaxed);
+                })
+            };
+            let peer = {
+                let next = Arc::clone(&next);
+                let claimed = Arc::clone(&claimed);
+                thread::spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= JOBS {
+                        return;
+                    }
+                    claimed.lock().expect("claims poisoned").push(i);
+                })
+            };
+            stopper.join().expect("stopper panicked");
+            peer.join().expect("peer panicked");
+            let claimed = claimed.lock().expect("claims poisoned");
+            let unique: std::collections::BTreeSet<usize> = claimed.iter().copied().collect();
+            assert_eq!(unique.len(), claimed.len(), "an index was claimed twice");
+            assert!(claimed.iter().all(|&i| i < JOBS), "claim out of range");
+        });
     }
 }

@@ -237,6 +237,7 @@ impl GlobalPlacer {
         inflation: Option<&[f64]>,
         eval_netlist: Option<&Netlist>,
     ) -> PlaceStats {
+        // sdp-lint: allow(wall-clock-in-library) -- fills the `seconds` field of PlaceStats; never feeds placement decisions
         let start = Instant::now();
         // One pool per run, shared by every kernel evaluation.
         let exec = Executor::new(self.config.threads);

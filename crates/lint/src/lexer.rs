@@ -1,0 +1,339 @@
+//! A minimal Rust lexer: separates code from comments and string/char
+//! literal contents so the rule passes never match inside either.
+//!
+//! This is not a full parser — `sdp-lint` works at the token level (the
+//! workspace is offline, so `syn` is unavailable). The lexer guarantees
+//! two properties the rules depend on:
+//!
+//! * `code` preserves the line/column structure of the original source,
+//!   with comment and literal *contents* blanked out by spaces, so token
+//!   positions map 1:1 onto editor locations.
+//! * `comments` records every comment's text against the line it starts
+//!   on (block comments spanning lines contribute to each line they
+//!   touch), which is what the `SAFETY:` and allow-marker checks read.
+
+/// Result of scanning one source file.
+#[derive(Debug)]
+pub struct CleanFile {
+    /// Source lines (0-indexed) with comments and literal contents
+    /// replaced by spaces.
+    pub code: Vec<String>,
+    /// Comment texts per line (0-indexed, same length as `code`).
+    pub comments: Vec<Vec<String>>,
+}
+
+/// One lexical token of the cleaned code: an identifier/number, or a
+/// single punctuation character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub text: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// 1-indexed column (character offset).
+    pub col: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Splits `source` into comment-free code lines plus per-line comments.
+pub fn clean(source: &str) -> CleanFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code = vec![String::new()];
+    let mut comments: Vec<Vec<String>> = vec![Vec::new()];
+    let mut cur_comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    macro_rules! newline {
+        () => {{
+            code.push(String::new());
+            comments.push(Vec::new());
+        }};
+    }
+    macro_rules! flush_comment {
+        () => {{
+            if !cur_comment.is_empty() {
+                let line = comments.len() - 1;
+                comments[line].push(std::mem::take(&mut cur_comment));
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    code.last_mut().unwrap().push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    code.last_mut().unwrap().push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    code.last_mut().unwrap().push(' ');
+                    i += 1;
+                }
+                'r' | 'b' if starts_raw_string(&chars, i) && !prev_is_ident(&code) => {
+                    // r"…", r#"…"#, br"…", br#"…"# — skip prefix + hashes.
+                    let mut j = i;
+                    while chars[j] == 'r' || chars[j] == 'b' {
+                        code.last_mut().unwrap().push(' ');
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        code.last_mut().unwrap().push(' ');
+                        hashes += 1;
+                        j += 1;
+                    }
+                    // Opening quote.
+                    code.last_mut().unwrap().push(' ');
+                    i = j + 1;
+                    state = State::RawStr(hashes);
+                }
+                'b' if next == Some('"') && !prev_is_ident(&code) => {
+                    code.last_mut().unwrap().push_str("  ");
+                    i += 2;
+                    state = State::Str;
+                }
+                '\'' => {
+                    if is_char_literal(&chars, i) {
+                        state = State::CharLit;
+                        code.last_mut().unwrap().push(' ');
+                        i += 1;
+                    } else {
+                        // Lifetime: keep it as code (harmless for rules).
+                        code.last_mut().unwrap().push(c);
+                        i += 1;
+                    }
+                }
+                '\n' => {
+                    newline!();
+                    i += 1;
+                }
+                _ => {
+                    code.last_mut().unwrap().push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    flush_comment!();
+                    newline!();
+                    state = State::Code;
+                } else {
+                    cur_comment.push(c);
+                    code.last_mut().unwrap().push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '\n' {
+                    flush_comment!();
+                    newline!();
+                    i += 1;
+                } else if c == '*' && next == Some('/') {
+                    if depth == 1 {
+                        flush_comment!();
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                        cur_comment.push_str("*/");
+                    }
+                    code.last_mut().unwrap().push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    cur_comment.push_str("/*");
+                    code.last_mut().unwrap().push_str("  ");
+                    i += 2;
+                } else {
+                    cur_comment.push(c);
+                    code.last_mut().unwrap().push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' && next.is_some() {
+                    code.last_mut().unwrap().push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    code.last_mut().unwrap().push(' ');
+                    state = State::Code;
+                    i += 1;
+                } else if c == '\n' {
+                    newline!();
+                    i += 1;
+                } else {
+                    code.last_mut().unwrap().push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && raw_string_ends(&chars, i, hashes) {
+                    for _ in 0..=hashes {
+                        code.last_mut().unwrap().push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else if c == '\n' {
+                    newline!();
+                    i += 1;
+                } else {
+                    code.last_mut().unwrap().push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' && next.is_some() {
+                    code.last_mut().unwrap().push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    code.last_mut().unwrap().push(' ');
+                    state = State::Code;
+                    i += 1;
+                } else if c == '\n' {
+                    newline!();
+                    i += 1;
+                } else {
+                    code.last_mut().unwrap().push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    flush_comment!();
+    CleanFile { code, comments }
+}
+
+/// Does `chars[i..]` start a raw string (`r"`, `r#`, `br"`, `br#`)?
+fn starts_raw_string(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Is the last emitted code character part of an identifier? Guards
+/// against treating the `r` of e.g. `var"` (impossible) or `for` tokens
+/// followed by literals as a raw-string prefix.
+fn prev_is_ident(code: &[String]) -> bool {
+    code.last()
+        .and_then(|l| l.chars().last())
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Distinguishes `'x'` / `'\n'` (char literal) from `'a` (lifetime).
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(&c) if c.is_alphanumeric() || c == '_' => chars.get(i + 2) == Some(&'\''),
+        Some(_) => true, // e.g. '(' — punctuation char literal
+        None => false,
+    }
+}
+
+fn raw_string_ends(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Tokenizes cleaned code into identifiers/numbers and punctuation chars.
+pub fn tokenize(code: &[String]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (li, line) in code.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    text: chars[start..i].iter().collect(),
+                    line: li + 1,
+                    col: start + 1,
+                });
+            } else {
+                toks.push(Tok {
+                    text: c.to_string(),
+                    line: li + 1,
+                    col: i + 1,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let f = clean("let a = 1; // HashMap here\n/* HashSet\nspans */ let b;\n");
+        assert!(!f.code.join("\n").contains("HashMap"));
+        assert!(!f.code.join("\n").contains("HashSet"));
+        assert_eq!(f.comments[0], vec![" HashMap here".to_string()]);
+        assert!(f.comments[1][0].contains("HashSet"));
+        assert!(f.code[2].contains("let b;"));
+    }
+
+    #[test]
+    fn strips_string_contents_preserving_columns() {
+        let f = clean("let s = \"for x in map.iter()\"; let t = 2;");
+        assert!(!f.code[0].contains("iter"));
+        let col = f.code[0].find("let t").unwrap();
+        assert_eq!(col, "let s = \"for x in map.iter()\"; ".len());
+    }
+
+    #[test]
+    fn handles_raw_strings_and_char_literals() {
+        let f = clean("let s = r#\"unsafe \" quote\"#; let c = '\"'; let l: &'a str = x;");
+        assert!(!f.code[0].contains("unsafe"));
+        assert!(f.code[0].contains("&'a str"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = clean("/* a /* b */ HashMap */ let x;");
+        assert!(!f.code[0].contains("HashMap"));
+        assert!(f.code[0].contains("let x;"));
+    }
+
+    #[test]
+    fn tokenizer_reports_lines_and_cols() {
+        let toks = tokenize(&["let a = 1;".to_string(), "  b.iter()".to_string()]);
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!((b.line, b.col), (2, 3));
+        let it = toks.iter().find(|t| t.text == "iter").unwrap();
+        assert_eq!(it.line, 2);
+    }
+}

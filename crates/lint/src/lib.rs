@@ -1,0 +1,182 @@
+//! `sdp-lint` — workspace determinism & soundness static analysis.
+//!
+//! The placer's calibration methodology depends on bitwise-reproducible
+//! runs (reconstructed DAC 2012 tables are only comparable run-to-run if
+//! the flow is deterministic), and PR 1 made the parallel kernels
+//! bitwise-identical at any thread count. This crate makes those
+//! properties *build-time guarantees* instead of conventions: it scans
+//! every workspace source file at the token level (the workspace is
+//! offline, so `syn` is unavailable; a small lexer strips comments and
+//! literals first) and enforces four named, allowlistable rules:
+//!
+//! | rule | scope | invariant |
+//! |------|-------|-----------|
+//! | `nondeterministic-iter` | kernel crates | no iteration over `HashMap`/`HashSet` unless sorted or re-collected into a `BTree*` in the same statement |
+//! | `wall-clock-in-library` | library crates | no `Instant::now` / `SystemTime::now` / entropy-seeded RNG |
+//! | `unchunked-float-reduction` | kernel crates | no `sum`/`fold`/`reduce` chained onto `Executor::map` output |
+//! | `undocumented-unsafe` | everywhere | every `unsafe` is preceded by a `SAFETY:` comment |
+//!
+//! A site is suppressed by `// sdp-lint: allow(<rule>) -- <reason>` on
+//! the same line or up to five lines above; the reason is mandatory.
+//! Test code (`#[cfg(test)]` modules, `tests/` directories) is exempt
+//! from the determinism rules but not from `undocumented-unsafe`.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint_source, Diagnostic, FileCtx, Rule};
+
+use std::path::{Path, PathBuf};
+
+/// Kernel crates: hash-iteration order and float-reduction order feed
+/// directly into placement results here.
+pub const KERNEL_CRATES: &[&str] = &["gp", "extract", "legal", "eval", "netlist"];
+
+/// Non-library crates: binaries/harnesses that may legitimately time and
+/// randomize (`bench`, `cli`) plus this tool itself.
+pub const TOOL_CRATES: &[&str] = &["bench", "cli", "lint"];
+
+/// A source file scheduled for linting.
+#[derive(Debug)]
+pub struct WorkspaceFile {
+    pub path: PathBuf,
+    pub ctx: FileCtx,
+}
+
+/// Collects every lintable source file under the workspace root:
+/// `crates/*/src/**` and `crates/*/tests/**` (test context), plus the
+/// top-level `tests/` and `examples/` trees. `vendor/` (third-party) and
+/// `target/` are excluded. Deterministic (sorted) order.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<WorkspaceFile>> {
+    let mut out = Vec::new();
+
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(root.join("crates"))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let kernel = KERNEL_CRATES.contains(&name.as_str());
+        let library = !TOOL_CRATES.contains(&name.as_str());
+        for (sub, test_code) in [("src", false), ("tests", true)] {
+            let tree = dir.join(sub);
+            if !tree.is_dir() {
+                continue;
+            }
+            for path in rust_files(&tree)? {
+                let rel = rel_to(&path, root);
+                out.push(WorkspaceFile {
+                    path,
+                    ctx: FileCtx {
+                        rel_path: rel,
+                        kernel: kernel && !test_code,
+                        library: library && !test_code,
+                        test_code,
+                    },
+                });
+            }
+        }
+    }
+
+    // Workspace-level integration tests and examples: soundness rules
+    // only (they are driver code, not kernels or libraries).
+    for (sub, test_code) in [("tests", true), ("examples", false)] {
+        let tree = root.join(sub);
+        if !tree.is_dir() {
+            continue;
+        }
+        for path in rust_files(&tree)? {
+            let rel = rel_to(&path, root);
+            out.push(WorkspaceFile {
+                path,
+                ctx: FileCtx {
+                    rel_path: rel,
+                    kernel: false,
+                    library: false,
+                    test_code,
+                },
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn rel_to(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// All `.rs` files under `dir`, recursively, sorted.
+fn rust_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let p = entry?.path();
+            if p.is_dir() {
+                // Fixture corpora (seeded-bad files) are linted by their
+                // own test harness, not as workspace source.
+                if p.file_name().is_some_and(|n| n == "corpus") {
+                    continue;
+                }
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints the whole workspace; returns diagnostics plus the number of
+/// files scanned.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    let files = workspace_files(root)?;
+    let scanned = files.len();
+    let mut diags = Vec::new();
+    for f in &files {
+        let source = std::fs::read_to_string(&f.path)?;
+        diags.extend(lint_source(&source, &f.ctx));
+    }
+    Ok((diags, scanned))
+}
+
+/// Locates the workspace root: an explicit argument, else the manifest
+/// dir baked in at compile time (works under `cargo run -p sdp-lint`),
+/// else upward search from the current directory for a `[workspace]`
+/// manifest.
+pub fn find_root(explicit: Option<&Path>) -> Option<PathBuf> {
+    if let Some(p) = explicit {
+        return Some(p.to_path_buf());
+    }
+    let compiled = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if compiled.join("Cargo.toml").is_file() {
+        if let Ok(c) = compiled.canonicalize() {
+            return Some(c);
+        }
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

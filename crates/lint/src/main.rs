@@ -1,0 +1,89 @@
+//! `sdp-lint` binary: lints the workspace, prints rustc-style
+//! diagnostics, exits nonzero on violations.
+//!
+//! ```text
+//! USAGE: sdp-lint [--root <dir>] [--rule <name>]... [--list-rules]
+//! ```
+
+use sdp_lint::{find_root, lint_workspace, Rule};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rule" => match args.next() {
+                Some(r) => only.push(r),
+                None => {
+                    eprintln!("error: --rule needs a rule name");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for r in Rule::ALL {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "USAGE: sdp-lint [--root <dir>] [--rule <name>]... [--list-rules]\n\n\
+                     Lints the sdplace workspace for determinism & soundness\n\
+                     invariants. Exits 1 when violations are found."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for r in &only {
+        if !Rule::ALL.iter().any(|known| known.name() == r) {
+            eprintln!("error: unknown rule `{r}` (see --list-rules)");
+            return ExitCode::from(2);
+        }
+    }
+
+    let Some(root) = find_root(root.as_deref()) else {
+        eprintln!("error: could not locate the workspace root (pass --root)");
+        return ExitCode::from(2);
+    };
+
+    let (mut diags, scanned) = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if !only.is_empty() {
+        diags.retain(|d| only.iter().any(|r| r == d.rule.name()));
+    }
+
+    for d in &diags {
+        println!("{d}\n");
+    }
+    if diags.is_empty() {
+        println!("sdp-lint: clean — {scanned} files scanned, 0 violations");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "sdp-lint: {} violation(s) across {scanned} scanned files",
+            diags.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,743 @@
+//! The four determinism & soundness rules and their token-level checkers.
+//!
+//! Every rule is named and allowlistable: a site is suppressed by a
+//! comment `// sdp-lint: allow(<rule-name>) -- <reason>` on the same line
+//! or up to [`MARKER_WINDOW`] lines above it. A marker without a reason
+//! does **not** suppress — the reason is the audit trail.
+
+use crate::lexer::{clean, tokenize, CleanFile, Tok};
+use std::fmt;
+
+/// How many lines above a site an allow-marker or `SAFETY:` comment is
+/// searched for.
+const MARKER_WINDOW: usize = 5;
+
+/// The named rules enforced by `sdp-lint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Iteration over `HashMap`/`HashSet` in a kernel crate: hash
+    /// iteration order is randomized per process and silently feeds cell
+    /// or net order into extraction/placement.
+    NondeterministicIter,
+    /// Wall-clock or entropy sources (`Instant::now`, `SystemTime::now`,
+    /// `thread_rng`, `OsRng`, …) in a library crate: only `bench` and
+    /// `cli` may time or randomize non-reproducibly.
+    WallClockInLibrary,
+    /// A float reduction (`sum`/`fold`/`reduce`/`product`) chained
+    /// directly onto `Executor::map` output instead of going through the
+    /// fixed-chunk partial-fold convention in `gp::exec`.
+    UnchunkedFloatReduction,
+    /// An `unsafe` block/impl/fn without a `SAFETY:` (or `# Safety` doc)
+    /// comment in the preceding lines.
+    UndocumentedUnsafe,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 4] = [
+        Rule::NondeterministicIter,
+        Rule::WallClockInLibrary,
+        Rule::UnchunkedFloatReduction,
+        Rule::UndocumentedUnsafe,
+    ];
+
+    /// The kebab-case name used in diagnostics and allow-markers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NondeterministicIter => "nondeterministic-iter",
+            Rule::WallClockInLibrary => "wall-clock-in-library",
+            Rule::UnchunkedFloatReduction => "unchunked-float-reduction",
+            Rule::UndocumentedUnsafe => "undocumented-unsafe",
+        }
+    }
+
+    /// One-line fix guidance appended to diagnostics.
+    pub fn help(self) -> &'static str {
+        match self {
+            Rule::NondeterministicIter => {
+                "sort the items, switch to BTreeMap/BTreeSet, or add \
+                 `// sdp-lint: allow(nondeterministic-iter) -- <reason>`"
+            }
+            Rule::WallClockInLibrary => {
+                "move timing/entropy to the bench or cli crate, take a seed, or add \
+                 `// sdp-lint: allow(wall-clock-in-library) -- <reason>`"
+            }
+            Rule::UnchunkedFloatReduction => {
+                "fold per-chunk partials in chunk-index order (see gp::exec), or add \
+                 `// sdp-lint: allow(unchunked-float-reduction) -- <reason>`"
+            }
+            Rule::UndocumentedUnsafe => {
+                "precede the `unsafe` site with a `// SAFETY: …` comment stating the invariant"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What kind of file is being linted; decides which rules run.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path used in diagnostics.
+    pub rel_path: String,
+    /// Member of a kernel crate (`gp`, `extract`, `legal`, `eval`,
+    /// `netlist`): nondeterministic-iter and unchunked-float-reduction
+    /// apply.
+    pub kernel: bool,
+    /// Member of a library crate (everything except `bench`, `cli`, and
+    /// `lint` itself): wall-clock-in-library applies.
+    pub library: bool,
+    /// Whole file is test code (`tests/` dir): determinism rules are
+    /// skipped, undocumented-unsafe still applies.
+    pub test_code: bool,
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    pub rel_path: String,
+    pub line: usize,
+    pub col: usize,
+    pub message: String,
+    /// Set when an allow-marker was found but carried no `-- <reason>`.
+    pub marker_missing_reason: bool,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "error[{}]: {}\n  --> {}:{}:{}",
+            self.rule, self.message, self.rel_path, self.line, self.col
+        )?;
+        if self.marker_missing_reason {
+            writeln!(
+                f,
+                "   = note: an allow-marker is present but has no `-- <reason>`; \
+                 a reason is required to suppress"
+            )?;
+        }
+        write!(f, "   = help: {}", self.rule.help())
+    }
+}
+
+/// Methods whose call on a hash container iterates it in hash order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "intersection",
+    "union",
+    "difference",
+];
+
+/// Tokens that make a flagged iteration order-insensitive when they occur
+/// later in the same statement: the stream is sorted, re-collected into an
+/// ordered container, or reduced by an order-independent terminal.
+const ORDER_INSENSITIVE: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "count",
+    "is_empty",
+    "all",
+    "any",
+    "min",
+    "max",
+];
+
+/// Float-reduction adapters that must not be chained onto `Executor::map`.
+const REDUCERS: &[&str] = &["sum", "fold", "reduce", "product"];
+
+/// Entropy / wall-clock tokens forbidden in library crates. Seeded
+/// generators (`seed_from_u64`, `from_seed`) are fine and not listed.
+const ENTROPY_IDENTS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "try_from_os_rng",
+];
+
+/// Lints one file's source text under `ctx`.
+pub fn lint_source(source: &str, ctx: &FileCtx) -> Vec<Diagnostic> {
+    let file = clean(source);
+    let toks = tokenize(&file.code);
+    let skip = test_mod_lines(&toks);
+    let mut out = Vec::new();
+
+    if ctx.kernel && !ctx.test_code {
+        rule_nondeterministic_iter(&toks, &file, ctx, &skip, &mut out);
+        rule_unchunked_float_reduction(&toks, &file, ctx, &skip, &mut out);
+    }
+    if ctx.library && !ctx.test_code {
+        rule_wall_clock(&toks, &file, ctx, &skip, &mut out);
+    }
+    rule_undocumented_unsafe(&toks, &file, ctx, &mut out);
+
+    out.sort_by_key(|d| (d.line, d.col, d.rule));
+    out
+}
+
+// ---------------------------------------------------------------------
+// shared machinery
+
+/// Line ranges covered by `#[cfg(test)] mod … { … }` blocks.
+fn test_mod_lines(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Match `# [ cfg ( test ) ]`.
+        if toks[i].text == "#"
+            && (matches_seq(toks, i + 1, &["[", "cfg", "(", "test", ")", "]"])
+                || matches_seq(toks, i + 1, &["[", "cfg", "(", "all", "(", "test"]))
+        {
+            // Find the next `mod` and its opening brace.
+            let mut j = i + 7;
+            while j < toks.len() && toks[j].text != "mod" {
+                j += 1;
+            }
+            let mut k = j;
+            while k < toks.len() && toks[k].text != "{" {
+                k += 1;
+            }
+            if k < toks.len() {
+                let end = matching_brace(toks, k);
+                ranges.push((toks[i].line, toks[end.min(toks.len() - 1)].line));
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+fn in_ranges(line: usize, ranges: &[(usize, usize)]) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+fn matches_seq(toks: &[Tok], start: usize, seq: &[&str]) -> bool {
+    seq.iter()
+        .enumerate()
+        .all(|(k, s)| toks.get(start + k).map(|t| t.text.as_str()) == Some(*s))
+}
+
+/// Index of the `}` matching the `{` at `open` (or last token).
+fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len() - 1
+}
+
+fn is_open(t: &str) -> bool {
+    matches!(t, "(" | "[" | "{")
+}
+fn is_close(t: &str) -> bool {
+    matches!(t, ")" | "]" | "}")
+}
+
+/// Scans forward from `start` to the end of the enclosing statement:
+/// stops at a `;` at the statement's own nesting depth, or when a closer
+/// drops below it (end of an enclosing argument list). Returns the token
+/// range `[start, end)`.
+fn statement_end(toks: &[Tok], start: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(start) {
+        let s = t.text.as_str();
+        // A block opening at the expression's own depth (for/if/while
+        // body) ends the chain; scanning into the body and beyond could
+        // falsely credit later statements' adapters to this site.
+        if s == "{" && depth == 0 && k > start {
+            return k;
+        }
+        if is_open(s) {
+            depth += 1;
+        } else if is_close(s) {
+            depth -= 1;
+            if depth < 0 {
+                return k;
+            }
+        } else if (s == ";" || s == ",") && depth == 0 && k > start {
+            return k;
+        }
+        if k - start > 400 {
+            return k; // pathological one-statement file; bail bounded
+        }
+    }
+    toks.len()
+}
+
+/// Walks backward from `site` to the start of its statement: the token
+/// after the previous `;`, `{`, or `}` (bounded).
+fn statement_start(toks: &[Tok], site: usize) -> usize {
+    let mut k = site;
+    while k > 0 && site - k < 60 {
+        let s = toks[k - 1].text.as_str();
+        if s == ";" || s == "{" || s == "}" {
+            break;
+        }
+        k -= 1;
+    }
+    k
+}
+
+/// Scans the method chain following token `site` (to the end of the
+/// statement), reporting the first token from `wanted` that sits at the
+/// chain's own nesting depth — i.e. not inside a closure or argument
+/// list. Returns its index.
+fn chain_has(toks: &[Tok], site: usize, wanted: &[&str]) -> Option<usize> {
+    let end = statement_end(toks, site);
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().take(end).skip(site) {
+        let s = t.text.as_str();
+        if is_open(s) {
+            depth += 1;
+        } else if is_close(s) {
+            depth -= 1;
+        } else if depth == 0 && wanted.contains(&s) {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// Does any comment on `line` or the `MARKER_WINDOW` lines above contain
+/// `needle`?
+fn comment_nearby(file: &CleanFile, line: usize, needle: &str) -> bool {
+    nearby_comment_texts(file, line).any(|c| c.contains(needle))
+}
+
+fn nearby_comment_texts(file: &CleanFile, line: usize) -> impl Iterator<Item = &String> {
+    let lo = line.saturating_sub(MARKER_WINDOW + 1);
+    let hi = line.min(file.comments.len());
+    file.comments[lo..hi].iter().flatten()
+}
+
+/// Allow-marker state for `rule` near `line`.
+enum MarkerState {
+    None,
+    /// Marker with a nonempty `-- reason`.
+    Allowed,
+    /// Marker present but reasonless — does not suppress.
+    MissingReason,
+}
+
+fn marker_state(file: &CleanFile, line: usize, rule: Rule) -> MarkerState {
+    let tag = format!("sdp-lint: allow({})", rule.name());
+    let mut found = false;
+    for c in nearby_comment_texts(file, line) {
+        if let Some(pos) = c.find(&tag) {
+            found = true;
+            let rest = &c[pos + tag.len()..];
+            if let Some(dashes) = rest.find("--") {
+                if !rest[dashes + 2..].trim().is_empty() {
+                    return MarkerState::Allowed;
+                }
+            }
+        }
+    }
+    if found {
+        MarkerState::MissingReason
+    } else {
+        MarkerState::None
+    }
+}
+
+/// Pushes a diagnostic at `tok` unless a reasoned allow-marker suppresses
+/// it.
+fn report(
+    out: &mut Vec<Diagnostic>,
+    file: &CleanFile,
+    ctx: &FileCtx,
+    rule: Rule,
+    tok: &Tok,
+    message: String,
+) {
+    match marker_state(file, tok.line, rule) {
+        MarkerState::Allowed => {}
+        state => out.push(Diagnostic {
+            rule,
+            rel_path: ctx.rel_path.clone(),
+            line: tok.line,
+            col: tok.col,
+            message,
+            marker_missing_reason: matches!(state, MarkerState::MissingReason),
+        }),
+    }
+}
+
+/// Names of local variables / parameters / fields whose declared type (or
+/// initializer) mentions any of `type_names` in this file.
+fn tracked_names(toks: &[Tok], type_names: &[&str]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut push = |n: &str| {
+        if !n.is_empty() && !names.iter().any(|x| x == n) {
+            names.push(n.to_string());
+        }
+    };
+    let mentions = |range: &[Tok]| range.iter().any(|t| type_names.contains(&t.text.as_str()));
+
+    let mut i = 0;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            // `let [mut] name … ;` whose statement mentions the type.
+            "let" => {
+                let mut j = i + 1;
+                if toks.get(j).map(|t| t.text.as_str()) == Some("mut") {
+                    j += 1;
+                }
+                let end = statement_end(toks, i);
+                if let Some(name_tok) = toks.get(j) {
+                    if is_ident(&name_tok.text) && mentions(&toks[j..end]) {
+                        push(&name_tok.text);
+                    }
+                }
+                // Continue just past the name: statements nest (closures
+                // hold their own `let`s) and every one must be visited.
+                i = j + 1;
+            }
+            // fn params: `name : …Type…` split on top-level commas.
+            "fn" => {
+                let mut j = i + 1;
+                while j < toks.len() && toks[j].text != "(" && toks[j].text != "{" {
+                    j += 1;
+                }
+                if j >= toks.len() || toks[j].text != "(" {
+                    i = j;
+                    continue;
+                }
+                // Walk the parameter list.
+                let mut depth = 0i32;
+                let mut seg_start = j + 1;
+                let mut k = j;
+                while k < toks.len() {
+                    let s = toks[k].text.as_str();
+                    if is_open(s) {
+                        depth += 1;
+                    } else if is_close(s) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if s == "," && depth == 1 {
+                        if let Some(n) = param_name(&toks[seg_start..k], &mentions) {
+                            push(&n);
+                        }
+                        seg_start = k + 1;
+                    }
+                    k += 1;
+                }
+                if seg_start < k {
+                    if let Some(n) = param_name(&toks[seg_start..k.min(toks.len())], &mentions) {
+                        push(&n);
+                    }
+                }
+                i = k + 1;
+            }
+            // struct fields: `name : …Type…` at depth 1 inside the braces.
+            "struct" => {
+                let mut j = i + 1;
+                while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+                    j += 1;
+                }
+                if j >= toks.len() || toks[j].text != "{" {
+                    i = j;
+                    continue;
+                }
+                let end = matching_brace(toks, j);
+                let mut depth = 0i32;
+                let mut seg_start = j + 1;
+                for k in j..=end {
+                    let s = toks[k].text.as_str();
+                    if is_open(s) {
+                        depth += 1;
+                    } else if is_close(s) {
+                        depth -= 1;
+                    } else if s == "," && depth == 1 {
+                        if let Some(n) = field_name(&toks[seg_start..k], &mentions) {
+                            push(&n);
+                        }
+                        seg_start = k + 1;
+                    }
+                }
+                if let Some(n) = field_name(&toks[seg_start..end], &mentions) {
+                    push(&n);
+                }
+                i = end + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    names
+}
+
+fn is_ident(s: &str) -> bool {
+    s.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+/// `[mut] [&] name : Type…` → name, when Type mentions the target.
+fn param_name(seg: &[Tok], mentions: &dyn Fn(&[Tok]) -> bool) -> Option<String> {
+    let colon = seg.iter().position(|t| t.text == ":")?;
+    if !mentions(&seg[colon..]) {
+        return None;
+    }
+    seg[..colon]
+        .iter()
+        .rev()
+        .find(|t| is_ident(&t.text) && t.text != "mut")
+        .map(|t| t.text.clone())
+}
+
+/// `[pub] [(crate)] name : Type…` → name; attributes already tokenized
+/// away from the segment by the comma split.
+fn field_name(seg: &[Tok], mentions: &dyn Fn(&[Tok]) -> bool) -> Option<String> {
+    let colon = seg.iter().position(|t| t.text == ":")?;
+    if !mentions(&seg[colon..]) {
+        return None;
+    }
+    seg[..colon]
+        .iter()
+        .rev()
+        .find(|t| is_ident(&t.text) && !matches!(t.text.as_str(), "pub" | "crate" | "super"))
+        .map(|t| t.text.clone())
+}
+
+// ---------------------------------------------------------------------
+// rule 1: nondeterministic-iter
+
+fn rule_nondeterministic_iter(
+    toks: &[Tok],
+    file: &CleanFile,
+    ctx: &FileCtx,
+    skip: &[(usize, usize)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let names = tracked_names(toks, &["HashMap", "HashSet"]);
+    if names.is_empty() {
+        return;
+    }
+    let mut sites: Vec<usize> = Vec::new();
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // `name . method (` where method hash-iterates.
+        if names.iter().any(|n| n == &t.text)
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some(".")
+            && toks
+                .get(i + 2)
+                .is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
+            && toks.get(i + 3).map(|t| t.text.as_str()) == Some("(")
+        {
+            sites.push(i);
+        }
+        // `for pat in [&][mut] name {`.
+        if t.text == "in" {
+            let mut j = i + 1;
+            while toks
+                .get(j)
+                .is_some_and(|t| t.text == "&" || t.text == "mut")
+            {
+                j += 1;
+            }
+            if toks
+                .get(j)
+                .is_some_and(|n| names.iter().any(|x| x == &n.text))
+                && toks.get(j + 1).map(|t| t.text.as_str()) == Some("{")
+            {
+                sites.push(j);
+            }
+        }
+    }
+
+    for i in sites {
+        let t = &toks[i];
+        if in_ranges(t.line, skip) {
+            continue;
+        }
+        // Order-insensitive consumers in the same statement (sorting,
+        // BTree re-collection, counting) neutralize the site. The part
+        // before the site (e.g. a `let x: BTreeMap<…> =` ascription) is
+        // searched wholesale; the chain after it only at closure-external
+        // depth, so a `.max(…)` *inside* a `map` closure doesn't count.
+        let start = statement_start(toks, i);
+        let pre_ok = toks[start..i]
+            .iter()
+            .any(|t| ORDER_INSENSITIVE.contains(&t.text.as_str()));
+        if pre_ok || chain_has(toks, i, ORDER_INSENSITIVE).is_some() {
+            continue;
+        }
+        // `let v: Vec<_> = map.keys().collect(); v.sort();` — a sort at
+        // the head of the immediately following statement is the classic
+        // sorted-adapter idiom and neutralizes the site too.
+        let end = statement_end(toks, i);
+        if toks[end + 1..(end + 14).min(toks.len())]
+            .iter()
+            .any(|t| t.text.starts_with("sort"))
+        {
+            continue;
+        }
+        report(
+            out,
+            file,
+            ctx,
+            Rule::NondeterministicIter,
+            t,
+            format!(
+                "iteration over hash-ordered container `{}` in a kernel crate",
+                t.text
+            ),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// rule 2: wall-clock-in-library
+
+fn rule_wall_clock(
+    toks: &[Tok],
+    file: &CleanFile,
+    ctx: &FileCtx,
+    skip: &[(usize, usize)],
+    out: &mut Vec<Diagnostic>,
+) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if in_ranges(t.line, skip) {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "Instant" | "SystemTime" => matches_seq(toks, i + 1, &[":", ":", "now"]),
+            "rand" => matches_seq(toks, i + 1, &[":", ":", "random"]),
+            s => ENTROPY_IDENTS.contains(&s),
+        };
+        if flagged {
+            report(
+                out,
+                file,
+                ctx,
+                Rule::WallClockInLibrary,
+                t,
+                format!("wall-clock/entropy source `{}` in a library crate", t.text),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// rule 3: unchunked-float-reduction
+
+fn rule_unchunked_float_reduction(
+    toks: &[Tok],
+    file: &CleanFile,
+    ctx: &FileCtx,
+    skip: &[(usize, usize)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let execs = tracked_names(toks, &["Executor"]);
+    if execs.is_empty() {
+        return;
+    }
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !execs.iter().any(|n| n == &t.text)
+            || toks.get(i + 1).map(|t| t.text.as_str()) != Some(".")
+            || toks.get(i + 2).map(|t| t.text.as_str()) != Some("map")
+            || toks.get(i + 3).map(|t| t.text.as_str()) != Some("(")
+        {
+            continue;
+        }
+        if in_ranges(t.line, skip) {
+            continue;
+        }
+        // Skip over the map(…) call itself (reductions *inside* the job
+        // closure are per-item and fine), then scan the rest of the chain.
+        let mut depth = 0i32;
+        let mut j = i + 3;
+        while j < toks.len() {
+            let s = toks[j].text.as_str();
+            if is_open(s) {
+                depth += 1;
+            } else if is_close(s) {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        // Depth-0 only, starting just past the map call's closing paren:
+        // a reduction inside a later closure (per-item work) is fine; one
+        // chained onto the map output is not.
+        if let Some(red) = chain_has(toks, j + 1, REDUCERS).map(|k| &toks[k]) {
+            report(
+                out,
+                file,
+                ctx,
+                Rule::UnchunkedFloatReduction,
+                red,
+                format!(
+                    "`{}` chained onto `{}.map(…)` — reduce fixed-size chunk partials \
+                     in index order instead",
+                    red.text, t.text
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// rule 4: undocumented-unsafe
+
+fn rule_undocumented_unsafe(
+    toks: &[Tok],
+    file: &CleanFile,
+    ctx: &FileCtx,
+    out: &mut Vec<Diagnostic>,
+) {
+    for t in toks {
+        if t.text != "unsafe" {
+            continue;
+        }
+        if comment_nearby(file, t.line, "SAFETY:") || comment_nearby(file, t.line, "# Safety") {
+            continue;
+        }
+        report(
+            out,
+            file,
+            ctx,
+            Rule::UndocumentedUnsafe,
+            t,
+            "`unsafe` without a preceding `SAFETY:` comment".to_string(),
+        );
+    }
+}

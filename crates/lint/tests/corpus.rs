@@ -1,0 +1,126 @@
+//! Fixture-corpus tests: every rule must fire on the seeded-bad lines
+//! (marked `//~ ERROR <rule>` in the fixture) and nowhere else, and every
+//! allow-marker must suppress. Plus a self-test that the workspace the
+//! lint ships in is clean — which makes `cargo test` itself enforce the
+//! determinism invariants.
+
+use sdp_lint::{lint_source, FileCtx, Rule};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Parses `//~ ERROR <rule>` expectations out of a fixture.
+fn expectations(source: &str) -> BTreeSet<(usize, String)> {
+    source
+        .lines()
+        .enumerate()
+        .filter_map(|(i, line)| {
+            line.split("//~ ERROR ")
+                .nth(1)
+                .map(|r| (i + 1, r.trim().to_string()))
+        })
+        .collect()
+}
+
+/// Lints a fixture as kernel+library code and compares the produced
+/// (line, rule) set against the `//~ ERROR` markers exactly.
+fn check(name: &str) {
+    let source = fixture(name);
+    let ctx = FileCtx {
+        rel_path: format!("corpus/{name}"),
+        kernel: true,
+        library: true,
+        test_code: false,
+    };
+    let got: BTreeSet<(usize, String)> = lint_source(&source, &ctx)
+        .into_iter()
+        .map(|d| (d.line, d.rule.name().to_string()))
+        .collect();
+    let want = expectations(&source);
+    assert_eq!(
+        got, want,
+        "{name}: diagnostics (left) must match //~ ERROR markers (right)"
+    );
+}
+
+#[test]
+fn nondeterministic_iter_fires_and_suppresses() {
+    check("nondet_iter.rs");
+}
+
+#[test]
+fn wall_clock_fires_and_suppresses() {
+    check("wall_clock.rs");
+}
+
+#[test]
+fn float_reduction_fires_and_suppresses() {
+    check("float_reduction.rs");
+}
+
+#[test]
+fn undocumented_unsafe_fires_and_suppresses() {
+    check("undoc_unsafe.rs");
+}
+
+#[test]
+fn reasonless_marker_is_called_out() {
+    let source = fixture("nondet_iter.rs");
+    let ctx = FileCtx {
+        rel_path: "corpus/nondet_iter.rs".into(),
+        kernel: true,
+        library: true,
+        test_code: false,
+    };
+    let diags = lint_source(&source, &ctx);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == Rule::NondeterministicIter && d.marker_missing_reason),
+        "a marker without `-- <reason>` must not suppress and must be noted"
+    );
+}
+
+#[test]
+fn test_context_skips_determinism_rules_but_not_unsafe() {
+    let source = "fn f(m: std::collections::HashMap<u32, u32>) -> Vec<u32> {\n\
+                  let t0 = Instant::now();\n\
+                  let _ = t0;\n\
+                  unsafe { core::hint::unreachable_unchecked() };\n\
+                  m.keys().copied().collect()\n\
+                  }\n";
+    let ctx = FileCtx {
+        rel_path: "tests/whatever.rs".into(),
+        kernel: false,
+        library: false,
+        test_code: true,
+    };
+    let diags = lint_source(source, &ctx);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].rule, Rule::UndocumentedUnsafe);
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = sdp_lint::find_root(None).expect("workspace root");
+    let (diags, scanned) = sdp_lint::lint_workspace(&root).expect("scan workspace");
+    assert!(
+        scanned > 50,
+        "expected to scan the whole workspace, got {scanned} files"
+    );
+    assert!(
+        diags.is_empty(),
+        "workspace must be lint-clean; found:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n\n")
+    );
+}

@@ -1,0 +1,36 @@
+//! Seeded fixture for `unchunked-float-reduction` (linted as
+//! kernel+library). The invariant: float reductions over
+//! `Executor::map` output must fold fixed-size chunk partials in index
+//! order (the `gp::exec` convention), never chain a reduction directly.
+
+fn bad_direct_sum(exec: &Executor, xs: &[f64]) -> f64 {
+    exec.map(xs.len(), |i| xs[i] * 2.0)
+        .into_iter()
+        .sum::<f64>() //~ ERROR unchunked-float-reduction
+}
+
+fn bad_fold(n: usize) -> f64 {
+    let pool = Executor::new(4);
+    pool.map(n, |i| i as f64).iter().fold(0.0, |a, b| a + b) //~ ERROR unchunked-float-reduction
+}
+
+fn good_chunked(exec: &Executor, xs: &[f64]) -> f64 {
+    // The sanctioned pattern: per-chunk partials (chunk boundaries depend
+    // only on the length), folded sequentially in chunk-index order.
+    let chunks = chunk_ranges(xs.len(), 4096);
+    let parts: Vec<f64> = exec.map(chunks.len(), |ci| {
+        // A reduction *inside* the job closure is per-chunk sequential
+        // work and is fine.
+        xs[chunks[ci].clone()].iter().sum::<f64>()
+    });
+    let mut total = 0.0;
+    for p in parts {
+        total += p;
+    }
+    total
+}
+
+fn allowed_site(exec: &Executor, n: usize) -> usize {
+    // sdp-lint: allow(unchunked-float-reduction) -- integer sum; addition order cannot change the result
+    exec.map(n, |i| i).into_iter().sum::<usize>()
+}

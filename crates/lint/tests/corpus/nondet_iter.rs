@@ -1,0 +1,63 @@
+//! Seeded fixture for `nondeterministic-iter` (linted as kernel+library).
+//! Error markers on a line name the rule the lint must flag there.
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+fn bad_sites(map: HashMap<u32, f64>, set: HashSet<u32>) {
+    for (k, v) in &map { //~ ERROR nondeterministic-iter
+        drop((k, v));
+    }
+    let _keys: Vec<u32> = map.keys().copied().collect(); //~ ERROR nondeterministic-iter
+    let _vals: Vec<f64> = map.values().copied().collect(); //~ ERROR nondeterministic-iter
+    let _first = set.iter().next(); //~ ERROR nondeterministic-iter
+    let other: HashSet<u32> = HashSet::new();
+    let _common: Vec<u32> = set.intersection(&other).copied().collect(); //~ ERROR nondeterministic-iter
+}
+
+struct Holder {
+    lookup: HashMap<String, usize>,
+}
+
+impl Holder {
+    fn bad_field_iter(&self) -> Vec<usize> {
+        self.lookup.values().copied().collect() //~ ERROR nondeterministic-iter
+    }
+}
+
+fn good_sites(map: HashMap<u32, f64>, set: HashSet<u32>) {
+    // Lookups and membership tests never observe hash order.
+    let _ = map.get(&3);
+    let _ = set.contains(&7);
+    // Collect-then-sort: the sort in the next statement neutralizes.
+    let mut keys: Vec<u32> = map.keys().copied().collect();
+    keys.sort_unstable();
+    // Re-collected into ordered containers.
+    let _sorted: BTreeMap<u32, f64> = map.into_iter().collect();
+    let _members: BTreeSet<u32> = set.into_iter().collect();
+    // Counting is order-independent.
+    let probe: HashSet<u32> = HashSet::new();
+    let _n = probe.iter().count();
+    // BTree iteration is always deterministic.
+    let ordered: BTreeMap<u32, f64> = BTreeMap::new();
+    for (_k, _v) in &ordered {}
+}
+
+fn allowed_site(map: HashMap<u32, f64>) -> f64 {
+    // sdp-lint: allow(nondeterministic-iter) -- summing integers would be order-insensitive; this fixture proves the marker suppresses
+    map.values().copied().fold(0.0, f64::max)
+}
+
+fn marker_without_reason(map: HashMap<u32, f64>) -> usize {
+    // sdp-lint: allow(nondeterministic-iter)
+    map.keys().len() //~ ERROR nondeterministic-iter
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt_from_determinism_rules() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (_k, _v) in &m {}
+    }
+}

@@ -1,0 +1,38 @@
+//! Seeded fixture for `undocumented-unsafe` (linted as kernel+library).
+
+struct RawSlots(*mut u64);
+
+fn bad_block(p: *mut u64) {
+    let x = 7u64;
+
+    let _ = x;
+
+    unsafe { *p = x }; //~ ERROR undocumented-unsafe
+}
+
+unsafe impl Send for RawSlots {} //~ ERROR undocumented-unsafe
+
+fn good_block(p: *mut u64) {
+    // SAFETY: `p` is valid for writes and no other thread aliases it for
+    // the duration of this call (caller contract).
+    unsafe { *p = 1 };
+}
+
+// SAFETY: a single shared comment may cover a stacked pair of impls; the
+// pointer is only ever dereferenced for disjoint indices.
+unsafe impl Sync for RawSlots {}
+
+/// Reads a slot.
+///
+/// # Safety
+///
+/// `i` must be in bounds for the allocation behind `self.0`.
+unsafe fn good_unsafe_fn(s: &RawSlots, i: usize) -> u64 {
+    // SAFETY: caller upholds the bounds contract documented above.
+    unsafe { *s.0.add(i) }
+}
+
+fn allowed_block(p: *mut u64) {
+    // sdp-lint: allow(undocumented-unsafe) -- fixture proving the marker also works for this rule
+    unsafe { *p = 2 };
+}

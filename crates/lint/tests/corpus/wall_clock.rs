@@ -1,0 +1,36 @@
+//! Seeded fixture for `wall-clock-in-library` (linted as kernel+library).
+use std::time::{Instant, SystemTime};
+
+fn bad_sites() {
+    let _t0 = Instant::now(); //~ ERROR wall-clock-in-library
+    let _wall = SystemTime::now(); //~ ERROR wall-clock-in-library
+    let _rng = rand::thread_rng(); //~ ERROR wall-clock-in-library
+    let _seeded = StdRng::from_entropy(); //~ ERROR wall-clock-in-library
+    let _os = OsRng.next_u64(); //~ ERROR wall-clock-in-library
+    let _coin: bool = rand::random(); //~ ERROR wall-clock-in-library
+}
+
+fn good_sites(seed: u64) {
+    // Seeded generators are reproducible and allowed everywhere.
+    let _rng = StdRng::seed_from_u64(seed);
+    // Mentioning the types without sampling time is fine.
+    fn takes(_i: Instant, _s: SystemTime) {}
+    // A duration constant is not a clock read.
+    let _d = std::time::Duration::from_millis(5);
+}
+
+fn allowed_site() -> f64 {
+    // sdp-lint: allow(wall-clock-in-library) -- elapsed-time metadata in a result struct; never feeds placement decisions
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_may_time() {
+        let _t = Instant::now();
+    }
+}

@@ -3,7 +3,7 @@
 
 use crate::CellId;
 use sdp_geom::GroupAxis;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// A regular datapath structure: a matrix of cells with `bits` rows and
@@ -133,8 +133,9 @@ impl DatapathGroup {
         self.matrix.iter().filter_map(move |row| row[stage])
     }
 
-    /// The set of all member cells.
-    pub fn cell_set(&self) -> HashSet<CellId> {
+    /// The set of all member cells. Ordered (`BTreeSet`) so callers can
+    /// iterate it without depending on hash seeds.
+    pub fn cell_set(&self) -> BTreeSet<CellId> {
         self.iter().map(|(_, _, c)| c).collect()
     }
 

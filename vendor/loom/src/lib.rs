@@ -1,0 +1,331 @@
+//! Offline stand-in for the [`loom`](https://crates.io/crates/loom)
+//! concurrency model checker.
+//!
+//! Real loom executes a test body under *every* feasible thread
+//! interleaving by running threads as coroutines over a modelled memory
+//! order. This workspace is built offline, so this crate provides the
+//! subset of loom's API that `sdp-gp`'s executor model test needs —
+//! [`model`], [`thread`], [`sync::atomic`], and [`sync`]'s `Arc` /
+//! `Mutex` / `Condvar` — implemented as thin wrappers over `std` that
+//! *perturb* the schedule instead of enumerating it: every
+//! synchronization operation consults a deterministic per-thread
+//! xorshift stream and may yield or spin, and [`model`] re-runs the body
+//! under many distinct seeds.
+//!
+//! That is weaker than exhaustive model checking (it can miss an
+//! interleaving), but it explores far more schedules than a plain
+//! `cargo test` run, is fully deterministic (no entropy — seeds are
+//! fixed), and keeps the test source loom-compatible: pointing the
+//! `loom` dependency at the real crate requires no test changes.
+//!
+//! Schedule count is controlled by `LOOM_MAX_ITERATIONS` (default 64),
+//! mirroring real loom's knob of the same name.
+
+mod rt {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    /// Seed of the current `model` iteration; spawned threads fold in a
+    /// unique thread ordinal so their streams diverge.
+    static ITERATION_SEED: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+    static THREAD_ORDINAL: AtomicUsize = AtomicUsize::new(0);
+
+    thread_local! {
+        /// Per-thread xorshift state; `0` means "not yet derived".
+        static STATE: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Starts a new schedule: store its seed and force the calling
+    /// thread to re-derive its stream. Worker threads are spawned fresh
+    /// per iteration, so their thread-locals always start at zero.
+    pub(crate) fn begin_iteration(seed: u64) {
+        ITERATION_SEED.store(seed | 1, Ordering::Relaxed);
+        STATE.with(|s| s.set(0));
+    }
+
+    fn next(cell: &Cell<u64>) -> u64 {
+        let mut s = cell.get();
+        if s == 0 {
+            let ordinal = THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed) as u64;
+            s = ITERATION_SEED.load(Ordering::Relaxed)
+                ^ ordinal.wrapping_mul(0xD129_0B26_E5E5_54D3)
+                | 1;
+        }
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        cell.set(s);
+        s
+    }
+
+    /// Called before/after every modelled synchronization operation:
+    /// sometimes yields the OS scheduler, sometimes busy-waits a few
+    /// cycles, usually does nothing — widening the window in which a
+    /// racing thread can interleave.
+    pub(crate) fn interleave() {
+        let r = STATE.with(next);
+        match r & 0x7 {
+            0 | 1 => std::thread::yield_now(),
+            2 => {
+                for _ in 0..((r >> 8) & 0x1F) {
+                    std::hint::spin_loop();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs `f` under many perturbed thread schedules (loom would run it
+/// under every feasible schedule). Iteration seeds are fixed, so a
+/// failure reproduces on re-run.
+pub fn model<F: Fn()>(f: F) {
+    let iterations: u64 = std::env::var("LOOM_MAX_ITERATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    for i in 0..iterations {
+        rt::begin_iteration((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        f();
+    }
+}
+
+/// Schedule-perturbing replacements for [`std::thread`].
+pub mod thread {
+    /// Wrapper over [`std::thread::JoinHandle`] that interleaves at join.
+    pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+    impl<T> JoinHandle<T> {
+        /// See [`std::thread::JoinHandle::join`].
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            crate::rt::interleave();
+            self.0.join()
+        }
+    }
+
+    /// See [`std::thread::spawn`]; the spawned thread gets its own
+    /// deterministic schedule stream.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        crate::rt::interleave();
+        JoinHandle(std::thread::spawn(move || {
+            crate::rt::interleave();
+            f()
+        }))
+    }
+
+    /// See [`std::thread::yield_now`].
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+/// Schedule-perturbing replacements for [`std::sync`].
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Schedule-perturbing replacements for [`std::sync::atomic`].
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_type {
+            ($(#[$meta:meta])* $name:ident, $prim:ty) => {
+                $(#[$meta])*
+                #[derive(Debug, Default)]
+                pub struct $name(std::sync::atomic::$name);
+
+                impl $name {
+                    /// Creates the atomic with an initial value.
+                    pub fn new(v: $prim) -> Self {
+                        $name(std::sync::atomic::$name::new(v))
+                    }
+
+                    /// Atomic load, with schedule perturbation.
+                    pub fn load(&self, order: Ordering) -> $prim {
+                        crate::rt::interleave();
+                        self.0.load(order)
+                    }
+
+                    /// Atomic store, with schedule perturbation.
+                    pub fn store(&self, v: $prim, order: Ordering) {
+                        crate::rt::interleave();
+                        self.0.store(v, order);
+                        crate::rt::interleave();
+                    }
+
+                    /// Atomic swap, with schedule perturbation.
+                    pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                        crate::rt::interleave();
+                        let out = self.0.swap(v, order);
+                        crate::rt::interleave();
+                        out
+                    }
+
+                    /// Atomic compare-exchange, with schedule perturbation.
+                    ///
+                    /// # Errors
+                    ///
+                    /// Returns the current value if it did not match.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        crate::rt::interleave();
+                        let out = self.0.compare_exchange(current, new, success, failure);
+                        crate::rt::interleave();
+                        out
+                    }
+                }
+            };
+        }
+
+        atomic_type!(
+            /// See [`std::sync::atomic::AtomicUsize`].
+            AtomicUsize,
+            usize
+        );
+        atomic_type!(
+            /// See [`std::sync::atomic::AtomicBool`].
+            AtomicBool,
+            bool
+        );
+        atomic_type!(
+            /// See [`std::sync::atomic::AtomicU64`].
+            AtomicU64,
+            u64
+        );
+
+        impl AtomicUsize {
+            /// Atomic add, with schedule perturbation.
+            pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+                crate::rt::interleave();
+                let out = self.0.fetch_add(v, order);
+                crate::rt::interleave();
+                out
+            }
+
+            /// Atomic subtract, with schedule perturbation.
+            pub fn fetch_sub(&self, v: usize, order: Ordering) -> usize {
+                crate::rt::interleave();
+                let out = self.0.fetch_sub(v, order);
+                crate::rt::interleave();
+                out
+            }
+        }
+    }
+
+    /// See [`std::sync::Mutex`]; acquisition perturbs the schedule.
+    /// Guards are plain [`std::sync::MutexGuard`]s, so this composes with
+    /// [`Condvar`].
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates a mutex holding `t`.
+        pub fn new(t: T) -> Self {
+            Mutex(std::sync::Mutex::new(t))
+        }
+
+        /// See [`std::sync::Mutex::lock`].
+        ///
+        /// # Errors
+        ///
+        /// Returns a poison error if a holder panicked.
+        pub fn lock(&self) -> std::sync::LockResult<std::sync::MutexGuard<'_, T>> {
+            crate::rt::interleave();
+            self.0.lock()
+        }
+
+        /// See [`std::sync::Mutex::try_lock`].
+        ///
+        /// # Errors
+        ///
+        /// Fails if the lock is held or poisoned.
+        pub fn try_lock(&self) -> std::sync::TryLockResult<std::sync::MutexGuard<'_, T>> {
+            crate::rt::interleave();
+            self.0.try_lock()
+        }
+    }
+
+    /// See [`std::sync::Condvar`]; notification perturbs the schedule.
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        /// Creates a condition variable.
+        pub fn new() -> Self {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// See [`std::sync::Condvar::wait`].
+        ///
+        /// # Errors
+        ///
+        /// Returns a poison error if the mutex holder panicked.
+        pub fn wait<'a, T>(
+            &self,
+            guard: std::sync::MutexGuard<'a, T>,
+        ) -> std::sync::LockResult<std::sync::MutexGuard<'a, T>> {
+            self.0.wait(guard)
+        }
+
+        /// See [`std::sync::Condvar::notify_one`].
+        pub fn notify_one(&self) {
+            crate::rt::interleave();
+            self.0.notify_one();
+        }
+
+        /// See [`std::sync::Condvar::notify_all`].
+        pub fn notify_all(&self) {
+            crate::rt::interleave();
+            self.0.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_many_deterministic_iterations() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&runs);
+        super::model(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn wrapped_primitives_behave_like_std() {
+        super::model(|| {
+            let total = Arc::new(Mutex::new(0usize));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let t = Arc::clone(&total);
+                    super::thread::spawn(move || {
+                        for _ in 0..100 {
+                            *t.lock().unwrap() += 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*total.lock().unwrap(), 300);
+        });
+    }
+}
