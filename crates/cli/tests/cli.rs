@@ -174,6 +174,77 @@ fn gen_rejects_bad_input() {
     assert!(!out.status.success(), "missing --out must fail");
 }
 
+/// Generates a tiny bundle under `tests/<name>/`, applies `corrupt` to
+/// the file with extension `ext`, and returns the CLI's output for
+/// `eval` on the damaged bundle.
+fn eval_corrupted(name: &str, ext: &str, corrupt: impl Fn(&str) -> String) -> Output {
+    let prefix = tmp(&format!("{name}/case"));
+    let prefix_s = prefix.to_str().expect("utf-8 tmp path");
+    let out = sdplace(&["gen", "dp_tiny", "--seed", "3", "--out", prefix_s]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let victim = format!("{prefix_s}.{ext}");
+    let text = std::fs::read_to_string(&victim).expect("generated file");
+    std::fs::write(&victim, corrupt(&text)).expect("rewrite");
+    sdplace(&["eval", &format!("{prefix_s}.aux")])
+}
+
+/// A malformed input must surface as a one-line typed error naming the
+/// file and line — never a panic backtrace. This is the end-to-end check
+/// behind the `panic-reachability` lint: the Bookshelf parse path is
+/// reachable from every subcommand.
+fn assert_clean_parse_error(out: &Output, file_ext: &str) {
+    assert!(!out.status.success(), "corrupt input must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !err.contains("panicked") && !err.contains("RUST_BACKTRACE"),
+        "no panic/backtrace allowed:\n{err}"
+    );
+    assert_eq!(err.lines().count(), 1, "one-line message:\n{err}");
+    assert!(err.starts_with("error:"), "{err}");
+    assert!(err.contains(file_ext), "names the offending file: {err}");
+    let after_ext = err.split(file_ext).nth(1).unwrap_or("");
+    assert!(
+        after_ext.starts_with(':')
+            && after_ext[1..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit()),
+        "carries a line number after the file name: {err}"
+    );
+}
+
+#[test]
+fn corrupt_nodes_is_a_clean_error() {
+    // A non-numeric width token in the .nodes body.
+    let out = eval_corrupted("corrupt_nodes", "nodes", |text| {
+        text.replacen(" 2 1", " banana 1", 1)
+    });
+    assert_clean_parse_error(&out, ".nodes");
+}
+
+#[test]
+fn corrupt_nets_is_a_clean_error() {
+    // A net declaring more pins than the file provides (truncated body).
+    let out = eval_corrupted("corrupt_nets", "nets", |text| {
+        let cut = text.len() * 2 / 3;
+        let cut = text[..cut].rfind('\n').unwrap_or(cut);
+        text[..cut].to_string()
+    });
+    assert_clean_parse_error(&out, ".nets");
+}
+
+#[test]
+fn corrupt_nets_degree_is_a_clean_error() {
+    let out = eval_corrupted("corrupt_degree", "nets", |text| {
+        text.replacen("NetDegree : 3", "NetDegree : many", 1)
+    });
+    assert_clean_parse_error(&out, ".nets");
+}
+
 #[test]
 fn missing_file_is_a_clean_error() {
     let out = sdplace(&["eval", "/nonexistent/missing.aux"]);

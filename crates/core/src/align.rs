@@ -330,21 +330,25 @@ impl AlignTerm {
             return;
         }
         self.refit(pos);
-        if self.base_scale.is_none() {
-            // Balance: make Σ|align grad| ≈ cells at unit weight.
-            let mut grad = vec![Point::ORIGIN; pos.len()];
-            self.weight = 1.0;
-            self.raw_eval(pos, &mut grad, true);
-            let total: f64 = grad.iter().map(|g| g.manhattan()).sum();
-            let cells: usize = self.groups.iter().map(|g| g.num_cells()).sum();
-            let scale = if total > 1e-9 {
-                cells as f64 / total
-            } else {
-                1.0
-            };
-            self.base_scale = Some(scale);
-        }
-        self.weight = self.config.beta * self.base_scale.expect("set above") * self.ramp_accum;
+        let base_scale = match self.base_scale {
+            Some(s) => s,
+            None => {
+                // Balance: make Σ|align grad| ≈ cells at unit weight.
+                let mut grad = vec![Point::ORIGIN; pos.len()];
+                self.weight = 1.0;
+                self.raw_eval(pos, &mut grad, true);
+                let total: f64 = grad.iter().map(|g| g.manhattan()).sum();
+                let cells: usize = self.groups.iter().map(|g| g.num_cells()).sum();
+                let scale = if total > 1e-9 {
+                    cells as f64 / total
+                } else {
+                    1.0
+                };
+                self.base_scale = Some(scale);
+                scale
+            }
+        };
+        self.weight = self.config.beta * base_scale * self.ramp_accum;
     }
 }
 

@@ -659,10 +659,11 @@ fn snap_groups(
         if offsets.is_empty() {
             continue;
         }
-        offsets.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        offsets.sort_by(|a, b| a.total_cmp(b));
         let alpha = offsets[offsets.len() / 2];
         let max_base = nrows.saturating_sub(g.bits());
-        let r0 = (((alpha - rows[0].y) / rh).round() as isize).clamp(0, max_base as isize) as usize;
+        let y0 = rows.first().map_or(0.0, |r| r.y);
+        let r0 = (((alpha - y0) / rh).round() as isize).clamp(0, max_base as isize) as usize;
 
         // Search base rows outward from the fitted one (below before
         // above at equal distance) and commit to the nearest window that
@@ -724,13 +725,7 @@ fn snap_groups(
 /// not leapfrog when claiming slots.
 fn sorted_by_x(placement: &Placement, cells: impl Iterator<Item = CellId>) -> Vec<CellId> {
     let mut ordered: Vec<CellId> = cells.collect();
-    ordered.sort_by(|&a, &b| {
-        placement
-            .get(a)
-            .x
-            .partial_cmp(&placement.get(b).x)
-            .expect("positions are finite")
-    });
+    ordered.sort_by(|&a, &b| placement.get(a).x.total_cmp(&placement.get(b).x));
     ordered
 }
 

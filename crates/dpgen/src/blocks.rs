@@ -139,7 +139,9 @@ pub fn carry_select_adder(
             for (off, i) in (lo..hi).enumerate() {
                 let (s, gm) = c.gate(GateKind::Mux2, &[sums0[off], sums1[off], sel]);
                 out[i] = s;
-                matrix[i][10] = Some(gm);
+                if let Some(mux_slot) = matrix[i].last_mut() {
+                    *mux_slot = Some(gm);
+                }
             }
             let (next_cin, _) = c.gate(GateKind::Mux2, &[c0, c1, sel]);
             section_cin = next_cin;
@@ -198,7 +200,7 @@ pub fn mux_tree(c: &mut WireCircuit, buses: &[Vec<WireId>], sels: &[WireId]) -> 
         ways >= 2 && ways.is_power_of_two(),
         "ways must be a power of two >= 2"
     );
-    let width = buses[0].len();
+    let width = buses.first().map_or(0, |b| b.len());
     assert!(buses.iter().all(|b| b.len() == width), "bus widths differ");
     let levels = ways.trailing_zeros() as usize;
     assert!(sels.len() >= levels, "need {levels} select wires");
@@ -208,9 +210,12 @@ pub fn mux_tree(c: &mut WireCircuit, buses: &[Vec<WireId>], sels: &[WireId]) -> 
     for &sel in sels.iter().take(levels) {
         let mut next: Vec<Vec<WireId>> = Vec::with_capacity(cur.len() / 2);
         for pair in cur.chunks(2) {
+            let [lo_bus, hi_bus] = pair else {
+                unreachable!("ways is a power of two, so chunks(2) is exact");
+            };
             let mut bus = Vec::with_capacity(width);
             for i in 0..width {
-                let (o, g) = c.gate(GateKind::Mux2, &[pair[0][i], pair[1][i], sel]);
+                let (o, g) = c.gate(GateKind::Mux2, &[lo_bus[i], hi_bus[i], sel]);
                 bus.push(o);
                 matrix[i].push(Some(g));
             }
@@ -274,11 +279,14 @@ pub fn array_multiplier(c: &mut WireCircuit, a: &[WireId], b: &[WireId], zero: W
 
     // Ripple-accumulate rows. Row j adds pp[j] (shifted) into the running
     // sum. Low product bits fall out one per row.
-    let mut acc: Vec<WireId> = pp[0].clone();
+    let mut acc: Vec<WireId> = pp.first().cloned().unwrap_or_default();
     let mut out: Vec<WireId> = Vec::with_capacity(2 * width);
     for (j, prow) in pp.iter().enumerate().skip(1) {
-        out.push(acc[0]);
-        let mut shifted: Vec<WireId> = acc[1..].to_vec();
+        let Some((&low_bit, rest)) = acc.split_first() else {
+            unreachable!("width >= 2 is asserted, so acc is never empty");
+        };
+        out.push(low_bit);
+        let mut shifted: Vec<WireId> = rest.to_vec();
         shifted.push(zero);
         let mut carry = zero;
         let mut row_matrix = Vec::with_capacity(width);
@@ -315,6 +323,9 @@ pub fn alu(
     let width = a.len();
     assert_eq!(a.len(), b.len(), "operand widths differ");
     assert!(op.len() >= 2, "alu needs two op-select wires");
+    let &[op0, op1, ..] = op else {
+        unreachable!("length asserted above");
+    };
 
     let mut matrix: Vec<Vec<Option<GateId>>> = vec![Vec::with_capacity(11); width];
     let mut and_lane = Vec::with_capacity(width);
@@ -343,9 +354,9 @@ pub fn alu(
     // Output select: ((and, or) mux op0, (xor, add) mux op0) mux op1.
     let mut out = Vec::with_capacity(width);
     for i in 0..width {
-        let (m0, g0) = c.gate(GateKind::Mux2, &[and_lane[i], or_lane[i], op[0]]);
-        let (m1, g1) = c.gate(GateKind::Mux2, &[xor_lane[i], add_lane[i], op[0]]);
-        let (y, g2) = c.gate(GateKind::Mux2, &[m0, m1, op[1]]);
+        let (m0, g0) = c.gate(GateKind::Mux2, &[and_lane[i], or_lane[i], op0]);
+        let (m1, g1) = c.gate(GateKind::Mux2, &[xor_lane[i], add_lane[i], op0]);
+        let (y, g2) = c.gate(GateKind::Mux2, &[m0, m1, op1]);
         out.push(y);
         matrix[i].extend([Some(g0), Some(g1), Some(g2)]);
     }

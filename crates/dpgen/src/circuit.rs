@@ -313,10 +313,10 @@ impl WireCircuit {
             .map(|&k| b.add_lib_cell(k.master_name(), k.width(), 1.0, k.num_inputs() as u8, 1))
             .collect();
         let lib_of = |k: GateKind| {
-            libs[GateKind::ALL
-                .iter()
-                .position(|&x| x == k)
-                .expect("all kinds listed")]
+            let Some(pos) = GateKind::ALL.iter().position(|&x| x == k) else {
+                unreachable!("GateKind::ALL contains every variant");
+            };
+            libs[pos]
         };
 
         // Cells.

@@ -113,7 +113,11 @@ pub fn generate(cfg: &GenConfig) -> GeneratedDesign {
                     let blk = blocks::register_rank(&mut c, &d, we, clk);
                     groups.push((
                         format!("reg{r}"),
-                        blk.groups.into_iter().next().expect("one group").1,
+                        blk.groups
+                            .into_iter()
+                            .next()
+                            .unwrap_or_else(|| unreachable!("register_rank emits one group"))
+                            .1,
                     ));
                     outs = blk.out;
                 }
@@ -142,11 +146,19 @@ pub fn generate(cfg: &GenConfig) -> GeneratedDesign {
                     let reg = blocks::register_rank(&mut c, &alu.out, we, clk);
                     groups.push((
                         format!("s{stage}_alu"),
-                        alu.groups.into_iter().next().expect("one").1,
+                        alu.groups
+                            .into_iter()
+                            .next()
+                            .unwrap_or_else(|| unreachable!("alu emits one group"))
+                            .1,
                     ));
                     groups.push((
                         format!("s{stage}_reg"),
-                        reg.groups.into_iter().next().expect("one").1,
+                        reg.groups
+                            .into_iter()
+                            .next()
+                            .unwrap_or_else(|| unreachable!("register_rank emits one group"))
+                            .1,
                     ));
                     bus_a = reg.out.clone();
                     out = reg.out;
@@ -194,7 +206,7 @@ pub fn generate(cfg: &GenConfig) -> GeneratedDesign {
     // Lower to a netlist.
     let lowered = c
         .lower(&cfg.name)
-        .expect("generated circuit is well formed");
+        .unwrap_or_else(|e| unreachable!("generated circuit is well formed: {e}"));
     let map = |g: GateId| -> CellId { lowered.gate_cells[g.ix()] };
 
     let truth = GroundTruth {

@@ -117,7 +117,7 @@ pub fn write_heatmap_svg(
         for ix in 0..nx {
             let v = (field[iy * nx + ix] / max).clamp(0.0, 1.0);
             // White → red ramp.
-            let g = (255.0 * (1.0 - v)) as u8;
+            let g = sdp_geom::cast::saturating_u8(255.0 * (1.0 - v));
             writeln!(
                 file,
                 r#"<rect x="{:.1}" y="{:.1}" width="{bw:.1}" height="{bh:.1}" fill="rgb(255,{g},{g})"/>"#,

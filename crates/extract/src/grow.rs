@@ -33,7 +33,7 @@ fn classes_of(netlist: &Netlist, sigs: &[u64], min_bits: usize) -> Vec<(u64, Vec
     for (_, v) in &mut classes {
         v.sort_unstable();
     }
-    classes.sort_by_key(|(_, v)| (usize::MAX - v.len(), v[0]));
+    classes.sort_by_key(|(_, v)| (usize::MAX - v.len(), v.first().copied()));
     classes
 }
 
@@ -59,9 +59,9 @@ fn chain_paths(class: &[CellId], rel: &Relations, min_bits: usize) -> Vec<Vec<Ce
         }
         candidates.sort_unstable();
         candidates.dedup();
-        if candidates.len() == 1 {
-            next.insert(u, candidates[0]);
-            *prev_count.entry(candidates[0]).or_insert(0) += 1;
+        if let &[only] = candidates.as_slice() {
+            next.insert(u, only);
+            *prev_count.entry(only).or_insert(0) += 1;
         }
     }
     // Path starts: no unique predecessor.
@@ -89,7 +89,7 @@ fn chain_paths(class: &[CellId], rel: &Relations, min_bits: usize) -> Vec<Vec<Ce
             paths.push(path);
         }
     }
-    paths.sort_by_key(|p| (usize::MAX - p.len(), p[0]));
+    paths.sort_by_key(|p| (usize::MAX - p.len(), p.first().copied()));
     paths
 }
 
@@ -141,7 +141,7 @@ fn layered_top_seed(cells: &[CellId], rel: &Relations) -> Option<Vec<CellId>> {
     if seen != cells.len() {
         return None; // cycle (e.g. cross-coupled structures)
     }
-    let top = *layer.iter().max().expect("nonempty");
+    let &top = layer.iter().max()?;
     if top == 0 {
         return None;
     }
@@ -175,7 +175,7 @@ fn layered_top_seed(cells: &[CellId], rel: &Relations) -> Option<Vec<CellId>> {
     }
     let mut top_cells: Vec<(usize, CellId)> = (0..cells.len())
         .filter(|&i| layer[i] == top)
-        .map(|i| (order[i].expect("ordered above"), cells[i]))
+        .filter_map(|i| order[i].map(|b| (b, cells[i])))
         .collect();
     if top_cells.len() < 2 {
         return None;
@@ -258,10 +258,7 @@ fn select_dominant(
     for &(_, c) in &cand {
         *counts.entry(sigs[c.ix()]).or_insert(0) += 1;
     }
-    let (&best_sig, _) = counts
-        .iter()
-        .max_by_key(|&(&sig, &n)| (n, sig))
-        .expect("nonempty");
+    let (&best_sig, _) = counts.iter().max_by_key(|&(&sig, &n)| (n, sig))?;
     let filtered: Vec<(usize, CellId)> = cand
         .into_iter()
         .filter(|&(_, c)| sigs[c.ix()] == best_sig)
@@ -315,7 +312,7 @@ pub fn grow_groups(
         }
     }
     // Chain seeds: longest first across classes.
-    seeds.sort_by_key(|s| (usize::MAX - s.cells.len(), s.cells[0]));
+    seeds.sort_by_key(|s| (usize::MAX - s.cells.len(), s.cells.first().copied()));
     for (_, class) in &classes {
         if let Some(top) = layered_top_seed(class, rel) {
             seeds.push(Seed {

@@ -77,7 +77,9 @@ pub fn score(
                 })
                 .collect();
             for w in pts.windows(2) {
-                let ((b1, (g1, t1)), (b2, (g2, t2))) = (w[0], w[1]);
+                let &[(b1, (g1, t1)), (b2, (g2, t2))] = w else {
+                    continue;
+                };
                 pairs += 1;
                 let dist = (b2 - b1) as isize;
                 if g1 == g2 && t2 as isize - t1 as isize == dist {

@@ -38,9 +38,7 @@ impl Relations {
                 .collect();
             inputs.sort_by(|&a, &b| {
                 let (oa, ob) = (netlist.pin(a).offset, netlist.pin(b).offset);
-                oa.y.partial_cmp(&ob.y)
-                    .expect("pin offsets are finite")
-                    .then(oa.x.partial_cmp(&ob.x).expect("pin offsets are finite"))
+                oa.y.total_cmp(&ob.y).then(oa.x.total_cmp(&ob.x))
             });
             let mut slot_drivers = Vec::with_capacity(inputs.len());
             for p in inputs {

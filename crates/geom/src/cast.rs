@@ -1,0 +1,75 @@
+//! Audited float→integer conversions.
+//!
+//! Rust's `as` casts from float to int are *saturating*: NaN maps to 0,
+//! values below the target's minimum clamp to the minimum, values above
+//! the maximum clamp to the maximum. That behaviour is exactly what the
+//! placer's binning and rasterization code wants — but a bare `as` at a
+//! call site does not say so, and sdp-lint's `float-soundness` rule
+//! rejects raw float→int casts in kernel crates for that reason. These
+//! helpers are the one audited home for the conversion: the saturation
+//! semantics are documented and tested here, and kernel code states its
+//! intent by calling them.
+
+/// Saturating `f64 → usize`: NaN → 0, negatives → 0, overflow → `usize::MAX`.
+///
+/// The fractional part truncates toward zero; apply `.floor()`, `.ceil()`,
+/// or `.round()` first when the rounding direction matters.
+#[inline]
+pub fn saturating_usize(x: f64) -> usize {
+    x as usize
+}
+
+/// Saturating `f64 → u32`: NaN → 0, negatives → 0, overflow → `u32::MAX`.
+#[inline]
+pub fn saturating_u32(x: f64) -> u32 {
+    x as u32
+}
+
+/// Saturating `f64 → u8`: NaN → 0, negatives → 0, overflow → `u8::MAX`.
+#[inline]
+pub fn saturating_u8(x: f64) -> u8 {
+    x as u8
+}
+
+/// Saturating `f64 → i64`: NaN → 0, clamped to `i64::MIN..=i64::MAX`.
+#[inline]
+pub fn saturating_i64(x: f64) -> i64 {
+    x as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_maps_to_zero() {
+        assert_eq!(saturating_usize(f64::NAN), 0);
+        assert_eq!(saturating_u32(f64::NAN), 0);
+        assert_eq!(saturating_u8(f64::NAN), 0);
+        assert_eq!(saturating_i64(f64::NAN), 0);
+    }
+
+    #[test]
+    fn negatives_clamp_to_unsigned_zero() {
+        assert_eq!(saturating_usize(-3.7), 0);
+        assert_eq!(saturating_u32(-0.5), 0);
+        assert_eq!(saturating_u8(-1e9), 0);
+        assert_eq!(saturating_i64(-2.9), -2); // truncation toward zero
+    }
+
+    #[test]
+    fn overflow_saturates() {
+        assert_eq!(saturating_usize(f64::INFINITY), usize::MAX);
+        assert_eq!(saturating_u32(1e20), u32::MAX);
+        assert_eq!(saturating_u8(300.0), u8::MAX);
+        assert_eq!(saturating_i64(f64::NEG_INFINITY), i64::MIN);
+    }
+
+    #[test]
+    fn in_range_truncates_toward_zero() {
+        assert_eq!(saturating_usize(3.999), 3);
+        assert_eq!(saturating_u32(2.0), 2);
+        assert_eq!(saturating_u8(254.9), 254);
+        assert_eq!(saturating_i64(41.7), 41);
+    }
+}

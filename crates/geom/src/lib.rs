@@ -23,6 +23,7 @@
 //! ```
 
 mod bbox;
+pub mod cast;
 mod grid;
 mod orient;
 mod point;

@@ -35,15 +35,11 @@ pub fn hpwl_of_points(points: &[Point]) -> f64 {
 /// decomposed first.
 pub fn mst_length(points: &[Point]) -> f64 {
     let n = points.len();
-    if n < 2 {
+    let (Some(&p0), true) = (points.first(), n >= 2) else {
         return 0.0;
-    }
-    let mut in_tree = vec![false; n];
-    let mut best = vec![f64::INFINITY; n];
-    in_tree[0] = true;
-    for (i, b) in best.iter_mut().enumerate().skip(1) {
-        *b = points[0].manhattan_to(points[i]);
-    }
+    };
+    let mut in_tree: Vec<bool> = (0..n).map(|i| i == 0).collect();
+    let mut best: Vec<f64> = points.iter().map(|p| p0.manhattan_to(*p)).collect();
     let mut total = 0.0;
     for _ in 1..n {
         let mut pick = usize::MAX;
@@ -80,10 +76,10 @@ pub fn mst_length(points: &[Point]) -> f64 {
 /// The returned value is always ≥ the HPWL of the same point set, matching
 /// the theoretical relation `HPWL ≤ RSMT ≤ RMST`.
 pub fn rsmt_estimate(points: &[Point]) -> f64 {
-    match points.len() {
-        0 | 1 => 0.0,
-        2 => points[0].manhattan_to(points[1]),
-        3 => hpwl_of_points(points),
+    match points {
+        [] | [_] => 0.0,
+        [a, b] => a.manhattan_to(*b),
+        [_, _, _] => hpwl_of_points(points),
         _ => {
             let mst = mst_length(points);
             let est = mst / 1.13;

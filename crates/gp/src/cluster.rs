@@ -28,7 +28,7 @@ pub struct Clustering {
 pub fn cluster_netlist(netlist: &Netlist, ratio: f64) -> Clustering {
     assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
     let n = netlist.num_cells();
-    let target = ((netlist.num_movable() as f64) * ratio).ceil() as usize;
+    let target = sdp_geom::cast::saturating_usize(((netlist.num_movable() as f64) * ratio).ceil());
 
     // Union-find over cells.
     let mut parent: Vec<u32> = (0..n as u32).collect();
@@ -87,11 +87,7 @@ pub fn cluster_netlist(netlist: &Netlist, ratio: f64) -> Clustering {
                 // Ties broken by candidate id: identical bit slices produce
                 // identical scores, and the explicit total order keeps the
                 // winner independent of how `scores` was populated.
-                .max_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .expect("scores are finite")
-                        .then(b.0.cmp(&a.0))
-                });
+                .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)));
             if let Some((partner, _)) = best {
                 let (a, b) = (root.min(partner), root.max(partner));
                 parent[b as usize] = a;
@@ -155,6 +151,9 @@ pub fn cluster_netlist(netlist: &Netlist, ratio: f64) -> Clustering {
     }
 
     Clustering {
+        // sdp-lint: allow(panic-reachability) -- the coarse builder's input
+        // is generated above with unique `k{root}` names and validated
+        // masters; finish() failing would be an internal clustering bug.
         coarse: b.finish().expect("coarse netlist is well formed"),
         cluster_of,
     }

@@ -162,7 +162,7 @@ impl DensityModel {
     /// A sensible default grid resolution for a netlist: roughly
     /// `√(movable cells)/2` bins per axis, clamped to `[8, 160]`.
     pub fn default_resolution(num_movable: usize) -> usize {
-        (((num_movable as f64).sqrt() / 2.0).round() as usize).clamp(8, 160)
+        sdp_geom::cast::saturating_usize(((num_movable as f64).sqrt() / 2.0).round()).clamp(8, 160)
     }
 
     /// The bin grid.
@@ -239,6 +239,8 @@ impl DensityModel {
                         0.0
                     };
                     part.norms.push((c.ix(), ci_norm));
+                    // sdp-lint: allow(float-soundness) -- exact sentinel: the
+                    // branch above assigns literal 0.0, never a computed value.
                     if ci_norm == 0.0 {
                         continue;
                     }
@@ -308,6 +310,8 @@ impl DensityModel {
         let bx = Bell::new(m.width * infl, self.grid.bin_w());
         let by = Bell::new(m.height, self.grid.bin_h());
         let ci = self.norm[c.ix()];
+        // sdp-lint: allow(float-soundness) -- exact sentinel: `norm` entries
+        // are either a guarded quotient or literal 0.0 (see update_norms).
         if ci == 0.0 {
             return Point::ORIGIN;
         }
@@ -366,6 +370,8 @@ impl DensityModel {
                 0.0
             };
             self.norm[c.ix()] = ci;
+            // sdp-lint: allow(float-soundness) -- exact sentinel: the branch
+            // above assigns literal 0.0, never a computed value.
             if ci == 0.0 {
                 continue;
             }

@@ -44,6 +44,9 @@ impl Latch {
     }
 
     fn count_down(&self) {
+        // sdp-lint: allow(panic-reachability) -- a poisoned latch means a
+        // worker already panicked; propagating that panic is the executor's
+        // error model (Executor::map re-raises it on the caller thread).
         let mut left = self.remaining.lock().expect("latch poisoned");
         *left -= 1;
         if *left == 0 {
@@ -52,8 +55,13 @@ impl Latch {
     }
 
     fn wait(&self) {
+        // sdp-lint: allow(panic-reachability) -- a poisoned latch means a
+        // worker already panicked; propagating that panic is the executor's
+        // error model (Executor::map re-raises it on the caller thread).
         let mut left = self.remaining.lock().expect("latch poisoned");
         while *left > 0 {
+            // sdp-lint: allow(panic-reachability) -- same poisoning argument
+            // as the lock above: a panicked worker is re-raised, not masked.
             left = self.done.wait(left).expect("latch poisoned");
         }
     }
@@ -75,6 +83,9 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("sdp-gp-worker-{i}"))
                     .spawn(move || worker_loop(&rx))
+                    // sdp-lint: allow(panic-reachability) -- OS thread-spawn
+                    // failure at pool construction is unrecoverable for a
+                    // placement run; failing fast beats limping along serial.
                     .expect("failed to spawn placement worker thread")
             })
             .collect();
@@ -85,11 +96,15 @@ impl ThreadPool {
     }
 
     fn submit(&self, job: Job) {
-        self.sender
-            .as_ref()
-            .expect("pool is live while executor exists")
-            .send(job)
-            .expect("worker threads outlive the executor");
+        // `sender` is Some until drop, and workers hold the receiver for the
+        // pool's lifetime; job panics are caught into the panic slot, so the
+        // channel can only close after the executor itself is gone.
+        let Some(sender) = self.sender.as_ref() else {
+            unreachable!("pool is live while executor exists");
+        };
+        if sender.send(job).is_err() {
+            unreachable!("worker threads outlive the executor");
+        }
     }
 }
 
@@ -223,11 +238,17 @@ impl Executor {
                 resume_unwind(payload);
             }
         }
+        // sdp-lint: allow(panic-reachability) -- the panic slot is poisoned
+        // only if a worker panicked while recording a panic; re-raising is
+        // exactly what this block does anyway.
         if let Some(payload) = shared.panic.lock().expect("panic slot poisoned").take() {
             resume_unwind(payload);
         }
         slots
             .into_iter()
+            // sdp-lint: allow(panic-reachability) -- the latch guarantees all
+            // n jobs completed and each job writes exactly its own slot; an
+            // empty slot is a broken executor invariant worth crashing on.
             .map(|s| s.expect("every job index was drained"))
             .collect()
     }
@@ -272,6 +293,9 @@ where
                 unsafe { *shared.slots.0.add(i) = Some(value) };
             }
             Err(payload) => {
+                // sdp-lint: allow(panic-reachability) -- poisoning here means
+                // another worker panicked while recording its own panic; the
+                // first recorded panic still reaches the caller.
                 let mut slot = shared.panic.lock().expect("panic slot poisoned");
                 if slot.is_none() {
                     *slot = Some(payload);

@@ -51,13 +51,14 @@ impl Segment {
         };
         place_cluster(&mut c, self.x1, self.x2);
         // Merge with predecessors while overlapping.
-        while let Some(prev) = self.clusters.last() {
-            if prev.x + prev.w > c.x + 1e-9 {
-                let prev = self.clusters.pop().expect("nonempty");
+        while self
+            .clusters
+            .last()
+            .is_some_and(|prev| prev.x + prev.w > c.x + 1e-9)
+        {
+            if let Some(prev) = self.clusters.pop() {
                 c = merge(prev, c);
                 place_cluster(&mut c, self.x1, self.x2);
-            } else {
-                break;
             }
         }
         self.used += w;
@@ -207,9 +208,8 @@ pub fn legalize_abacus(
         .collect();
     order.sort_by(|&a, &b| {
         let (pa, pb) = (placement.get(a), placement.get(b));
-        pa.x.partial_cmp(&pb.x)
-            .expect("positions are finite")
-            .then(pa.y.partial_cmp(&pb.y).expect("positions are finite"))
+        pa.x.total_cmp(&pb.x)
+            .then(pa.y.total_cmp(&pb.y))
             .then(a.cmp(&b))
     });
 
@@ -225,11 +225,12 @@ pub fn legalize_abacus(
         let home = design.row_at_y(target.y);
 
         let mut best: Option<(f64, usize, usize)> = None;
+        let row_height = rows.first().map_or(0.0, |r| r.height);
         // Search rows outward; stop when the pure-dy cost already exceeds
         // the best found.
         for dist in 0..rows.len() {
             if let Some((cost, _, _)) = best {
-                let dy = dist as f64 * rows[0].height;
+                let dy = dist as f64 * row_height;
                 if dy * dy * options.y_weight >= cost {
                     break;
                 }

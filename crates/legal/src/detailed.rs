@@ -85,7 +85,7 @@ impl Occupancy {
             row_of[c.ix()] = ri;
         }
         for row in &mut rows {
-            row.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("positions are finite"));
+            row.sort_by(|a, b| a.0.total_cmp(&b.0));
         }
         Occupancy { rows, row_of }
     }
@@ -180,8 +180,8 @@ fn optimal_point(netlist: &Netlist, placement: &Placement, c: CellId) -> Option<
     if xs.is_empty() {
         return None;
     }
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
     Some(Point::new(xs[xs.len() / 2], ys[ys.len() / 2]))
 }
 
@@ -203,7 +203,7 @@ pub fn detailed_place(
         hpwl_before,
         hpwl_after: hpwl_before,
     };
-    let site = design.rows()[0].site_width;
+    let site = design.rows().first().map_or(1.0, |r| r.site_width);
     let window = options.window * site;
 
     let order: Vec<CellId> = netlist
@@ -381,6 +381,7 @@ fn reorder_pass(
                 break;
             }
             let trio = [row[idx].1, row[idx + 1].1, row[idx + 2].1];
+            let [t0, t1, t2] = trio;
             idx += 1;
             if trio
                 .iter()
@@ -388,22 +389,10 @@ fn reorder_pass(
             {
                 continue;
             }
-            let x0 = placement.cell_rect(netlist, trio[0]).x1();
-            let widths = [
-                netlist.cell_width(trio[0]),
-                netlist.cell_width(trio[1]),
-                netlist.cell_width(trio[2]),
-            ];
-            let y = [
-                placement.get(trio[0]).y,
-                placement.get(trio[1]).y,
-                placement.get(trio[2]).y,
-            ];
-            let originals = [
-                placement.get(trio[0]),
-                placement.get(trio[1]),
-                placement.get(trio[2]),
-            ];
+            let x0 = placement.cell_rect(netlist, t0).x1();
+            let widths = trio.map(|c| netlist.cell_width(c));
+            let y = [t0, t1, t2].map(|c| placement.get(c).y);
+            let originals = trio.map(|c| placement.get(c));
             let mut nets: Vec<NetId> = trio.iter().flat_map(|&c| netlist.nets_of_cell(c)).collect();
             nets.sort_unstable();
             nets.dedup();

@@ -75,9 +75,8 @@ pub fn legalize(
         .collect();
     order.sort_by(|&a, &b| {
         let (pa, pb) = (placement.get(a), placement.get(b));
-        pa.x.partial_cmp(&pb.x)
-            .expect("positions are finite")
-            .then(pa.y.partial_cmp(&pb.y).expect("positions are finite"))
+        pa.x.total_cmp(&pb.x)
+            .then(pa.y.total_cmp(&pb.y))
             .then(a.cmp(&b))
     });
 
@@ -99,7 +98,7 @@ pub fn legalize(
         row_ix.sort_by(|&i, &j| {
             let di = (rows[i].y + rows[i].height / 2.0 - target.y).abs();
             let dj = (rows[j].y + rows[j].height / 2.0 - target.y).abs();
-            di.partial_cmp(&dj).expect("row centers are finite")
+            di.total_cmp(&dj)
         });
 
         let mut best: Option<(f64, usize)> = None;
@@ -122,9 +121,9 @@ pub fn legalize(
         match best {
             Some((_, ri)) => {
                 let row = &rows[ri];
-                let x = spaces[ri]
-                    .place_near(target_left, m.width)
-                    .expect("peek_cost guaranteed a fit");
+                let Some(x) = spaces[ri].place_near(target_left, m.width) else {
+                    unreachable!("peek_cost guaranteed a fit for this width")
+                };
                 let new = Point::new(x + m.width / 2.0, row.y + row.height / 2.0);
                 let d = new.manhattan_to(target);
                 stats.total_displacement += d;

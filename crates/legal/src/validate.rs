@@ -68,14 +68,14 @@ pub fn check_legal(netlist: &Netlist, design: &Design, placement: &Placement) ->
             placement
                 .cell_rect(netlist, a)
                 .x1()
-                .partial_cmp(&placement.cell_rect(netlist, b).x1())
-                .expect("positions are finite")
+                .total_cmp(&placement.cell_rect(netlist, b).x1())
         });
         for w in bucket.windows(2) {
-            let ra = placement.cell_rect(netlist, w[0]);
-            let rb = placement.cell_rect(netlist, w[1]);
+            let &[a, b] = w else { continue };
+            let ra = placement.cell_rect(netlist, a);
+            let rb = placement.cell_rect(netlist, b);
             if ra.x2() > rb.x1() + EPS && (ra.y1() - rb.y1()).abs() < EPS {
-                violations.push(Violation::Overlap(w[0], w[1]));
+                violations.push(Violation::Overlap(a, b));
             }
         }
     }

@@ -1,0 +1,414 @@
+//! Name-resolution-approximate cross-crate call graph, and the
+//! `panic-reachability` rule built on top of it.
+//!
+//! The graph's nodes are every non-test `fn` in the workspace's flow
+//! crates (everything except the `bench` harness and this tool). Edges
+//! are recovered token-wise: a call site `name(…)`, `recv.name(…)`, or
+//! `Qual::name(…)` links to every workspace function with that name —
+//! narrowed by the qualifier's impl type, the path's crate segment, or
+//! the module name when one is available. This *over*-approximates
+//! reachability (a `.get(…)` call links to every workspace `fn get`),
+//! which is the sound direction for a panic lint: a site is only excused
+//! as unreachable when no chain of same-named calls connects it to a
+//! flow entry point.
+//!
+//! Entry points ("flow roots") are the CLI binary (`main` plus its `pub`
+//! command fns) and the public API of the kernel crates and `core` — the
+//! functions a production flow invokes directly.
+
+use crate::items::FnItem;
+use crate::lexer::{CleanFile, Tok};
+use crate::rules::{Diagnostic, FileCtx, Rule};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Crates whose `pub fn`s are flow entry points besides the CLI.
+pub const ROOT_API_CRATES: &[&str] = &["core", "gp", "extract", "legal", "eval", "netlist"];
+
+/// Crates excluded from the graph and from panic-reachability entirely:
+/// the experiment harness and this tool are driver code that may panic.
+pub const EXEMPT_CRATES: &[&str] = &["bench", "lint"];
+
+/// A lexed, item-parsed source file ready for workspace analysis.
+#[derive(Debug)]
+pub struct SourceFile {
+    pub ctx: FileCtx,
+    pub file: CleanFile,
+    pub toks: Vec<Tok>,
+    pub fns: Vec<FnItem>,
+}
+
+/// One call site inside a function body.
+#[derive(Debug)]
+struct CallSite {
+    /// Callee's bare name.
+    name: String,
+    /// `Qual::name(…)` qualifier (the segment right before the name).
+    qualifier: Option<String>,
+    /// Workspace crate named at the head of the path (`sdp_gp::…`).
+    crate_hint: Option<String>,
+    /// Method-call syntax (`recv.name(…)`).
+    is_method: bool,
+}
+
+/// Node id into [`Graph::nodes`].
+type NodeId = usize;
+
+#[derive(Debug)]
+struct Node {
+    file_ix: usize,
+    fn_ix: usize,
+    crate_name: String,
+    qual: String,
+    is_root: bool,
+}
+
+/// The workspace call graph plus reachability from the flow roots.
+pub struct Graph<'a> {
+    files: &'a [SourceFile],
+    nodes: Vec<Node>,
+    /// Predecessor in a shortest root→node chain; `usize::MAX` for roots.
+    pred: Vec<usize>,
+    reachable: Vec<bool>,
+}
+
+/// Keywords and constructors that look like `name(…)` but are never
+/// workspace function calls.
+const NOT_CALLS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "break", "continue", "fn", "let",
+    "mut", "ref", "move", "in", "impl", "trait", "struct", "enum", "union", "mod", "use", "pub",
+    "where", "unsafe", "dyn", "as", "const", "static", "type", "Some", "None", "Ok", "Err", "true",
+    "false", "Box", "Vec", "self",
+];
+
+impl<'a> Graph<'a> {
+    /// Builds the graph over `files` and runs root-set reachability.
+    pub fn build(files: &'a [SourceFile]) -> Graph<'a> {
+        let mut nodes = Vec::new();
+        for (file_ix, f) in files.iter().enumerate() {
+            if !in_graph(&f.ctx) {
+                continue;
+            }
+            for (fn_ix, item) in f.fns.iter().enumerate() {
+                if item.is_test {
+                    continue;
+                }
+                let cn = &f.ctx.crate_name;
+                let is_root = (cn == "cli" && (item.name == "main" || item.is_pub))
+                    || (ROOT_API_CRATES.contains(&cn.as_str()) && item.is_pub);
+                nodes.push(Node {
+                    file_ix,
+                    fn_ix,
+                    crate_name: cn.clone(),
+                    qual: item.qual.clone(),
+                    is_root,
+                });
+            }
+        }
+
+        let mut by_name: HashMap<&str, Vec<NodeId>> = HashMap::new();
+        for (id, n) in nodes.iter().enumerate() {
+            let item = &files[n.file_ix].fns[n.fn_ix];
+            by_name.entry(item.name.as_str()).or_default().push(id);
+        }
+
+        // BFS from the roots, resolving each node's call sites lazily.
+        let mut pred = vec![usize::MAX; nodes.len()];
+        let mut reachable = vec![false; nodes.len()];
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        for (id, n) in nodes.iter().enumerate() {
+            if n.is_root {
+                reachable[id] = true;
+                queue.push_back(id);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            let n = &nodes[id];
+            let f = &files[n.file_ix];
+            let item = &f.fns[n.fn_ix];
+            for call in call_sites(&f.toks, item) {
+                for callee in resolve(&call, &by_name, &nodes, files, item) {
+                    if !reachable[callee] {
+                        reachable[callee] = true;
+                        pred[callee] = id;
+                        queue.push_back(callee);
+                    }
+                }
+            }
+        }
+        Graph {
+            files,
+            nodes,
+            pred,
+            reachable,
+        }
+    }
+
+    /// The root→…→node call chain (display-qualified names), shortest
+    /// first; `None` when the node is unreachable.
+    fn chain(&self, id: NodeId) -> Option<Vec<String>> {
+        if !self.reachable[id] {
+            return None;
+        }
+        let mut chain = vec![self.nodes[id].qual.clone()];
+        let mut cur = id;
+        while self.pred[cur] != usize::MAX {
+            cur = self.pred[cur];
+            chain.push(self.nodes[cur].qual.clone());
+            if chain.len() > 32 {
+                break; // cycles cannot occur (pred is a BFS tree); belt and braces
+            }
+        }
+        chain.reverse();
+        Some(chain)
+    }
+
+    /// Node for `(file_ix, fn_ix)`, if it is in the graph.
+    fn node_of(&self, file_ix: usize, fn_ix: usize) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.file_ix == file_ix && n.fn_ix == fn_ix)
+    }
+
+    /// Runs the `panic-reachability` rule over every file in the graph:
+    /// flags `unwrap`/`expect`/`panic!`-family macros and constant-index
+    /// slicing inside any function reachable from a flow root, printing
+    /// the reachability chain in the diagnostic.
+    pub fn check_panic_reachability(&self, out: &mut Vec<Diagnostic>) {
+        for (file_ix, f) in self.files.iter().enumerate() {
+            if !in_graph(&f.ctx) {
+                continue;
+            }
+            for site in panic_sites(&f.toks) {
+                let tok = &f.toks[site.tok_ix];
+                // Innermost enclosing fn (bodies nest for inner fns).
+                let Some((fn_ix, item)) = f
+                    .fns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, it)| it.body_contains(site.tok_ix))
+                    .min_by_key(|(_, it)| it.body_len())
+                else {
+                    continue; // file-scope token (const initializer …)
+                };
+                if item.is_test {
+                    continue;
+                }
+                let Some(id) = self.node_of(file_ix, fn_ix) else {
+                    continue;
+                };
+                let Some(chain) = self.chain(id) else {
+                    continue; // unreachable from every flow root — excused
+                };
+                let mut notes = vec![format!(
+                    "reached via: {}",
+                    chain.join(" \u{2192} ") // →
+                )];
+                if chain.len() == 1 {
+                    notes[0] = format!("`{}` is itself a flow entry point", chain[0]);
+                }
+                if let Some(d) = crate::rules::diag_if_unsuppressed(
+                    &f.file,
+                    &f.ctx,
+                    Rule::PanicReachability,
+                    tok,
+                    format!(
+                        "{} in `{}`, reachable from a flow entry point",
+                        site.what, item.qual
+                    ),
+                    notes,
+                ) {
+                    out.push(d);
+                }
+            }
+        }
+    }
+}
+
+/// Is this file part of the call graph / panic-reachability scope?
+fn in_graph(ctx: &FileCtx) -> bool {
+    !ctx.test_code
+        && !ctx.crate_name.is_empty()
+        && !EXEMPT_CRATES.contains(&ctx.crate_name.as_str())
+}
+
+/// Extracts every call site in `item`'s body.
+fn call_sites(toks: &[Tok], item: &FnItem) -> Vec<CallSite> {
+    let Some((open, close)) = item.body else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for k in open + 1..close {
+        if toks[k + 1].text != "(" || !is_ident(&toks[k].text) {
+            continue;
+        }
+        let name = toks[k].text.as_str();
+        if NOT_CALLS.contains(&name) {
+            continue;
+        }
+        let prev = toks[k - 1].text.as_str();
+        if prev == "fn" || prev == "!" || prev == "#" {
+            continue;
+        }
+        let is_method = prev == ".";
+        let mut qualifier = None;
+        let mut crate_hint = None;
+        if prev == ":" && k >= 3 && toks[k - 2].text == ":" {
+            // Walk the path backwards: `a :: b :: name`.
+            let mut segs: Vec<&str> = Vec::new();
+            let mut j = k - 2; // at the second `:`
+            while j >= 2
+                && toks[j].text == ":"
+                && toks[j - 1].text == ":"
+                && is_ident(&toks[j - 2].text)
+            {
+                segs.push(toks[j - 2].text.as_str());
+                if j < 4 {
+                    break;
+                }
+                j -= 3;
+            }
+            qualifier = segs.first().map(|s| s.to_string());
+            crate_hint = segs.iter().find_map(|s| crate_of_path_head(s));
+        }
+        out.push(CallSite {
+            name: name.to_string(),
+            qualifier,
+            crate_hint,
+            is_method,
+        });
+    }
+    out
+}
+
+/// Maps a path-head identifier to a workspace crate directory name:
+/// `sdp_gp` → `gp`, `sdp_netlist` → `netlist`.
+fn crate_of_path_head(head: &str) -> Option<String> {
+    head.strip_prefix("sdp_").map(str::to_string)
+}
+
+/// Resolves a call site to candidate nodes, most precise non-empty tier
+/// first: impl-type match, then crate match, then module match, then
+/// name-only (the sound over-approximating fallback).
+fn resolve(
+    call: &CallSite,
+    by_name: &HashMap<&str, Vec<NodeId>>,
+    nodes: &[Node],
+    files: &[SourceFile],
+    caller: &FnItem,
+) -> Vec<NodeId> {
+    let Some(named) = by_name.get(call.name.as_str()) else {
+        return Vec::new();
+    };
+    let qualifier = match call.qualifier.as_deref() {
+        Some("Self") => caller.impl_type.as_deref(),
+        q => q,
+    };
+    if let Some(q) = qualifier {
+        let tier: Vec<NodeId> = named
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let item = &files[nodes[id].file_ix].fns[nodes[id].fn_ix];
+                item.impl_type.as_deref() == Some(q)
+            })
+            .collect();
+        if !tier.is_empty() {
+            return tier;
+        }
+        if let Some(cn) = &call.crate_hint {
+            let tier: Vec<NodeId> = named
+                .iter()
+                .copied()
+                .filter(|&id| &nodes[id].crate_name == cn)
+                .collect();
+            if !tier.is_empty() {
+                return tier;
+            }
+        }
+        // Module-segment match: `module::name(…)`.
+        let mid = format!("::{q}::");
+        let head = format!("{q}::");
+        let tier: Vec<NodeId> = named
+            .iter()
+            .copied()
+            .filter(|&id| nodes[id].qual.contains(&mid) || nodes[id].qual.starts_with(&head))
+            .collect();
+        if !tier.is_empty() {
+            return tier;
+        }
+    }
+    let _ = call.is_method;
+    named.clone()
+}
+
+fn is_ident(s: &str) -> bool {
+    s.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+/// One potential panic site.
+struct PanicSite {
+    tok_ix: usize,
+    what: &'static str,
+}
+
+/// Panic-family macros.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Finds `.unwrap()`, `.expect(…)`, `panic!`-family macros, and
+/// constant-index slicing (`xs[0]`) in a token stream. `assert!`,
+/// `debug_assert!`, and `unreachable!` are *not* flagged: they state
+/// invariants, which the panic policy allows (DESIGN.md §7).
+fn panic_sites(toks: &[Tok]) -> Vec<PanicSite> {
+    let mut out = Vec::new();
+    for k in 0..toks.len() {
+        let t = &toks[k];
+        let next = |i: usize| toks.get(k + i).map(|t| t.text.as_str());
+        if (t.text == "unwrap" || t.text == "expect")
+            && k > 0
+            && toks[k - 1].text == "."
+            && next(1) == Some("(")
+        {
+            out.push(PanicSite {
+                tok_ix: k,
+                what: if t.text == "unwrap" {
+                    "`unwrap()`"
+                } else {
+                    "`expect(…)`"
+                },
+            });
+        } else if PANIC_MACROS.contains(&t.text.as_str()) && next(1) == Some("!") {
+            out.push(PanicSite {
+                tok_ix: k,
+                what: "panicking macro",
+            });
+        } else if t.text == "["
+            && k > 0
+            && (is_ident(&toks[k - 1].text) || toks[k - 1].text == ")" || toks[k - 1].text == "]")
+            && !NOT_CALLS.contains(&toks[k - 1].text.as_str())
+            && next(1).is_some_and(|s| s.chars().all(|c| c.is_ascii_digit()))
+            && next(2) == Some("]")
+        {
+            out.push(PanicSite {
+                tok_ix: k,
+                what: "constant-index slicing",
+            });
+        }
+    }
+    out
+}
+
+/// Per-crate `(reachable, total)` function counts — surfaced by
+/// `--stats` for auditing how wide the root set casts.
+pub fn reach_stats(g: &Graph<'_>) -> BTreeMap<String, (usize, usize)> {
+    let mut m: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for (id, n) in g.nodes.iter().enumerate() {
+        let e = m.entry(n.crate_name.clone()).or_insert((0, 0));
+        e.1 += 1;
+        if g.reachable[id] {
+            e.0 += 1;
+        }
+    }
+    m
+}

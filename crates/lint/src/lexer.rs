@@ -274,6 +274,24 @@ pub fn tokenize(code: &[String]) -> Vec<Tok> {
                 while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
+                // `r#type` — raw-identifier syntax. Kept as ONE token with
+                // the prefix intact (`r#type`), so escaped definitions and
+                // their call sites line up in the call graph while keyword
+                // filters (which compare against the bare keyword) never
+                // match them. Raw *strings* never get here: `clean` blanks
+                // them before tokenization.
+                if i == start + 1
+                    && chars[start] == 'r'
+                    && chars.get(i) == Some(&'#')
+                    && chars
+                        .get(i + 1)
+                        .is_some_and(|c| c.is_alphabetic() || *c == '_')
+                {
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
                 toks.push(Tok {
                     text: chars[start..i].iter().collect(),
                     line: li + 1,
@@ -326,6 +344,19 @@ mod tests {
         let f = clean("/* a /* b */ HashMap */ let x;");
         assert!(!f.code[0].contains("HashMap"));
         assert!(f.code[0].contains("let x;"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_one_token() {
+        let toks = tokenize(&clean("fn r#struct() { r#struct(); let r = 1; }").code);
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts.iter().filter(|t| **t == "r#struct").count(),
+            2,
+            "{texts:?}"
+        );
+        assert!(texts.contains(&"r"), "a bare `r` binding stays bare");
+        assert!(!texts.contains(&"struct"), "no stray keyword token");
     }
 
     #[test]

@@ -21,9 +21,13 @@
 //! Test code (`#[cfg(test)]` modules, `tests/` directories) is exempt
 //! from the determinism rules but not from `undocumented-unsafe`.
 
+pub mod callgraph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
 
+pub use callgraph::SourceFile;
 pub use rules::{lint_source, Diagnostic, FileCtx, Rule};
 
 use std::path::{Path, PathBuf};
@@ -76,6 +80,7 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<WorkspaceFile>> {
                     path,
                     ctx: FileCtx {
                         rel_path: rel,
+                        crate_name: name.clone(),
                         kernel: kernel && !test_code,
                         library: library && !test_code,
                         test_code,
@@ -98,6 +103,7 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<WorkspaceFile>> {
                 path,
                 ctx: FileCtx {
                     rel_path: rel,
+                    crate_name: String::new(),
                     kernel: false,
                     library: false,
                     test_code,
@@ -138,17 +144,62 @@ fn rust_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
+/// Prepares one file for workspace-level analysis: lex, tokenize, and
+/// recover its item tree.
+pub fn prepare_source(source: &str, ctx: FileCtx) -> SourceFile {
+    let file = lexer::clean(source);
+    let toks = lexer::tokenize(&file.code);
+    let fns = items::parse_items(&toks, &ctx.crate_name);
+    SourceFile {
+        ctx,
+        file,
+        toks,
+        fns,
+    }
+}
+
+/// Runs every rule — the per-file passes plus the call-graph-backed
+/// workspace passes — over an in-memory set of sources. This is the
+/// whole analysis; [`lint_workspace`] is the filesystem front end, and
+/// the fixture corpus drives this directly with synthetic mini
+/// workspaces.
+pub fn lint_sources(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in files {
+        diags.extend(rules::lint_prepared(f));
+    }
+    let graph = callgraph::Graph::build(files);
+    graph.check_panic_reachability(&mut diags);
+    diags.sort_by(|a, b| {
+        (&a.rel_path, a.line, a.col, a.rule).cmp(&(&b.rel_path, b.line, b.col, b.rule))
+    });
+    diags
+}
+
 /// Lints the whole workspace; returns diagnostics plus the number of
 /// files scanned.
 pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
-    let files = workspace_files(root)?;
-    let scanned = files.len();
-    let mut diags = Vec::new();
-    for f in &files {
-        let source = std::fs::read_to_string(&f.path)?;
-        diags.extend(lint_source(&source, &f.ctx));
-    }
+    let (diags, scanned, _) = lint_workspace_graph(root)?;
     Ok((diags, scanned))
+}
+
+/// Per-crate `(reachable, total)` non-test function counts from the call
+/// graph — the `--stats` view.
+pub type ReachStats = std::collections::BTreeMap<String, (usize, usize)>;
+
+/// Like [`lint_workspace`], but also returns per-crate reachability
+/// counts from the call graph.
+pub fn lint_workspace_graph(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize, ReachStats)> {
+    let files = workspace_files(root)?;
+    let mut prepared = Vec::with_capacity(files.len());
+    for f in files {
+        let source = std::fs::read_to_string(&f.path)?;
+        prepared.push(prepare_source(&source, f.ctx));
+    }
+    let diags = lint_sources(&prepared);
+    let graph = callgraph::Graph::build(&prepared);
+    let stats = callgraph::reach_stats(&graph);
+    Ok((diags, prepared.len(), stats))
 }
 
 /// Locates the workspace root: an explicit argument, else the manifest

@@ -1,17 +1,27 @@
-//! `sdp-lint` binary: lints the workspace, prints rustc-style
+//! `sdp-lint` binary: lints the workspace, prints rustc-style or SARIF
 //! diagnostics, exits nonzero on violations.
 //!
 //! ```text
-//! USAGE: sdp-lint [--root <dir>] [--rule <name>]... [--list-rules]
+//! USAGE: sdp-lint [--root <dir>] [--rule <name>]... [--format rustc|sarif]
+//!                 [--output <file>] [--stats] [--list-rules]
 //! ```
 
-use sdp_lint::{find_root, lint_workspace, Rule};
+use sdp_lint::{find_root, lint_workspace_graph, sarif, Rule};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+#[derive(PartialEq)]
+enum Format {
+    Rustc,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut only: Vec<String> = Vec::new();
+    let mut format = Format::Rustc;
+    let mut output: Option<PathBuf> = None;
+    let mut stats = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -29,6 +39,26 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("rustc") => format = Format::Rustc,
+                Some("sarif") => format = Format::Sarif,
+                Some(other) => {
+                    eprintln!("error: unknown format `{other}` (rustc|sarif)");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("error: --format needs a value (rustc|sarif)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--output" => match args.next() {
+                Some(p) => output = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --output needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--stats" => stats = true,
             "--list-rules" => {
                 for r in Rule::ALL {
                     println!("{r}");
@@ -37,9 +67,14 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "USAGE: sdp-lint [--root <dir>] [--rule <name>]... [--list-rules]\n\n\
+                    "USAGE: sdp-lint [--root <dir>] [--rule <name>]... \
+                     [--format rustc|sarif] [--output <file>] [--stats] [--list-rules]\n\n\
                      Lints the sdplace workspace for determinism & soundness\n\
-                     invariants. Exits 1 when violations are found."
+                     invariants (including call-graph panic-reachability and\n\
+                     float-soundness). Exits 1 when violations are found.\n\n\
+                     --format sarif emits a SARIF 2.1.0 document for CI code\n\
+                     scanning; --output writes the report to a file instead of\n\
+                     stdout; --stats prints per-crate call-graph reachability."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -62,7 +97,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let (mut diags, scanned) = match lint_workspace(&root) {
+    let (mut diags, scanned, reach) = match lint_workspace_graph(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: failed to scan {}: {e}", root.display());
@@ -73,14 +108,42 @@ fn main() -> ExitCode {
         diags.retain(|d| only.iter().any(|r| r == d.rule.name()));
     }
 
-    for d in &diags {
-        println!("{d}\n");
+    let report = match format {
+        Format::Sarif => sarif::to_sarif(&diags),
+        Format::Rustc => {
+            let mut s = String::new();
+            for d in &diags {
+                s.push_str(&format!("{d}\n\n"));
+            }
+            s
+        }
+    };
+    match &output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("error: writing {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        None => print!("{report}"),
     }
+
+    if stats {
+        eprintln!("call-graph reachability (reachable / total non-test fns):");
+        for (krate, (reachable, total)) in &reach {
+            eprintln!("  {krate:<10} {reachable:>4} / {total}");
+        }
+    }
+
     if diags.is_empty() {
-        println!("sdp-lint: clean — {scanned} files scanned, 0 violations");
+        if format == Format::Rustc && output.is_none() {
+            println!("sdp-lint: clean — {scanned} files scanned, 0 violations");
+        } else {
+            eprintln!("sdp-lint: clean — {scanned} files scanned, 0 violations");
+        }
         ExitCode::SUCCESS
     } else {
-        println!(
+        eprintln!(
             "sdp-lint: {} violation(s) across {scanned} scanned files",
             diags.len()
         );

@@ -30,14 +30,27 @@ pub enum Rule {
     /// An `unsafe` block/impl/fn without a `SAFETY:` (or `# Safety` doc)
     /// comment in the preceding lines.
     UndocumentedUnsafe,
+    /// An `unwrap`/`expect`/`panic!`-family site (or constant-index
+    /// slicing) inside a function the cross-crate call graph shows is
+    /// reachable from a flow entry point (CLI subcommands, kernel public
+    /// APIs). A malformed input must surface as a typed error, not a
+    /// backtrace.
+    PanicReachability,
+    /// Float orderings and conversions that misbehave on NaN or lose
+    /// precision silently in kernel crates: `partial_cmp(..).unwrap()`
+    /// (panics on NaN — use `total_cmp`), NaN-blind `==`/`!=` against
+    /// floats, and float→int `as` casts (saturating, NaN → 0).
+    FloatSoundness,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 6] = [
         Rule::NondeterministicIter,
         Rule::WallClockInLibrary,
         Rule::UnchunkedFloatReduction,
         Rule::UndocumentedUnsafe,
+        Rule::PanicReachability,
+        Rule::FloatSoundness,
     ];
 
     /// The kebab-case name used in diagnostics and allow-markers.
@@ -47,6 +60,8 @@ impl Rule {
             Rule::WallClockInLibrary => "wall-clock-in-library",
             Rule::UnchunkedFloatReduction => "unchunked-float-reduction",
             Rule::UndocumentedUnsafe => "undocumented-unsafe",
+            Rule::PanicReachability => "panic-reachability",
+            Rule::FloatSoundness => "float-soundness",
         }
     }
 
@@ -68,6 +83,36 @@ impl Rule {
             Rule::UndocumentedUnsafe => {
                 "precede the `unsafe` site with a `// SAFETY: …` comment stating the invariant"
             }
+            Rule::PanicReachability => {
+                "return a typed error (see netlist::ParseError), handle the None/Err case, or add \
+                 `// sdp-lint: allow(panic-reachability) -- <reason>` stating why the panic is \
+                 unreachable"
+            }
+            Rule::FloatSoundness => {
+                "order floats with `f64::total_cmp`, compare with an explicit tolerance, guard \
+                 casts, or add `// sdp-lint: allow(float-soundness) -- <reason>`"
+            }
+        }
+    }
+
+    /// SARIF `shortDescription` text for the rule metadata block.
+    pub fn short_description(self) -> &'static str {
+        match self {
+            Rule::NondeterministicIter => "Kernel crates must not iterate hash-ordered containers",
+            Rule::WallClockInLibrary => {
+                "Library crates must not read wall clocks or entropy sources"
+            }
+            Rule::UnchunkedFloatReduction => {
+                "Float reductions over Executor::map output must fold fixed-size chunks in order"
+            }
+            Rule::UndocumentedUnsafe => "Every unsafe site needs a SAFETY: comment",
+            Rule::PanicReachability => {
+                "No unwrap/expect/panic! in functions reachable from flow entry points"
+            }
+            Rule::FloatSoundness => {
+                "No panicking partial_cmp orderings, NaN-blind float equality, or unguarded \
+                 float-int as casts in kernels"
+            }
         }
     }
 }
@@ -83,6 +128,10 @@ impl fmt::Display for Rule {
 pub struct FileCtx {
     /// Workspace-relative path used in diagnostics.
     pub rel_path: String,
+    /// Crate directory name (`gp`, `netlist`, `cli`…); empty for
+    /// workspace-level `tests/` and `examples/` files. Drives the
+    /// call-graph root set and the panic-reachability scope.
+    pub crate_name: String,
     /// Member of a kernel crate (`gp`, `extract`, `legal`, `eval`,
     /// `netlist`): nondeterministic-iter and unchunked-float-reduction
     /// apply.
@@ -103,6 +152,9 @@ pub struct Diagnostic {
     pub line: usize,
     pub col: usize,
     pub message: String,
+    /// Extra context lines (e.g. the panic-reachability call chain),
+    /// printed as `= note:` lines and embedded in SARIF messages.
+    pub notes: Vec<String>,
     /// Set when an allow-marker was found but carried no `-- <reason>`.
     pub marker_missing_reason: bool,
 }
@@ -114,6 +166,9 @@ impl fmt::Display for Diagnostic {
             "error[{}]: {}\n  --> {}:{}:{}",
             self.rule, self.message, self.rel_path, self.line, self.col
         )?;
+        for note in &self.notes {
+            writeln!(f, "   = note: {note}")?;
+        }
         if self.marker_missing_reason {
             writeln!(
                 f,
@@ -175,21 +230,32 @@ const ENTROPY_IDENTS: &[&str] = &[
     "try_from_os_rng",
 ];
 
-/// Lints one file's source text under `ctx`.
+/// Lints one file's source text under `ctx` with the per-file rules
+/// (the workspace-level call-graph rules need [`crate::lint_sources`]).
 pub fn lint_source(source: &str, ctx: &FileCtx) -> Vec<Diagnostic> {
     let file = clean(source);
     let toks = tokenize(&file.code);
-    let skip = test_mod_lines(&toks);
+    lint_tokens(&toks, &file, ctx)
+}
+
+/// Per-file rules over an already-prepared source file.
+pub(crate) fn lint_prepared(sf: &crate::callgraph::SourceFile) -> Vec<Diagnostic> {
+    lint_tokens(&sf.toks, &sf.file, &sf.ctx)
+}
+
+fn lint_tokens(toks: &[Tok], file: &CleanFile, ctx: &FileCtx) -> Vec<Diagnostic> {
+    let skip = test_mod_lines(toks);
     let mut out = Vec::new();
 
     if ctx.kernel && !ctx.test_code {
-        rule_nondeterministic_iter(&toks, &file, ctx, &skip, &mut out);
-        rule_unchunked_float_reduction(&toks, &file, ctx, &skip, &mut out);
+        rule_nondeterministic_iter(toks, file, ctx, &skip, &mut out);
+        rule_unchunked_float_reduction(toks, file, ctx, &skip, &mut out);
+        rule_float_soundness(toks, file, ctx, &skip, &mut out);
     }
     if ctx.library && !ctx.test_code {
-        rule_wall_clock(&toks, &file, ctx, &skip, &mut out);
+        rule_wall_clock(toks, file, ctx, &skip, &mut out);
     }
-    rule_undocumented_unsafe(&toks, &file, ctx, &mut out);
+    rule_undocumented_unsafe(toks, file, ctx, &mut out);
 
     out.sort_by_key(|d| (d.line, d.col, d.rule));
     out
@@ -371,6 +437,31 @@ fn marker_state(file: &CleanFile, line: usize, rule: Rule) -> MarkerState {
     }
 }
 
+/// Builds a diagnostic at `tok` unless a reasoned allow-marker
+/// suppresses it. Shared by the per-file rules and the workspace-level
+/// call-graph rules.
+pub(crate) fn diag_if_unsuppressed(
+    file: &CleanFile,
+    ctx: &FileCtx,
+    rule: Rule,
+    tok: &Tok,
+    message: String,
+    notes: Vec<String>,
+) -> Option<Diagnostic> {
+    match marker_state(file, tok.line, rule) {
+        MarkerState::Allowed => None,
+        state => Some(Diagnostic {
+            rule,
+            rel_path: ctx.rel_path.clone(),
+            line: tok.line,
+            col: tok.col,
+            message,
+            notes,
+            marker_missing_reason: matches!(state, MarkerState::MissingReason),
+        }),
+    }
+}
+
 /// Pushes a diagnostic at `tok` unless a reasoned allow-marker suppresses
 /// it.
 fn report(
@@ -381,17 +472,14 @@ fn report(
     tok: &Tok,
     message: String,
 ) {
-    match marker_state(file, tok.line, rule) {
-        MarkerState::Allowed => {}
-        state => out.push(Diagnostic {
-            rule,
-            rel_path: ctx.rel_path.clone(),
-            line: tok.line,
-            col: tok.col,
-            message,
-            marker_missing_reason: matches!(state, MarkerState::MissingReason),
-        }),
-    }
+    out.extend(diag_if_unsuppressed(
+        file,
+        ctx,
+        rule,
+        tok,
+        message,
+        Vec::new(),
+    ));
 }
 
 /// Names of local variables / parameters / fields whose declared type (or
@@ -713,6 +801,231 @@ fn rule_unchunked_float_reduction(
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// rule: float-soundness (kernel crates)
+
+/// Integer types a float `as` cast silently saturates/truncates into.
+const INT_TYPES: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// Is the token at `k` the head of a float literal (`12 . 5`)? The
+/// tokenizer splits on `.`, so a literal spans three tokens.
+fn is_float_literal(toks: &[Tok], k: usize) -> bool {
+    toks[k].text.chars().all(|c| c.is_ascii_digit())
+        && toks.get(k + 1).map(|t| t.text.as_str()) == Some(".")
+        && toks
+            .get(k + 2)
+            .is_some_and(|t| t.text.chars().all(|c| c.is_ascii_digit()))
+        // `xs.0` tuple access / `v2.1` version strings have a non-digit
+        // (or nothing) before the integral part.
+        && (k == 0 || !toks[k - 1].text.ends_with(|c: char| c.is_alphanumeric() || c == '_'))
+}
+
+/// Float evidence inside a token span: `f64`/`f32`, a float literal,
+/// rounding methods, or a name tracked as float-typed.
+fn has_float_evidence(toks: &[Tok], lo: usize, hi: usize, float_names: &[String]) -> bool {
+    (lo..hi.min(toks.len())).any(|k| {
+        let s = toks[k].text.as_str();
+        s == "f64"
+            || s == "f32"
+            || ((s == "floor" || s == "ceil" || s == "round" || s == "trunc")
+                && k > 0
+                && toks[k - 1].text == ".")
+            || float_names.iter().any(|n| n == s)
+            || is_float_literal(toks, k)
+    })
+}
+
+/// Kernel-crate float soundness: panicking `partial_cmp(..).unwrap()`
+/// orderings, NaN-blind `==`/`!=` against floats, and float→int `as`
+/// casts (which saturate and send NaN to 0 silently).
+fn rule_float_soundness(
+    toks: &[Tok],
+    file: &CleanFile,
+    ctx: &FileCtx,
+    skip: &[(usize, usize)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let float_names = tracked_names(toks, &["f64", "f32"]);
+    for k in 0..toks.len() {
+        let t = &toks[k];
+        if in_ranges(t.line, skip) {
+            continue;
+        }
+        match t.text.as_str() {
+            // `a.partial_cmp(&b).unwrap()` / `.expect(…)`: panics the
+            // flow on the first NaN; `total_cmp` defines a total order.
+            "partial_cmp" if toks.get(k + 1).map(|t| t.text.as_str()) == Some("(") => {
+                let close = matching_paren(toks, k + 1);
+                if matches!(
+                    (
+                        toks.get(close + 1).map(|t| t.text.as_str()),
+                        toks.get(close + 2).map(|t| t.text.as_str()),
+                    ),
+                    (Some("."), Some("unwrap") | Some("expect"))
+                ) {
+                    report(
+                        out,
+                        file,
+                        ctx,
+                        Rule::FloatSoundness,
+                        t,
+                        "`partial_cmp(..).unwrap()` ordering panics on NaN — use `total_cmp`"
+                            .to_string(),
+                    );
+                }
+            }
+            // `x == 0.0` / `0.5 != y` / `tracked == tracked`: NaN makes
+            // every such comparison silently false (or true for `!=`).
+            "=" if toks.get(k + 1).map(|t| t.text.as_str()) == Some("=")
+                && k > 0
+                && !matches!(toks[k - 1].text.as_str(), "=" | "!" | "<" | ">" | "+" | "-") =>
+            {
+                let lhs_float = (k >= 3 && is_float_literal(toks, k - 3))
+                    || float_names.iter().any(|n| n == &toks[k - 1].text);
+                let rhs_start =
+                    k + 2 + usize::from(toks.get(k + 2).map(|t| t.text.as_str()) == Some("-"));
+                let rhs_float = toks
+                    .get(rhs_start)
+                    .is_some_and(|_| is_float_literal(toks, rhs_start))
+                    || toks
+                        .get(rhs_start)
+                        .is_some_and(|t| float_names.iter().any(|n| n == &t.text));
+                if lhs_float || rhs_float {
+                    report(
+                        out,
+                        file,
+                        ctx,
+                        Rule::FloatSoundness,
+                        t,
+                        "NaN-blind `==` on a float — compare with a tolerance or justify"
+                            .to_string(),
+                    );
+                }
+            }
+            "!" if toks.get(k + 1).map(|t| t.text.as_str()) == Some("=")
+                && toks.get(k + 2).map(|t| t.text.as_str()) != Some("=") =>
+            {
+                let lhs_float = (k >= 3 && is_float_literal(toks, k - 3))
+                    || (k > 0 && float_names.iter().any(|n| n == &toks[k - 1].text));
+                let rhs_start =
+                    k + 2 + usize::from(toks.get(k + 2).map(|t| t.text.as_str()) == Some("-"));
+                let rhs_float = toks
+                    .get(rhs_start)
+                    .is_some_and(|_| is_float_literal(toks, rhs_start))
+                    || toks
+                        .get(rhs_start)
+                        .is_some_and(|t| float_names.iter().any(|n| n == &t.text));
+                if lhs_float || rhs_float {
+                    report(
+                        out,
+                        file,
+                        ctx,
+                        Rule::FloatSoundness,
+                        t,
+                        "NaN-blind `!=` on a float — compare with a tolerance or justify"
+                            .to_string(),
+                    );
+                }
+            }
+            // `expr as usize` where the cast operand shows float evidence:
+            // the cast saturates and maps NaN to 0 without a trace.
+            "as" if toks
+                .get(k + 1)
+                .is_some_and(|t| INT_TYPES.contains(&t.text.as_str())) =>
+            {
+                let start = cast_operand_start(toks, k);
+                if has_float_evidence(toks, start, k, &float_names) {
+                    report(
+                        out,
+                        file,
+                        ctx,
+                        Rule::FloatSoundness,
+                        t,
+                        format!(
+                            "float→`{}` `as` cast saturates and sends NaN to 0 silently",
+                            toks[k + 1].text
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Index of the `(`/`[` matching the `)`/`]` at `close` (backward scan).
+fn matching_open(toks: &[Tok], close: usize) -> usize {
+    let (open_s, close_s) = match toks[close].text.as_str() {
+        ")" => ("(", ")"),
+        "]" => ("[", "]"),
+        _ => return close,
+    };
+    let mut depth = 0i32;
+    for k in (0..=close).rev() {
+        let s = toks[k].text.as_str();
+        if s == close_s {
+            depth += 1;
+        } else if s == open_s {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    0
+}
+
+/// Start of the postfix expression `X` in `X as T`: walks backwards over
+/// idents, numbers, field/method chains, call parens, and index brackets.
+/// Keeping the float-evidence check to this span (instead of the whole
+/// statement) is what lets `root as usize` next to f64 arithmetic pass.
+fn cast_operand_start(toks: &[Tok], cast: usize) -> usize {
+    let atom = |s: &str| !s.is_empty() && s.chars().all(|c| c.is_alphanumeric() || c == '_');
+    let mut k = cast;
+    loop {
+        if k == 0 {
+            return 0;
+        }
+        match toks[k - 1].text.as_str() {
+            ")" | "]" => {
+                k = matching_open(toks, k - 1);
+                // `name(...)` call or `name[...]` index: the callee/base
+                // belongs to the operand too.
+                if k > 0 && atom(&toks[k - 1].text) {
+                    k -= 1;
+                }
+            }
+            s if atom(s) => k -= 1,
+            _ => return k,
+        }
+        if k > 0 && toks[k - 1].text == "." {
+            k -= 1;
+            continue;
+        }
+        return k;
+    }
+}
+
+/// Index of the `)` matching the `(` at `open` (or last token).
+fn matching_paren(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
 }
 
 // ---------------------------------------------------------------------

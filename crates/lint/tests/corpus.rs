@@ -34,6 +34,7 @@ fn check(name: &str) {
     let source = fixture(name);
     let ctx = FileCtx {
         rel_path: format!("corpus/{name}"),
+        crate_name: "gp".into(),
         kernel: true,
         library: true,
         test_code: false,
@@ -70,10 +71,16 @@ fn undocumented_unsafe_fires_and_suppresses() {
 }
 
 #[test]
+fn float_soundness_fires_and_suppresses() {
+    check("float_soundness.rs");
+}
+
+#[test]
 fn reasonless_marker_is_called_out() {
     let source = fixture("nondet_iter.rs");
     let ctx = FileCtx {
         rel_path: "corpus/nondet_iter.rs".into(),
+        crate_name: "gp".into(),
         kernel: true,
         library: true,
         test_code: false,
@@ -97,6 +104,7 @@ fn test_context_skips_determinism_rules_but_not_unsafe() {
                   }\n";
     let ctx = FileCtx {
         rel_path: "tests/whatever.rs".into(),
+        crate_name: String::new(),
         kernel: false,
         library: false,
         test_code: true,
@@ -104,6 +112,218 @@ fn test_context_skips_determinism_rules_but_not_unsafe() {
     let diags = lint_source(source, &ctx);
     assert_eq!(diags.len(), 1, "{diags:#?}");
     assert_eq!(diags[0].rule, Rule::UndocumentedUnsafe);
+}
+
+// ---------------------------------------------------------------------
+// panic-reachability: driven through `lint_sources` with synthetic mini
+// workspaces, since the rule needs the cross-crate call graph.
+
+/// Prepares one synthetic source for the workspace-level passes. Kernel
+/// and library flags stay off so only the call-graph rule speaks.
+fn src_file(crate_name: &str, rel: &str, source: &str) -> sdp_lint::SourceFile {
+    sdp_lint::prepare_source(
+        source,
+        FileCtx {
+            rel_path: rel.into(),
+            crate_name: crate_name.into(),
+            kernel: false,
+            library: false,
+            test_code: false,
+        },
+    )
+}
+
+#[test]
+fn panic_reachability_reports_call_chain() {
+    let gp = src_file(
+        "gp",
+        "crates/gp/src/lib.rs",
+        "pub fn entry(xs: &[f64]) -> f64 { helper(xs) }\n\
+         fn helper(xs: &[f64]) -> f64 { *xs.first().unwrap() }\n",
+    );
+    let diags = sdp_lint::lint_sources(&[gp]);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::PanicReachability);
+    assert_eq!((d.rel_path.as_str(), d.line), ("crates/gp/src/lib.rs", 2));
+    let note = d.notes.first().expect("chain note");
+    assert!(
+        note.contains("gp::entry") && note.contains("gp::helper"),
+        "diagnostic must print the root\u{2192}site call chain, got: {note}"
+    );
+}
+
+#[test]
+fn panic_reachability_crosses_crates() {
+    let core = src_file(
+        "core",
+        "crates/core/src/flow.rs",
+        "pub fn run_flow() { sdp_legal::legalize_rows(); }\n",
+    );
+    let legal = src_file(
+        "legal",
+        "crates/legal/src/lib.rs",
+        "fn legalize_rows() { panic!(\"no rows\"); }\n",
+    );
+    let diags = sdp_lint::lint_sources(&[core, legal]);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    let note = diags[0].notes.first().expect("chain note");
+    assert!(
+        note.contains("core::run_flow") && note.contains("legal::legalize_rows"),
+        "chain must start in the calling crate, got: {note}"
+    );
+}
+
+#[test]
+fn unreachable_panic_is_excused() {
+    let gp = src_file(
+        "gp",
+        "crates/gp/src/lib.rs",
+        "pub fn entry() -> u32 { 1 }\n\
+         fn orphan(xs: &[u32]) -> u32 { *xs.first().unwrap() }\n",
+    );
+    assert!(
+        sdp_lint::lint_sources(&[gp]).is_empty(),
+        "a panic in a function no flow root reaches is excused"
+    );
+}
+
+#[test]
+fn reachable_panic_allow_marker_suppresses() {
+    let gp = src_file(
+        "gp",
+        "crates/gp/src/lib.rs",
+        "pub fn entry(xs: &[f64]) -> f64 {\n\
+         // sdp-lint: allow(panic-reachability) -- callers are documented to pass non-empty slices; asserted upstream\n\
+         *xs.first().unwrap()\n\
+         }\n",
+    );
+    assert!(
+        sdp_lint::lint_sources(&[gp]).is_empty(),
+        "a reasoned allow-marker must suppress a reachable panic site"
+    );
+}
+
+#[test]
+fn entry_point_panic_and_constant_index_slicing() {
+    let gp = src_file(
+        "gp",
+        "crates/gp/src/lib.rs",
+        "pub fn entry(xs: &[f64]) -> f64 { xs[0] }\n",
+    );
+    let diags = sdp_lint::lint_sources(&[gp]);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert!(diags[0].message.contains("constant-index slicing"));
+    assert!(
+        diags[0].notes[0].contains("itself a flow entry point"),
+        "a panic in a root itself needs no chain, got: {:?}",
+        diags[0].notes
+    );
+}
+
+#[test]
+fn test_functions_are_outside_the_call_graph() {
+    let gp = src_file(
+        "gp",
+        "crates/gp/src/lib.rs",
+        "pub fn entry() -> u32 { 1 }\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             #[test]\n\
+             fn drives_entry() { assert_eq!(entry(), [1][0]); entry_helper(); }\n\
+             fn entry_helper() { Vec::<u32>::new().first().unwrap(); }\n\
+         }\n",
+    );
+    assert!(
+        sdp_lint::lint_sources(&[gp]).is_empty(),
+        "panics inside #[cfg(test)] modules are not flow-reachable"
+    );
+}
+
+// ---------------------------------------------------------------------
+// lexer edge cases the call graph depends on: a mis-lexed literal or
+// comment would fabricate (or hide) call edges and panic sites.
+
+#[test]
+fn raw_strings_hide_panic_sites_but_not_real_ones() {
+    let gp = src_file(
+        "gp",
+        "crates/gp/src/lib.rs",
+        "pub fn entry() -> String {\n\
+             let doc = r#\"call .unwrap() or panic!(\"x\") here\"#;\n\
+             let tail = r\"also .unwrap()\";\n\
+             format(doc, tail)\n\
+         }\n\
+         fn format(a: &str, b: &str) -> String { join(a, b).unwrap() }\n\
+         fn join(a: &str, b: &str) -> Option<String> { Some(a.to_owned() + b) }\n",
+    );
+    let diags = sdp_lint::lint_sources(&[gp]);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(
+        diags[0].line, 6,
+        "only the real unwrap fires; raw-string contents are blanked"
+    );
+    assert!(
+        diags[0].notes[0].contains("gp::format"),
+        "calls after a raw string still resolve: {:?}",
+        diags[0].notes
+    );
+}
+
+#[test]
+fn nested_block_comments_hide_panic_sites() {
+    let gp = src_file(
+        "gp",
+        "crates/gp/src/lib.rs",
+        "pub fn entry() -> u32 {\n\
+             /* outer /* nested .unwrap() */ still comment: panic!(\"x\") */\n\
+             compute()\n\
+         }\n\
+         fn compute() -> u32 { 7 }\n",
+    );
+    assert!(
+        sdp_lint::lint_sources(&[gp]).is_empty(),
+        "panic-looking tokens inside nested block comments must not fire"
+    );
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    // A mis-lexed `'a` would swallow `, xs: &'a [f64])` as a char
+    // literal and hide both the parameter list and the call that follows.
+    let gp = src_file(
+        "gp",
+        "crates/gp/src/lib.rs",
+        "pub fn entry<'a>(tag: char, xs: &'a [f64]) -> f64 {\n\
+             let _ = tag == 'x';\n\
+             pick(xs)\n\
+         }\n\
+         fn pick(xs: &[f64]) -> f64 { xs.iter().copied().next().unwrap() }\n",
+    );
+    let diags = sdp_lint::lint_sources(&[gp]);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].line, 5);
+    assert!(diags[0].notes[0].contains("gp::pick"));
+}
+
+#[test]
+fn raw_identifiers_resolve_like_bare_names() {
+    // `r#struct` (definition) and a call through the escaped form must
+    // land on the same node; the tokenizer normalizes away the `r#`.
+    let gp = src_file(
+        "gp",
+        "crates/gp/src/lib.rs",
+        "pub fn entry() -> u32 { r#struct() }\n\
+         fn r#struct() -> u32 { Vec::<u32>::new().first().copied().unwrap() }\n",
+    );
+    let diags = sdp_lint::lint_sources(&[gp]);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].line, 2);
+    let note = &diags[0].notes[0];
+    assert!(
+        note.contains("gp::r#struct"),
+        "r#-escaped fn is reached through the call graph: {note}"
+    );
 }
 
 #[test]

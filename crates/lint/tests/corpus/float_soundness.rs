@@ -1,0 +1,59 @@
+//! Seeded fixture for `float-soundness` (linted as kernel code).
+//! The pre-PR-4 kernels ordered floats with panicking `partial_cmp`
+//! unwraps; this fixture keeps that pattern alive so the rule is proven
+//! to keep firing on it — and to stay quiet on the `total_cmp`
+//! replacements the kernels use now.
+
+fn panicking_orderings(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ ERROR float-soundness
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite")); //~ ERROR float-soundness
+}
+
+fn nan_blind_equality(x: f64, y: f64, n: usize) -> bool {
+    let exact = x == y; //~ ERROR float-soundness
+    let zero = x == 0.0; //~ ERROR float-soundness
+    let nonzero = 1.5 != y; //~ ERROR float-soundness
+    let ints_fine = n != 7;
+    exact || zero || nonzero || ints_fine
+}
+
+fn lossy_casts(x: f64, w: f64, n: usize) -> usize {
+    let _trunc = x as usize; //~ ERROR float-soundness
+    let _round_then_cast = (x * w).round() as u64; //~ ERROR float-soundness
+    let _int_to_int = n as u32;
+    // The cast operand is an integer-valued local; float arithmetic in
+    // the same statement region must not poison the narrow operand span.
+    let root = (x / w).floor();
+    root as usize
+}
+
+fn total_orderings(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let _max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+}
+
+fn explicit_nan_handling(a: f64, b: f64) -> std::cmp::Ordering {
+    // `partial_cmp` without the panicking unwrap is the caller handling
+    // NaN explicitly — not a violation.
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+fn allowed_exact_compare(snapped: f64) -> bool {
+    // sdp-lint: allow(float-soundness) -- snapped is the output of round(); comparing it to its own rounding is NaN-safe by construction
+    snapped == snapped.round()
+}
+
+fn marker_without_reason(x: f64) -> bool {
+    // sdp-lint: allow(float-soundness)
+    x == 1.0 //~ ERROR float-soundness
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt_from_float_soundness() {
+        let x: f64 = 0.5;
+        assert!(x == 0.5);
+        let _ = x as usize;
+    }
+}

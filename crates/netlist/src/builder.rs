@@ -58,7 +58,9 @@ impl NetlistBuilder {
     ) -> LibCellId {
         if let Some(&id) = self.lib_names.get(name) {
             let existing = &self.lib_cells[id.ix()];
-            if existing.width != width || existing.height != height {
+            if existing.width.total_cmp(&width).is_ne()
+                || existing.height.total_cmp(&height).is_ne()
+            {
                 self.errors.push(NetlistError::DuplicateName(format!(
                     "lib cell {name} re-declared with different size"
                 )));

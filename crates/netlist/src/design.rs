@@ -25,7 +25,7 @@ impl Row {
 
     /// Number of whole sites in the row.
     pub fn num_sites(&self) -> usize {
-        (self.width() / self.site_width).floor() as usize
+        sdp_geom::cast::saturating_usize((self.width() / self.site_width).floor())
     }
 
     /// Snaps an x coordinate to the nearest site boundary within the row.
@@ -96,7 +96,7 @@ impl Design {
         );
         let core_area = total_area / utilization;
         let side = core_area.sqrt();
-        let num_rows = (side / row_height).ceil().max(1.0) as usize;
+        let num_rows = sdp_geom::cast::saturating_usize((side / row_height).ceil().max(1.0));
         let width_sites = (core_area / (num_rows as f64 * row_height) / site_width)
             .ceil()
             .max(1.0);
@@ -121,7 +121,10 @@ impl Design {
     ///
     /// Panics on a rowless design.
     pub fn row_height(&self) -> f64 {
-        self.rows[0].height
+        // sdp-lint: allow(panic-reachability) -- documented API precondition:
+        // rowless designs are degenerate (see `Design::new`), and callers in
+        // the flow only reach here after reading a .scl with >= 1 row.
+        self.rows.first().expect("design has no rows").height
     }
 
     /// Total placeable area (sum of row areas).
@@ -129,13 +132,11 @@ impl Design {
         self.rows.iter().map(|r| r.width() * r.height).sum()
     }
 
-    /// Index of the row whose span contains `y` (clamped to the ends).
+    /// Index of the row whose span contains `y` (clamped to the ends; a
+    /// NaN `y` orders above every row and clamps to the top).
     pub fn row_at_y(&self, y: f64) -> usize {
         // Rows are uniform-height and sorted; binary search by bottom edge.
-        match self
-            .rows
-            .binary_search_by(|r| r.y.partial_cmp(&y).expect("row y is never NaN"))
-        {
+        match self.rows.binary_search_by(|r| r.y.total_cmp(&y)) {
             Ok(i) => i,
             Err(0) => 0,
             Err(i) => {

@@ -2,6 +2,120 @@ use std::error::Error;
 use std::fmt;
 use std::io;
 
+/// Where in a Bookshelf file a parse error occurred.
+///
+/// `line` and `col` are 1-based; 0 means "not applicable" (e.g. a
+/// file-level complaint such as a missing section).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLoc {
+    /// File the error occurred in.
+    pub file: String,
+    /// 1-based line number (0 = whole file).
+    pub line: usize,
+    /// 1-based column within the line's content (0 = whole line).
+    pub col: usize,
+}
+
+impl fmt::Display for ParseLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)?;
+        if self.col > 0 {
+            write!(f, ":{}", self.col)?;
+        }
+        Ok(())
+    }
+}
+
+/// A syntactic or semantic problem in a Bookshelf bundle, carrying the
+/// offending location and (when one exists) the token that triggered it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line did not have the expected shape.
+    Expected {
+        /// Location of the problem.
+        loc: ParseLoc,
+        /// What the grammar wanted here.
+        wanted: String,
+        /// What was actually found (empty if the line simply ended).
+        found: String,
+    },
+    /// A token failed numeric conversion.
+    BadNumber {
+        /// Location of the problem.
+        loc: ParseLoc,
+        /// What the number describes (`width`, `Coordinate`, …).
+        what: String,
+        /// The token that failed to parse.
+        token: String,
+    },
+    /// A net or row body ended before its declared contents.
+    Truncated {
+        /// Location of the problem.
+        loc: ParseLoc,
+        /// What was being read when input ran out.
+        what: String,
+    },
+    /// A pin or placement line referenced an undeclared cell.
+    UnknownCell {
+        /// Location of the problem.
+        loc: ParseLoc,
+        /// The unresolved cell name.
+        name: String,
+    },
+    /// A required section or file reference was absent.
+    Missing {
+        /// Location of the problem (line 0 = whole file).
+        loc: ParseLoc,
+        /// What was missing.
+        what: String,
+    },
+}
+
+impl ParseError {
+    /// The location the error points at.
+    pub fn loc(&self) -> &ParseLoc {
+        match self {
+            ParseError::Expected { loc, .. }
+            | ParseError::BadNumber { loc, .. }
+            | ParseError::Truncated { loc, .. }
+            | ParseError::UnknownCell { loc, .. }
+            | ParseError::Missing { loc, .. } => loc,
+        }
+    }
+
+    /// The offending token, when the error is about one.
+    pub fn token(&self) -> Option<&str> {
+        match self {
+            ParseError::Expected { found, .. } if !found.is_empty() => Some(found),
+            ParseError::BadNumber { token, .. } => Some(token),
+            ParseError::UnknownCell { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Expected { loc, wanted, found } => {
+                if found.is_empty() {
+                    write!(f, "{loc}: expected {wanted}")
+                } else {
+                    write!(f, "{loc}: expected {wanted}, found `{found}`")
+                }
+            }
+            ParseError::BadNumber { loc, what, token } => {
+                write!(f, "{loc}: bad {what} `{token}`")
+            }
+            ParseError::Truncated { loc, what } => write!(f, "{loc}: truncated {what}"),
+            ParseError::UnknownCell { loc, name } => {
+                write!(f, "{loc}: unknown cell `{name}`")
+            }
+            ParseError::Missing { loc, what } => write!(f, "{loc}: missing {what}"),
+        }
+    }
+}
+
 /// Errors produced while building, validating, or (de)serializing netlists.
 #[derive(Debug)]
 pub enum NetlistError {
@@ -17,14 +131,7 @@ pub enum NetlistError {
         pins: usize,
     },
     /// A Bookshelf file was syntactically malformed.
-    Parse {
-        /// File the error occurred in.
-        file: String,
-        /// 1-based line number.
-        line: usize,
-        /// Problem description.
-        msg: String,
-    },
+    Parse(ParseError),
     /// An underlying I/O failure.
     Io(io::Error),
     /// The netlist failed a consistency check.
@@ -39,9 +146,7 @@ impl fmt::Display for NetlistError {
             NetlistError::DegenerateNet { net, pins } => {
                 write!(f, "net `{net}` has only {pins} pin(s)")
             }
-            NetlistError::Parse { file, line, msg } => {
-                write!(f, "parse error in {file}:{line}: {msg}")
-            }
+            NetlistError::Parse(p) => write!(f, "parse error in {p}"),
             NetlistError::Io(e) => write!(f, "i/o error: {e}"),
             NetlistError::Inconsistent(msg) => write!(f, "inconsistent netlist: {msg}"),
         }
@@ -63,9 +168,23 @@ impl From<io::Error> for NetlistError {
     }
 }
 
+impl From<ParseError> for NetlistError {
+    fn from(e: ParseError) -> Self {
+        NetlistError::Parse(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn loc(line: usize, col: usize) -> ParseLoc {
+        ParseLoc {
+            file: "a.nodes".into(),
+            line,
+            col,
+        }
+    }
 
     #[test]
     fn display_messages() {
@@ -79,12 +198,36 @@ mod tests {
         }
         .to_string()
         .contains("1 pin"));
-        let p = NetlistError::Parse {
-            file: "a.nodes".into(),
-            line: 7,
-            msg: "bad token".into(),
+    }
+
+    #[test]
+    fn parse_error_display_carries_line_col_and_token() {
+        let p = NetlistError::Parse(ParseError::BadNumber {
+            loc: loc(7, 4),
+            what: "width".into(),
+            token: "wat".into(),
+        });
+        assert_eq!(p.to_string(), "parse error in a.nodes:7:4: bad width `wat`");
+
+        let e = ParseError::Expected {
+            loc: loc(3, 1),
+            wanted: "`name width height`".into(),
+            found: "only_one_token".into(),
         };
-        assert_eq!(p.to_string(), "parse error in a.nodes:7: bad token");
+        assert_eq!(
+            e.to_string(),
+            "a.nodes:3:1: expected `name width height`, found `only_one_token`"
+        );
+        assert_eq!(e.token(), Some("only_one_token"));
+        assert_eq!(e.loc().line, 3);
+
+        // col 0 is suppressed in the rendered location.
+        let m = ParseError::Missing {
+            loc: loc(0, 0),
+            what: "core rows".into(),
+        };
+        assert_eq!(m.to_string(), "a.nodes:0: missing core rows");
+        assert_eq!(m.token(), None);
     }
 
     #[test]

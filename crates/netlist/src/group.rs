@@ -49,8 +49,8 @@ impl DatapathGroup {
     /// Panics if the matrix is empty or ragged (all bit rows must have the
     /// same number of stage entries).
     pub fn new(name: impl Into<String>, matrix: Vec<Vec<Option<CellId>>>) -> Self {
+        let stages = matrix.first().map_or(0, |row| row.len());
         assert!(!matrix.is_empty(), "group must have at least one bit row");
-        let stages = matrix[0].len();
         assert!(stages > 0, "group must have at least one stage");
         assert!(
             matrix.iter().all(|row| row.len() == stages),
@@ -86,7 +86,7 @@ impl DatapathGroup {
 
     /// Number of stage columns.
     pub fn stages(&self) -> usize {
-        self.matrix[0].len()
+        self.matrix.first().map_or(0, |row| row.len())
     }
 
     /// Cell at `(bit, stage)`, if present.

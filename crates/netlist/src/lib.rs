@@ -50,7 +50,7 @@ mod validate;
 pub use bookshelf::{read_bookshelf, write_bookshelf, BookshelfCase};
 pub use builder::NetlistBuilder;
 pub use design::{Design, Row};
-pub use error::NetlistError;
+pub use error::{NetlistError, ParseError, ParseLoc};
 pub use group::DatapathGroup;
 pub use ids::{CellId, LibCellId, NetId, PinId};
 pub use netlist::{Cell, LibCell, Net, Netlist, Pin, PinDir};

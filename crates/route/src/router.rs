@@ -195,13 +195,13 @@ fn mst_edges(cells: &[(usize, usize)]) -> Vec<((usize, usize), (usize, usize))> 
     let n = cells.len();
     let dist =
         |a: (usize, usize), b: (usize, usize)| -> usize { a.0.abs_diff(b.0) + a.1.abs_diff(b.1) };
-    let mut in_tree = vec![false; n];
-    let mut best = vec![(usize::MAX, 0usize); n]; // (dist, parent)
-    in_tree[0] = true;
-    for i in 1..n {
-        best[i] = (dist(cells[0], cells[i]), 0);
-    }
-    let mut edges = Vec::with_capacity(n - 1);
+    let Some(&c0) = cells.first() else {
+        return Vec::new();
+    };
+    let mut in_tree: Vec<bool> = (0..n).map(|i| i == 0).collect();
+    // (dist, parent)
+    let mut best: Vec<(usize, usize)> = cells.iter().map(|&c| (dist(c0, c), 0)).collect();
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
     for _ in 1..n {
         let mut pick = usize::MAX;
         let mut pick_d = usize::MAX;
@@ -309,8 +309,7 @@ fn maze_route(
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             other
                 .0
-                .partial_cmp(&self.0)
-                .expect("costs are finite")
+                .total_cmp(&self.0)
                 .then_with(|| (other.1).cmp(&self.1))
         }
     }
@@ -372,7 +371,7 @@ fn maze_route(
 /// Adds (`delta`=1) or removes (`delta`=-1) a path's usage.
 fn commit(grid: &mut RoutingGrid, path: &[(usize, usize)], delta: i32) {
     for w in path.windows(2) {
-        let (a, b) = (w[0], w[1]);
+        let &[a, b] = w else { continue };
         if a.1 == b.1 {
             grid.add_usage(a.0.min(b.0), a.1, Dir::Horizontal, delta);
         } else {
