@@ -39,7 +39,20 @@ pub struct ExperimentResult {
 /// All experiment ids in presentation order.
 pub fn all_ids() -> &'static [&'static str] {
     &[
-        "t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2", "f3", "f4", "f5", "f6", "f7",
+        "t1",
+        "t2",
+        "t3",
+        "t4",
+        "t5",
+        "t6",
+        "f1",
+        "f2",
+        "f3",
+        "f4",
+        "f5",
+        "f6",
+        "f7",
+        "serve-throughput",
     ]
 }
 
@@ -110,6 +123,7 @@ pub fn run_experiment(id: &str, mode: Mode) -> Option<ExperimentResult> {
         "f5" => f5(mode),
         "f6" => f6(mode),
         "f7" => f7(mode),
+        "serve-throughput" => serve_throughput(mode),
         _ => return None,
     };
     Some(ExperimentResult {
@@ -696,6 +710,148 @@ fn f7(mode: Mode) -> Exp {
          Tetris' under our row weighting; HPWL stays comparable on small \
          designs. The tail matters for timing-driven flows — the trade the \
          legalization literature reports.",
+    )
+}
+
+/// serve-throughput — N concurrent placement jobs through a real
+/// loopback `sdp-serve` instance. Reports jobs/sec and client-observed
+/// latency percentiles, and writes `BENCH_serve.json` at the repo root
+/// for CI trend tracking.
+fn serve_throughput(mode: Mode) -> Exp {
+    use sdp_serve::client::{request, wait_for_job};
+    use sdp_serve::{Server, ServerConfig};
+    use std::time::Duration;
+
+    let (preset, n_jobs, workers) = match mode {
+        Mode::Quick => ("dp_tiny", 8usize, 2usize),
+        Mode::Full => ("dp_small", 16, 4),
+    };
+    let server = Server::start(ServerConfig {
+        port: 0,
+        workers,
+        queue_depth: n_jobs,
+    })
+    .expect("loopback server on an ephemeral port");
+    let port = server.port();
+
+    // One client thread per job: submit, poll to completion, record the
+    // client-observed latency and the server-reported queue wait.
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..n_jobs)
+        .map(|k| {
+            let preset = preset.to_string();
+            std::thread::spawn(move || -> (f64, f64) {
+                let spec = format!(
+                    r#"{{"design": {{"preset": "{preset}", "seed": {k}}}, "flow": {{"fast": true}}}}"#
+                );
+                let submitted = Instant::now();
+                let (status, body) = request(port, "POST", "/jobs", &spec).expect("submit");
+                assert_eq!(status, 202, "submit: {body}");
+                let id = sdp_json::parse(&body)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(sdp_json::Json::as_u64))
+                    .expect("202 body carries the job id");
+                let status_body =
+                    wait_for_job(port, id, Duration::from_secs(600)).expect("job settles");
+                assert!(
+                    status_body.contains(r#""state":"done""#),
+                    "job {id}: {status_body}"
+                );
+                let latency = submitted.elapsed().as_secs_f64();
+                let queue_wait = sdp_json::parse(&status_body)
+                    .ok()
+                    .and_then(|v| v.get("queue_wait_s").and_then(sdp_json::Json::as_f64))
+                    .unwrap_or(0.0);
+                (latency, queue_wait)
+            })
+        })
+        .collect();
+    let mut latency = Vec::with_capacity(n_jobs);
+    let mut queue_wait = Vec::with_capacity(n_jobs);
+    for c in clients {
+        let (l, q) = c.join().expect("client thread");
+        latency.push(l);
+        queue_wait.push(q);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let jobs_per_sec = n_jobs as f64 / wall.max(1e-9);
+    latency.sort_by(|a, b| a.total_cmp(b));
+    queue_wait.sort_by(|a, b| a.total_cmp(b));
+    let pct = |sorted: &[f64], p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let ix = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[ix.min(sorted.len() - 1)]
+    };
+    let mean = latency.iter().sum::<f64>() / n_jobs.max(1) as f64;
+
+    let json = sdp_json::Json::obj([
+        (
+            "mode",
+            sdp_json::Json::str(if mode == Mode::Quick { "quick" } else { "full" }),
+        ),
+        ("preset", sdp_json::Json::str(preset)),
+        ("jobs", sdp_json::Json::num(n_jobs as f64)),
+        ("workers", sdp_json::Json::num(workers as f64)),
+        ("wall_s", sdp_json::Json::num(wall)),
+        ("jobs_per_sec", sdp_json::Json::num(jobs_per_sec)),
+        (
+            "latency_s",
+            sdp_json::Json::obj([
+                ("mean", sdp_json::Json::num(mean)),
+                ("p50", sdp_json::Json::num(pct(&latency, 50.0))),
+                ("p99", sdp_json::Json::num(pct(&latency, 99.0))),
+            ]),
+        ),
+        (
+            "queue_wait_s",
+            sdp_json::Json::obj([
+                ("p50", sdp_json::Json::num(pct(&queue_wait, 50.0))),
+                ("p99", sdp_json::Json::num(pct(&queue_wait, 99.0))),
+            ]),
+        ),
+    ]);
+    // Quick mode is the smoke profile (and runs inside `cargo test`);
+    // only a full run refreshes the committed snapshot.
+    if mode == Mode::Full {
+        let out_path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+        std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_serve.json");
+    }
+
+    let mut t = Table::new([
+        "preset",
+        "jobs",
+        "workers",
+        "wall s",
+        "jobs/s",
+        "lat p50 s",
+        "lat p99 s",
+        "queue p50 s",
+        "queue p99 s",
+    ]);
+    t.row([
+        preset.to_string(),
+        n_jobs.to_string(),
+        workers.to_string(),
+        format!("{wall:.2}"),
+        format!("{jobs_per_sec:.2}"),
+        format!("{:.3}", pct(&latency, 50.0)),
+        format!("{:.3}", pct(&latency, 99.0)),
+        format!("{:.3}", pct(&queue_wait, 50.0)),
+        format!("{:.3}", pct(&queue_wait, 99.0)),
+    ]);
+    (
+        "serve-throughput",
+        "Serving throughput: concurrent jobs through sdp-serve",
+        t,
+        "With more workers than one, jobs overlap: wall-clock is well \
+         under the sum of per-job latencies, and p99 latency tracks \
+         queue wait once all workers are busy. Numbers are wall-clock \
+         (machine-dependent) — unlike the placement tables they are not \
+         bitwise reproducible, which is why they live in a separate \
+         BENCH_serve.json rather than the deterministic tables output.",
     )
 }
 

@@ -5,6 +5,7 @@ pub mod extract;
 pub mod gen;
 pub mod place;
 pub mod route;
+pub mod serve;
 
 use sdp_netlist::BookshelfCase;
 use std::path::Path;

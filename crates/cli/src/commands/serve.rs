@@ -1,0 +1,39 @@
+//! `sdplace serve` — run the placement-as-a-service job server.
+
+use crate::args::Args;
+use sdp_serve::{Server, ServerConfig};
+
+/// Runs the job server until stdin reaches EOF (Ctrl-D, or the parent
+/// closing the pipe), then shuts down gracefully, draining queued and
+/// in-flight jobs.
+pub fn run(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let cfg = ServerConfig {
+        port: args.number::<u16>("port")?.unwrap_or(7878),
+        workers: args.number::<usize>("workers")?.unwrap_or(2),
+        queue_depth: args.number::<usize>("queue-depth")?.unwrap_or(16),
+    };
+    let workers = cfg.workers;
+    let queue_depth = cfg.queue_depth;
+    let mut server = Server::start(cfg).map_err(|e| format!("starting server: {e}"))?;
+    println!(
+        "sdp-serve listening on http://127.0.0.1:{} ({workers} workers, queue depth {queue_depth})",
+        server.port()
+    );
+    println!("close stdin (Ctrl-D) to shut down gracefully");
+
+    // Block until stdin closes; a dependency-free stand-in for signal
+    // handling that works identically under a test harness.
+    let mut sink = String::new();
+    while let Ok(n) = std::io::stdin().read_line(&mut sink) {
+        if n == 0 {
+            break;
+        }
+        sink.clear();
+    }
+
+    println!("shutting down: draining queued and in-flight jobs…");
+    server.shutdown();
+    println!("drained; bye");
+    Ok(())
+}

@@ -28,6 +28,7 @@ USAGE:
                 [--seed S] [--threads T] [--out PATH] [--svg FILE]
   sdplace route <case.aux> [--tracks N]
   sdplace eval <case.aux>
+  sdplace serve [--port P] [--workers N] [--queue-depth D]
 
 SUBCOMMANDS:
   gen      generate a benchmark (presets: dp_tiny dp_small dp_medium
@@ -38,6 +39,8 @@ SUBCOMMANDS:
            and optionally write the placed bundle / an SVG rendering
   route    globally route a placed bundle and report wirelength/overflow
   eval     report HPWL, Steiner WL, and alignment metrics of a bundle
+  serve    run the placement job server (POST /jobs, GET /metrics, …);
+           shuts down gracefully when stdin closes
 
 OPTIONS:
   --out PATH      output bundle path prefix (directory/name, no extension)
@@ -54,6 +57,9 @@ OPTIONS:
   --tracks N      routing tracks per gcell edge            [default: 12]
   --svg FILE      write an SVG rendering (place: cells+groups; route:
                   RUDY congestion heat map)
+  --port P        serve: TCP port on 127.0.0.1         [default: 7878]
+  --workers N     serve: placement worker threads         [default: 2]
+  --queue-depth D serve: bounded job-queue depth         [default: 16]
 ";
 
 fn main() -> ExitCode {
@@ -79,6 +85,7 @@ fn main() -> ExitCode {
         "place" => commands::place::run(rest),
         "route" => commands::route::run(rest),
         "eval" => commands::eval::run(rest),
+        "serve" => commands::serve::run(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -4,7 +4,7 @@
 
 use crate::align::{AlignConfig, AlignTerm};
 use sdp_eval::{alignment_report, hpwl_breakdown, AlignmentReport, HpwlBreakdown};
-use sdp_extract::{extract, ExtractConfig};
+use sdp_extract::{extract_observed, ExtractConfig};
 use sdp_geom::{GroupAxis, Point};
 use sdp_gp::{ExtraTerm, GlobalPlacer, GpConfig, PlaceStats};
 use sdp_legal::{
@@ -12,9 +12,9 @@ use sdp_legal::{
     LegalStats, LegalizeOptions, RowSpace,
 };
 use sdp_netlist::{CellId, DatapathGroup, Design, Netlist, Placement};
+use sdp_progress::{Cancelled, Observer, Phase};
 use sdp_route::rudy_map;
 use std::collections::HashSet;
-use std::time::Instant;
 
 /// Which legalization algorithm the flow uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -206,14 +206,33 @@ impl StructurePlacer {
     /// Runs the full flow. `initial` supplies fixed-cell (pad) positions
     /// and any warm-start for movable cells.
     pub fn place(&self, netlist: &Netlist, design: &Design, initial: &Placement) -> FlowOutput {
+        match self.place_with(netlist, design, initial, &Observer::noop()) {
+            Ok(out) => out,
+            Err(Cancelled) => unreachable!("the noop observer never cancels"),
+        }
+    }
+
+    /// [`StructurePlacer::place`] with progress reporting and cooperative
+    /// cancellation: `obs` is polled at every phase boundary and once per
+    /// global-placement outer iteration, and supplies the clock behind
+    /// every timing field in the report — `sdp-serve` hands each job an
+    /// observer wired to its cancel token, and replay harnesses inject a
+    /// manual clock for bitwise-stable reports. On `Err(Cancelled)` no
+    /// partial placement escapes.
+    pub fn place_with(
+        &self,
+        netlist: &Netlist,
+        design: &Design,
+        initial: &Placement,
+        obs: &Observer,
+    ) -> Result<FlowOutput, Cancelled> {
         let mut placement = initial.clone();
         let mut times = PhaseTimes::default();
 
         // Phase 1: extraction. Groups taller than a fraction of the core
         // are folded into stacked chunks — a 240-bit multiplier array
         // cannot stand as 240 consecutive rows in a 100-row core.
-        // sdp-lint: allow(wall-clock-in-library) -- phase timing reported in PlaceStats; never feeds placement decisions
-        let t0 = Instant::now();
+        let t0 = obs.now();
         // Narrowest core row: the width every physical group row must fit
         // into, wherever its snap window lands.
         let max_row_width = design
@@ -222,20 +241,20 @@ impl StructurePlacer {
             .map(|r| r.x2 - r.x1)
             .fold(f64::INFINITY, f64::min);
         let groups = if self.config.structure_aware {
-            let raw = extract(netlist, &self.config.extract).groups;
+            let raw = extract_observed(netlist, &self.config.extract, obs)?.groups;
             let max_rows = ((design.region().height() / design.row_height() / 3.0) as usize)
                 .max(self.config.extract.min_bits);
             fold_groups_to_width(fold_groups(raw, max_rows), netlist, max_row_width)
         } else {
             Vec::new()
         };
-        times.extract = t0.elapsed().as_secs_f64();
+        obs.report(Phase::Extract, 1.0);
+        times.extract = obs.seconds_since(t0);
 
         // Phase 2: global placement (+ alignment term). The placer sees a
         // netlist whose intra-group nets are up-weighted; every metric is
         // computed on the original netlist.
-        // sdp-lint: allow(wall-clock-in-library) -- phase timing reported in PlaceStats; never feeds placement decisions
-        let t0 = Instant::now();
+        let t0 = obs.now();
         let gp_netlist = if self.config.structure_aware && self.config.dp_net_weight != 1.0 {
             boost_datapath_nets(netlist, &groups, self.config.dp_net_weight)
         } else {
@@ -252,14 +271,15 @@ impl StructurePlacer {
         );
         align_term.restrict_axes(netlist, max_row_width);
         let gp_stats = if self.config.structure_aware {
-            let mut stats = placer.place_inflated(
+            let mut stats = placer.place_inflated_observed(
                 gp_netlist,
                 design,
                 &mut placement,
                 Some(&mut align_term as &mut dyn ExtraTerm),
                 None,
                 Some(netlist),
-            );
+                obs,
+            )?;
             if self.config.refine_outers > 0 {
                 // Alignment refinement: never stop early, no fresh
                 // clustering, moderate inner budget.
@@ -270,14 +290,15 @@ impl StructurePlacer {
                     cluster_threshold: 0,
                     ..self.config.gp
                 });
-                let rstats = refine.place_inflated(
+                let rstats = refine.place_inflated_observed(
                     gp_netlist,
                     design,
                     &mut placement,
                     Some(&mut align_term as &mut dyn ExtraTerm),
                     None,
                     Some(netlist),
-                );
+                    obs,
+                )?;
                 stats
                     .trace
                     .extend(rstats.trace.iter().map(|t| sdp_gp::IterationTrace {
@@ -293,7 +314,15 @@ impl StructurePlacer {
         } else {
             // Iteration-fair baseline: the oblivious flow gets the same
             // extra refinement outers (plain wirelength/density only).
-            let mut stats = placer.place(netlist, design, &mut placement, None);
+            let mut stats = placer.place_inflated_observed(
+                netlist,
+                design,
+                &mut placement,
+                None,
+                None,
+                None,
+                obs,
+            )?;
             if self.config.refine_outers > 0 {
                 let refine = GlobalPlacer::new(GpConfig {
                     max_outer: self.config.refine_outers,
@@ -302,7 +331,15 @@ impl StructurePlacer {
                     cluster_threshold: 0,
                     ..self.config.gp
                 });
-                let rstats = refine.place(netlist, design, &mut placement, None);
+                let rstats = refine.place_inflated_observed(
+                    netlist,
+                    design,
+                    &mut placement,
+                    None,
+                    None,
+                    None,
+                    obs,
+                )?;
                 stats
                     .trace
                     .extend(rstats.trace.iter().map(|t| sdp_gp::IterationTrace {
@@ -318,15 +355,16 @@ impl StructurePlacer {
         };
         let mut gp_stats = gp_stats;
         if self.config.routability_rounds > 0 {
-            gp_stats = self.routability_spread(gp_netlist, design, &mut placement, gp_stats);
+            gp_stats =
+                self.routability_spread(gp_netlist, design, &mut placement, gp_stats, obs)?;
         }
         let gp_stats = gp_stats;
         let groups = align_term.groups().to_vec();
-        times.global = t0.elapsed().as_secs_f64();
+        times.global = obs.seconds_since(t0);
 
         // Phase 3: structure-first legalization.
-        // sdp-lint: allow(wall-clock-in-library) -- phase timing reported in PlaceStats; never feeds placement decisions
-        let t0 = Instant::now();
+        obs.checkpoint()?;
+        let t0 = obs.now();
         let (locked, rows_fallback) = if self.config.structure_aware && self.config.rigid_groups {
             snap_groups(netlist, design, &mut placement, &groups)
         } else {
@@ -342,11 +380,12 @@ impl StructurePlacer {
                 legalize_abacus(netlist, design, &mut placement, &legal_options)
             }
         };
-        times.legalize = t0.elapsed().as_secs_f64();
+        obs.report(Phase::Legalize, 1.0);
+        times.legalize = obs.seconds_since(t0);
 
         // Phase 4: detailed placement.
-        // sdp-lint: allow(wall-clock-in-library) -- phase timing reported in PlaceStats; never feeds placement decisions
-        let t0 = Instant::now();
+        obs.checkpoint()?;
+        let t0 = obs.now();
         let detailed_stats = detailed_place(
             netlist,
             design,
@@ -364,14 +403,15 @@ impl StructurePlacer {
                 ..DetailedOptions::default()
             },
         );
-        times.detailed = t0.elapsed().as_secs_f64();
+        obs.report(Phase::Detailed, 1.0);
+        times.detailed = obs.seconds_since(t0);
 
         // Metrics.
         let hpwl = hpwl_breakdown(netlist, &placement, &groups);
         let alignment = alignment_report(&placement, &groups, design.row_height());
         let legal_violations = check_legal(netlist, design, &placement).len();
 
-        FlowOutput {
+        Ok(FlowOutput {
             legal_violations,
             report: FlowReport {
                 hpwl,
@@ -386,7 +426,7 @@ impl StructurePlacer {
             },
             groups,
             placement,
-        }
+        })
     }
 }
 
@@ -489,7 +529,8 @@ impl StructurePlacer {
         design: &Design,
         placement: &mut Placement,
         mut stats: PlaceStats,
-    ) -> PlaceStats {
+        obs: &Observer,
+    ) -> Result<PlaceStats, Cancelled> {
         let res = 2 * sdp_gp::DensityModel::default_resolution(netlist.num_movable());
         // A round must improve *routed* congestion to be kept — and the
         // judgement is made on a snapshot carried through legalization AND
@@ -516,6 +557,7 @@ impl StructurePlacer {
         let mut best_score = score(placement);
         let mut inflation = vec![1.0f64; netlist.num_cells()];
         for _round in 0..self.config.routability_rounds {
+            obs.checkpoint()?;
             let (grid, demand) = rudy_map(netlist, placement, design, res, res);
             let mean = demand.iter().sum::<f64>() / demand.len().max(1) as f64;
             if mean <= 0.0 {
@@ -543,8 +585,15 @@ impl StructurePlacer {
                 cluster_threshold: 0,
                 ..self.config.gp
             });
-            let r =
-                spreader.place_inflated(netlist, design, placement, None, Some(&inflation), None);
+            let r = spreader.place_inflated_observed(
+                netlist,
+                design,
+                placement,
+                None,
+                Some(&inflation),
+                None,
+                obs,
+            )?;
             stats.outer_iters += r.outer_iters;
             stats.seconds += r.seconds;
             let s = score(placement);
@@ -555,7 +604,7 @@ impl StructurePlacer {
         }
         *placement = best;
         stats.final_hpwl = sdp_gp::hpwl(netlist, placement.positions());
-        stats
+        Ok(stats)
     }
 }
 
@@ -891,6 +940,58 @@ mod tests {
         let out = StructurePlacer::new(cfg).place(&d.netlist, &d.design, &d.placement);
         assert_eq!(out.legal_violations, 0);
         assert!(out.report.hpwl.total > 0.0);
+    }
+
+    #[test]
+    fn cancellation_aborts_mid_flow() {
+        use sdp_progress::{CancelToken, ManualClock, Observer, Phase, TokenSink};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let d = generate(&GenConfig::named("dp_tiny", 4).unwrap());
+        let token = CancelToken::new();
+        // Cancel as soon as the global phase reports its first progress:
+        // extraction must have completed, the flow must stop well before
+        // legalization.
+        let reports = Arc::new(AtomicUsize::new(0));
+        let reports2 = Arc::clone(&reports);
+        let t2 = token.clone();
+        let sink = TokenSink::new(token, move |phase, _frac| {
+            if phase == Phase::Global {
+                reports2.fetch_add(1, Ordering::Relaxed);
+                t2.cancel();
+            }
+        });
+        let obs = Observer::new(Arc::new(ManualClock::new()), Arc::new(sink));
+        let r = StructurePlacer::new(FlowConfig::fast()).place_with(
+            &d.netlist,
+            &d.design,
+            &d.placement,
+            &obs,
+        );
+        assert_eq!(r.err(), Some(sdp_progress::Cancelled));
+        assert!(
+            reports.load(Ordering::Relaxed) >= 1,
+            "cancel came from a report"
+        );
+    }
+
+    #[test]
+    fn manual_clock_zeroes_every_timer() {
+        use sdp_progress::{ManualClock, NullSink, Observer};
+        use std::sync::Arc;
+        let d = generate(&GenConfig::named("dp_tiny", 5).unwrap());
+        let obs = Observer::new(Arc::new(ManualClock::new()), Arc::new(NullSink));
+        let out = StructurePlacer::new(FlowConfig::fast())
+            .place_with(&d.netlist, &d.design, &d.placement, &obs)
+            .expect("never cancelled");
+        let t = out.report.times;
+        assert_eq!(
+            (t.extract, t.global, t.legalize, t.detailed),
+            (0.0, 0.0, 0.0, 0.0),
+            "all timing flows through the injected clock"
+        );
+        assert_eq!(out.report.gp.seconds, 0.0);
     }
 
     #[test]

@@ -43,3 +43,7 @@ pub mod flow;
 
 pub use align::{AlignConfig, AlignTerm};
 pub use flow::{FlowConfig, FlowOutput, FlowReport, LegalizerKind, PhaseTimes, StructurePlacer};
+pub use sdp_progress::{
+    CancelToken, Cancelled, Clock, ManualClock, MonotonicClock, NullSink, Observer, Phase,
+    ProgressSink, TokenSink,
+};

@@ -49,7 +49,7 @@ pub mod relations;
 pub mod signature;
 
 use sdp_netlist::{DatapathGroup, Netlist};
-use std::time::Instant;
+use sdp_progress::{Cancelled, Observer, Phase};
 
 /// Tuning knobs for extraction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,16 +104,36 @@ impl ExtractionResult {
 
 /// Runs the full extraction pipeline on a netlist.
 pub fn extract(netlist: &Netlist, config: &ExtractConfig) -> ExtractionResult {
-    // sdp-lint: allow(wall-clock-in-library) -- fills the `seconds` runtime field of the result; never feeds extraction decisions
-    let start = Instant::now();
+    match extract_observed(netlist, config, &Observer::noop()) {
+        Ok(r) => r,
+        Err(Cancelled) => unreachable!("the noop observer never cancels"),
+    }
+}
+
+/// [`extract`] with progress reporting and cooperative cancellation:
+/// `obs` is polled between pipeline stages and supplies the clock for the
+/// `seconds` field, so replay harnesses with a manual clock get bitwise
+/// stable results.
+pub fn extract_observed(
+    netlist: &Netlist,
+    config: &ExtractConfig,
+    obs: &Observer,
+) -> Result<ExtractionResult, Cancelled> {
+    let start = obs.now();
+    obs.checkpoint()?;
     let sigs = signature::signatures(netlist, config.rounds, config.max_net_degree);
+    obs.report(Phase::Extract, 0.4);
+    obs.checkpoint()?;
     let rel = relations::Relations::build(netlist, config.max_net_degree);
+    obs.report(Phase::Extract, 0.7);
+    obs.checkpoint()?;
     let (groups, num_classes) = grow::grow_groups(netlist, &sigs, &rel, config);
-    ExtractionResult {
+    obs.report(Phase::Extract, 1.0);
+    Ok(ExtractionResult {
         groups,
         num_classes,
-        seconds: start.elapsed().as_secs_f64(),
-    }
+        seconds: obs.seconds_since(start),
+    })
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sdp_geom::{Point, Rect};
 use sdp_netlist::{CellId, Design, Netlist, Placement};
-use std::time::Instant;
+use sdp_progress::{Cancelled, Observer, Phase};
 
 /// A pluggable extra objective term (how `sdp-core` injects its alignment
 /// forces without this crate knowing about datapaths).
@@ -233,12 +233,42 @@ impl GlobalPlacer {
         netlist: &Netlist,
         design: &Design,
         placement: &mut Placement,
-        mut extra: Option<&mut dyn ExtraTerm>,
+        extra: Option<&mut dyn ExtraTerm>,
         inflation: Option<&[f64]>,
         eval_netlist: Option<&Netlist>,
     ) -> PlaceStats {
-        // sdp-lint: allow(wall-clock-in-library) -- fills the `seconds` field of PlaceStats; never feeds placement decisions
-        let start = Instant::now();
+        match self.place_inflated_observed(
+            netlist,
+            design,
+            placement,
+            extra,
+            inflation,
+            eval_netlist,
+            &Observer::noop(),
+        ) {
+            Ok(stats) => stats,
+            Err(Cancelled) => unreachable!("the noop observer never cancels"),
+        }
+    }
+
+    /// [`GlobalPlacer::place_inflated`] with progress reporting and
+    /// cooperative cancellation: `obs` is polled once per outer iteration
+    /// (including the coarse V-cycle pass) and supplies the clock for the
+    /// `seconds` field. Progress is reported against `max_outer`; runs
+    /// that converge early jump to completion. On `Err(Cancelled)` the
+    /// placement holds the last completed outer iteration's positions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn place_inflated_observed(
+        &self,
+        netlist: &Netlist,
+        design: &Design,
+        placement: &mut Placement,
+        mut extra: Option<&mut dyn ExtraTerm>,
+        inflation: Option<&[f64]>,
+        eval_netlist: Option<&Netlist>,
+        obs: &Observer,
+    ) -> Result<PlaceStats, Cancelled> {
+        let start = obs.now();
         // One pool per run, shared by every kernel evaluation.
         let exec = Executor::new(self.config.threads);
 
@@ -247,7 +277,7 @@ impl GlobalPlacer {
         if self.config.cluster_threshold > 0
             && netlist.num_movable() > self.config.cluster_threshold
         {
-            self.coarse_seed(netlist, design, placement);
+            self.coarse_seed(netlist, design, placement, obs)?;
         }
 
         let movable: Vec<CellId> = netlist.movable_ids().collect();
@@ -299,6 +329,7 @@ impl GlobalPlacer {
         let mut outer_done = 0;
 
         for outer in 0..self.config.max_outer {
+            obs.checkpoint()?;
             if let Some(e) = extra.as_deref_mut() {
                 e.begin_outer(outer, density.overflow(), placement.positions());
             }
@@ -340,20 +371,25 @@ impl GlobalPlacer {
                 lambda,
             });
             outer_done = outer + 1;
+            obs.report(
+                Phase::Global,
+                outer_done as f64 / self.config.max_outer.max(1) as f64,
+            );
             if overflow <= self.config.target_overflow {
                 break;
             }
             lambda *= self.config.lambda_factor;
             gamma = (gamma * 0.75).max(1.0);
         }
+        obs.report(Phase::Global, 1.0);
 
-        PlaceStats {
+        Ok(PlaceStats {
             final_hpwl: hpwl(eval_netlist.unwrap_or(netlist), placement.positions()),
             final_overflow: density.overflow(),
             outer_iters: outer_done,
             trace,
-            seconds: start.elapsed().as_secs_f64(),
-        }
+            seconds: obs.seconds_since(start),
+        })
     }
 
     /// Spreads stacked initial positions: cells that all sit within a tiny
@@ -392,7 +428,15 @@ impl GlobalPlacer {
 
     /// One clustering level: place the coarse netlist, then seed each flat
     /// cell at its cluster's position (plus a small deterministic offset).
-    fn coarse_seed(&self, netlist: &Netlist, design: &Design, placement: &mut Placement) {
+    /// The coarse pass polls `obs` too, so cancellation lands within one
+    /// outer iteration even before the flat placement starts.
+    fn coarse_seed(
+        &self,
+        netlist: &Netlist,
+        design: &Design,
+        placement: &mut Placement,
+        obs: &Observer,
+    ) -> Result<(), Cancelled> {
         let clustering: Clustering = cluster::cluster_netlist(netlist, 0.25);
         let mut coarse_pl = Placement::new(&clustering.coarse);
         // Fixed cells keep their positions in the coarse netlist.
@@ -406,7 +450,15 @@ impl GlobalPlacer {
             max_outer: self.config.max_outer.min(14),
             ..self.config
         });
-        sub.place(&clustering.coarse, design, &mut coarse_pl, None);
+        sub.place_inflated_observed(
+            &clustering.coarse,
+            design,
+            &mut coarse_pl,
+            None,
+            None,
+            None,
+            obs,
+        )?;
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e3779b97f4a7c15);
         for c in netlist.movable_ids() {
             let at = coarse_pl.get(clustering.cluster_of[c.ix()]);
@@ -414,6 +466,7 @@ impl GlobalPlacer {
             placement.set(c, at + jitter);
         }
         placement.clamp_into(netlist, design.region());
+        Ok(())
     }
 }
 

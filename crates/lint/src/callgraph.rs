@@ -231,14 +231,23 @@ fn in_graph(ctx: &FileCtx) -> bool {
         && !EXEMPT_CRATES.contains(&ctx.crate_name.as_str())
 }
 
-/// Extracts every call site in `item`'s body.
+/// Extracts every call site in `item`'s body. Sites lexically inside a
+/// `catch_unwind(…)` argument list are *not* edges: the unwind boundary
+/// is the sanctioned crash-isolation mechanism (`sdp-serve` runs each
+/// job under one so a panicking job becomes a structured error instead
+/// of taking the server down), so work dispatched there does not make
+/// its panics reachable from a flow root.
 fn call_sites(toks: &[Tok], item: &FnItem) -> Vec<CallSite> {
     let Some((open, close)) = item.body else {
         return Vec::new();
     };
+    let guarded = unwind_guarded_spans(toks, open, close);
     let mut out = Vec::new();
     for k in open + 1..close {
         if toks[k + 1].text != "(" || !is_ident(&toks[k].text) {
+            continue;
+        }
+        if guarded.iter().any(|&(a, b)| a < k && k < b) {
             continue;
         }
         let name = toks[k].text.as_str();
@@ -278,6 +287,38 @@ fn call_sites(toks: &[Tok], item: &FnItem) -> Vec<CallSite> {
         });
     }
     out
+}
+
+/// Token ranges `(open_paren, close_paren)` of every `catch_unwind(…)`
+/// argument list between `open` and `close`. An unclosed paren run ends
+/// at `close` (the body's closing brace), which can only over-guard the
+/// tail of a malformed body.
+fn unwind_guarded_spans(toks: &[Tok], open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut k = open + 1;
+    while k + 1 < close {
+        if toks[k].text == "catch_unwind" && toks[k + 1].text == "(" {
+            let mut depth = 0usize;
+            let mut j = k + 1;
+            while j < close {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            spans.push((k + 1, j));
+            k = j;
+        }
+        k += 1;
+    }
+    spans
 }
 
 /// Maps a path-head identifier to a workspace crate directory name:

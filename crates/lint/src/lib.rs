@@ -12,7 +12,7 @@
 //! | rule | scope | invariant |
 //! |------|-------|-----------|
 //! | `nondeterministic-iter` | kernel crates | no iteration over `HashMap`/`HashSet` unless sorted or re-collected into a `BTree*` in the same statement |
-//! | `wall-clock-in-library` | library crates | no `Instant::now` / `SystemTime::now` / entropy-seeded RNG |
+//! | `wall-clock-in-library` | library crates | no `Instant::now` / `SystemTime::now` / entropy-seeded RNG — `sdp-progress` ([`CLOCK_CRATE`]) is the one sanctioned wrapper |
 //! | `unchunked-float-reduction` | kernel crates | no `sum`/`fold`/`reduce` chained onto `Executor::map` output |
 //! | `undocumented-unsafe` | everywhere | every `unsafe` is preceded by a `SAFETY:` comment |
 //!
@@ -37,8 +37,15 @@ use std::path::{Path, PathBuf};
 pub const KERNEL_CRATES: &[&str] = &["gp", "extract", "legal", "eval", "netlist"];
 
 /// Non-library crates: binaries/harnesses that may legitimately time and
-/// randomize (`bench`, `cli`) plus this tool itself.
-pub const TOOL_CRATES: &[&str] = &["bench", "cli", "lint"];
+/// randomize (`bench`, `cli`, the `serve` job server) plus this tool
+/// itself.
+pub const TOOL_CRATES: &[&str] = &["bench", "cli", "lint", "serve"];
+
+/// The one sanctioned time source: `sdp-progress` wraps the workspace's
+/// only library-crate `Instant::now` behind the injectable `Clock`
+/// trait, so every other library crate times phases through an
+/// `Observer` and the wall-clock rule needs no allow markers at all.
+pub const CLOCK_CRATE: &str = "progress";
 
 /// A source file scheduled for linting.
 #[derive(Debug)]
@@ -68,7 +75,7 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<WorkspaceFile>> {
             .unwrap_or_default()
             .to_string();
         let kernel = KERNEL_CRATES.contains(&name.as_str());
-        let library = !TOOL_CRATES.contains(&name.as_str());
+        let library = !TOOL_CRATES.contains(&name.as_str()) && name != CLOCK_CRATE;
         for (sub, test_code) in [("src", false), ("tests", true)] {
             let tree = dir.join(sub);
             if !tree.is_dir() {

@@ -222,6 +222,68 @@ fn entry_point_panic_and_constant_index_slicing() {
 }
 
 #[test]
+fn catch_unwind_is_a_panic_boundary() {
+    // The serve job engine runs each job under `catch_unwind`, so a
+    // deliberate panic inside the job body must not count as reachable
+    // from the flow root that spawned it...
+    let caught = src_file(
+        "core",
+        "crates/core/src/lib.rs",
+        "pub fn entry(spec: &str) -> bool {\n\
+             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(spec))).is_ok()\n\
+         }\n\
+         fn execute(spec: &str) { panic!(\"chaos: {spec}\"); }\n",
+    );
+    assert!(
+        sdp_lint::lint_sources(&[caught]).is_empty(),
+        "a call dispatched under catch_unwind is crash-isolated, not flow-reachable"
+    );
+
+    // ...while the same callee invoked directly stays flagged.
+    let direct = src_file(
+        "core",
+        "crates/core/src/lib.rs",
+        "pub fn entry(spec: &str) {\n\
+             execute(spec);\n\
+             let _ = std::panic::catch_unwind(|| execute(spec));\n\
+         }\n\
+         fn execute(spec: &str) { panic!(\"chaos: {spec}\"); }\n",
+    );
+    let diags = sdp_lint::lint_sources(&[direct]);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert!(
+        diags[0].notes[0].contains("core::execute"),
+        "the unguarded call keeps the panic reachable: {:?}",
+        diags[0].notes
+    );
+}
+
+#[test]
+fn clock_crate_is_the_sanctioned_time_source() {
+    let root = sdp_lint::find_root(None).expect("workspace root");
+    let files = sdp_lint::workspace_files(&root).expect("scan workspace");
+    let ctx_of = |needle: &str| {
+        files
+            .iter()
+            .map(|f| &f.ctx)
+            .find(|c| c.rel_path.replace('\\', "/").ends_with(needle))
+            .unwrap_or_else(|| panic!("no workspace file matches {needle}"))
+    };
+    let progress = ctx_of("crates/progress/src/lib.rs");
+    assert!(
+        !progress.library && !progress.kernel,
+        "sdp-progress may wrap Instant::now: it is the injectable Clock"
+    );
+    // The flow crates it serves stay under the wall-clock rule.
+    let flow = ctx_of("crates/core/src/flow.rs");
+    assert!(flow.library, "sdp-core must keep timing through the Clock");
+    // The job server is a tool (timeouts, metrics) but NOT call-graph
+    // exempt: its request handlers are held to the panic policy.
+    assert!(sdp_lint::TOOL_CRATES.contains(&"serve"));
+    assert!(!sdp_lint::callgraph::EXEMPT_CRATES.contains(&"serve"));
+}
+
+#[test]
 fn test_functions_are_outside_the_call_graph() {
     let gp = src_file(
         "gp",

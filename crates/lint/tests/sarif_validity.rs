@@ -1,250 +1,49 @@
 //! SARIF 2.1.0 conformance tests: the emitted document must be
 //! well-formed JSON with the structure `github/codeql-action/upload-sarif`
-//! requires. The workspace is offline (no `serde`), so validation uses a
-//! small recursive-descent JSON parser written here — strict enough to
-//! reject anything a real consumer would choke on (trailing commas,
-//! unescaped control characters, bad `\u` sequences).
+//! requires. The workspace is offline (no `serde`), so validation uses
+//! the strict in-tree parser from `sdp-json` — the same implementation
+//! `sdp-serve` trusts for request/response bodies, so anything the SARIF
+//! emitter produces that a real consumer would choke on fails here too.
 
+use sdp_json::Json;
 use sdp_lint::rules::{Diagnostic, Rule};
 use sdp_lint::sarif::to_sarif;
-use std::collections::BTreeMap;
 
 // ---------------------------------------------------------------------
-// minimal strict JSON parser
+// panicking accessors over the shared non-panicking API (test-only)
 
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(BTreeMap<String, Json>),
+trait Expect {
+    fn at(&self, key: &str) -> &Json;
+    fn nth(&self, i: usize) -> &Json;
+    fn arr(&self) -> &[Json];
+    fn str(&self) -> &str;
+    fn num(&self) -> f64;
 }
 
-impl Json {
-    fn get(&self, key: &str) -> &Json {
-        match self {
-            Json::Obj(m) => m.get(key).unwrap_or_else(|| panic!("missing key `{key}`")),
-            other => panic!("expected object for `{key}`, got {other:?}"),
-        }
+impl Expect for Json {
+    fn at(&self, key: &str) -> &Json {
+        Json::get(self, key).unwrap_or_else(|| panic!("missing key `{key}` in {self}"))
     }
-    fn idx(&self, i: usize) -> &Json {
-        match self {
-            Json::Arr(v) => &v[i],
-            other => panic!("expected array, got {other:?}"),
-        }
+    fn nth(&self, i: usize) -> &Json {
+        Json::idx(self, i).unwrap_or_else(|| panic!("missing index {i} in {self}"))
     }
     fn arr(&self) -> &[Json] {
-        match self {
-            Json::Arr(v) => v,
-            other => panic!("expected array, got {other:?}"),
-        }
+        self.as_arr()
+            .unwrap_or_else(|| panic!("expected array, got {self}"))
     }
     fn str(&self) -> &str {
-        match self {
-            Json::Str(s) => s,
-            other => panic!("expected string, got {other:?}"),
-        }
+        self.as_str()
+            .unwrap_or_else(|| panic!("expected string, got {self}"))
     }
     fn num(&self) -> f64 {
-        match self {
-            Json::Num(n) => *n,
-            other => panic!("expected number, got {other:?}"),
-        }
+        self.as_f64()
+            .unwrap_or_else(|| panic!("expected number, got {self}"))
     }
 }
 
-struct Parser<'a> {
-    s: &'a [u8],
-    i: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn parse(text: &'a str) -> Result<Json, String> {
-        let mut p = Parser {
-            s: text.as_bytes(),
-            i: 0,
-        };
-        let v = p.value()?;
-        p.ws();
-        if p.i != p.s.len() {
-            return Err(format!("trailing content at byte {}", p.i));
-        }
-        Ok(v)
-    }
-
-    fn ws(&mut self) {
-        while self
-            .s
-            .get(self.i)
-            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-        {
-            self.i += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.s.get(self.i).copied()
-    }
-
-    fn eat(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.i += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected `{}` at byte {}, found {:?}",
-                b as char,
-                self.i,
-                self.peek().map(|c| c as char)
-            ))
-        }
-    }
-
-    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
-        if self.s[self.i..].starts_with(word.as_bytes()) {
-            self.i += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {}", self.i))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.lit("true", Json::Bool(true)),
-            Some(b'f') => self.lit("false", Json::Bool(false)),
-            Some(b'n') => self.lit("null", Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.eat(b'{')?;
-        let mut m = BTreeMap::new();
-        self.ws();
-        if self.peek() == Some(b'}') {
-            self.i += 1;
-            return Ok(Json::Obj(m));
-        }
-        loop {
-            self.ws();
-            let k = self.string()?;
-            self.ws();
-            self.eat(b':')?;
-            let v = self.value()?;
-            m.insert(k, v);
-            self.ws();
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b'}') => {
-                    self.i += 1;
-                    return Ok(Json::Obj(m));
-                }
-                other => return Err(format!("bad object separator {other:?} at {}", self.i)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.eat(b'[')?;
-        let mut v = Vec::new();
-        self.ws();
-        if self.peek() == Some(b']') {
-            self.i += 1;
-            return Ok(Json::Arr(v));
-        }
-        loop {
-            v.push(self.value()?);
-            self.ws();
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b']') => {
-                    self.i += 1;
-                    return Ok(Json::Arr(v));
-                }
-                other => return Err(format!("bad array separator {other:?} at {}", self.i)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
-        let start = self.i;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(format!("unterminated string from byte {start}")),
-                Some(b'"') => {
-                    self.i += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.i += 1;
-                    let esc = self.peek().ok_or("dangling escape")?;
-                    self.i += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .s
-                                .get(self.i..self.i + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| format!("bad \\u escape: {e}"))?;
-                            self.i += 4;
-                            out.push(char::from_u32(code).ok_or("surrogate in \\u escape")?);
-                        }
-                        other => return Err(format!("bad escape `\\{}`", other as char)),
-                    }
-                }
-                Some(b) if b < 0x20 => {
-                    return Err(format!("raw control character 0x{b:02x} in string"));
-                }
-                Some(_) => {
-                    // Multi-byte UTF-8: copy the full scalar.
-                    let rest = std::str::from_utf8(&self.s[self.i..]).map_err(|e| e.to_string())?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.i += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.i;
-        if self.peek() == Some(b'-') {
-            self.i += 1;
-        }
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            self.i += 1;
-        }
-        std::str::from_utf8(&self.s[start..self.i])
-            .map_err(|e| e.to_string())?
-            .parse::<f64>()
-            .map(Json::Num)
-            .map_err(|e| format!("bad number at byte {start}: {e}"))
-    }
+/// `locations[0].physicalLocation` of a result.
+fn physical_location(result: &Json) -> &Json {
+    result.at("locations").nth(0).at("physicalLocation")
 }
 
 // ---------------------------------------------------------------------
@@ -253,23 +52,23 @@ impl<'a> Parser<'a> {
 /// Validates the SARIF 2.1.0 skeleton shared by every report and returns
 /// the `results` array.
 fn validate(doc: &str) -> Vec<Json> {
-    let v = Parser::parse(doc).expect("SARIF output must be well-formed JSON");
+    let v = sdp_json::parse(doc).expect("SARIF output must be well-formed JSON");
     assert!(
-        v.get("$schema").str().contains("sarif-schema-2.1.0"),
+        v.at("$schema").str().contains("sarif-schema-2.1.0"),
         "schema URI pins 2.1.0"
     );
-    assert_eq!(v.get("version").str(), "2.1.0");
-    let runs = v.get("runs").arr();
+    assert_eq!(v.at("version").str(), "2.1.0");
+    let runs = v.at("runs").arr();
     assert_eq!(runs.len(), 1, "one run per report");
-    let driver = runs[0].get("tool").get("driver");
-    assert_eq!(driver.get("name").str(), "sdp-lint");
-    let rules = driver.get("rules").arr();
+    let driver = runs[0].at("tool").at("driver");
+    assert_eq!(driver.at("name").str(), "sdp-lint");
+    let rules = driver.at("rules").arr();
     assert_eq!(rules.len(), Rule::ALL.len(), "every rule carries metadata");
     for (r, meta) in Rule::ALL.iter().zip(rules) {
-        assert_eq!(meta.get("id").str(), r.name());
-        assert!(!meta.get("shortDescription").get("text").str().is_empty());
+        assert_eq!(meta.at("id").str(), r.name());
+        assert!(!meta.at("shortDescription").at("text").str().is_empty());
     }
-    runs[0].get("results").arr().to_vec()
+    runs[0].at("results").arr().to_vec()
 }
 
 #[test]
@@ -303,34 +102,31 @@ fn diagnostics_round_trip_through_sarif() {
     assert_eq!(results.len(), 2);
 
     let r0 = &results[0];
-    assert_eq!(r0.get("ruleId").str(), "panic-reachability");
-    assert_eq!(r0.get("level").str(), "error");
-    let msg = r0.get("message").get("text").str();
+    assert_eq!(r0.at("ruleId").str(), "panic-reachability");
+    assert_eq!(r0.at("level").str(), "error");
+    let msg = r0.at("message").at("text").str();
     assert!(
         msg.contains("cli::main \u{2192} gp::place"),
         "chain note embedded in the message: {msg}"
     );
-    let loc = r0.idx_locations();
+    let loc = physical_location(r0);
     assert_eq!(
-        loc.get("artifactLocation").get("uri").str(),
+        loc.at("artifactLocation").at("uri").str(),
         "crates/gp/src/lib.rs",
         "URIs are forward-slashed"
     );
-    assert_eq!(
-        loc.get("artifactLocation").get("uriBaseId").str(),
-        "SRCROOT"
-    );
-    let region = loc.get("region");
-    assert_eq!(region.get("startLine").num() as usize, 42);
-    assert_eq!(region.get("startColumn").num() as usize, 7);
-    let rule_index = r0.get("ruleIndex").num() as usize;
+    assert_eq!(loc.at("artifactLocation").at("uriBaseId").str(), "SRCROOT");
+    let region = loc.at("region");
+    assert_eq!(region.at("startLine").num() as usize, 42);
+    assert_eq!(region.at("startColumn").num() as usize, 7);
+    let rule_index = r0.at("ruleIndex").num() as usize;
     assert_eq!(
         Rule::ALL[rule_index],
         Rule::PanicReachability,
         "ruleIndex points into the driver rules array"
     );
 
-    let msg1 = results[1].get("message").get("text").str();
+    let msg1 = results[1].at("message").at("text").str();
     assert!(
         msg1.contains("tricky \"quoted\" text with \\ backslash,\nnewline and \ttab"),
         "escaping round-trips: {msg1}"
@@ -339,13 +135,6 @@ fn diagnostics_round_trip_through_sarif() {
         msg1.contains("no `-- <reason>`"),
         "reasonless marker is called out: {msg1}"
     );
-}
-
-impl Json {
-    /// `locations[0].physicalLocation` of a result.
-    fn idx_locations(&self) -> &Json {
-        self.get("locations").idx(0).get("physicalLocation")
-    }
 }
 
 #[test]

@@ -1,0 +1,620 @@
+//! The job engine: a bounded queue, a fixed worker pool, per-job
+//! cancellation/deadlines, and crash isolation.
+//!
+//! Each worker runs one job at a time under
+//! `std::panic::catch_unwind`, so a panicking job becomes a structured
+//! `failed` state for that job alone — the pool keeps serving. A job's
+//! [`sdp_core::Observer`] is wired to its [`CancelToken`] and deadline,
+//! which the flow polls at phase boundaries and once per
+//! global-placement outer iteration; cancellation therefore lands
+//! mid-phase, not just between jobs.
+//!
+//! Determinism: the result body a job stores depends only on its spec
+//! (design + seed + flow config) — never on the job id, submission
+//! order, wall-clock readings, or worker count — so identical specs
+//! produce byte-identical results at any server concurrency.
+
+use crate::metrics::Metrics;
+use crate::spec::{CaseSource, JobSpec};
+use sdp_core::{
+    CancelToken, Cancelled, FlowOutput, MonotonicClock, Observer, Phase, PhaseTimes, ProgressSink,
+    StructurePlacer,
+};
+use sdp_json::Json;
+use sdp_netlist::Netlist;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Worker-pool sizing and queue bound.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads. `0` is allowed (jobs queue but never run) — used
+    /// by backpressure tests and drain-only setups.
+    pub workers: usize,
+    /// Bounded queue depth; submissions beyond it are rejected (429).
+    pub queue_depth: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 2,
+            queue_depth: 16,
+        }
+    }
+}
+
+/// A job's lifecycle state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Waiting for a worker.
+    Queued,
+    /// A worker is placing it.
+    Running,
+    /// Finished; the deterministic result body is stored.
+    Done,
+    /// The job crashed; the panic is recorded, the server kept serving.
+    Failed,
+    /// Cancelled by a client or its deadline before finishing.
+    Cancelled,
+}
+
+impl JobState {
+    /// Stable lowercase name used in status bodies.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Everything the engine tracks about one job.
+struct JobRecord {
+    label: String,
+    state: JobState,
+    token: CancelToken,
+    submitted: Instant,
+    /// Current phase and fraction while running.
+    phase: Option<Phase>,
+    frac: f64,
+    /// Deterministic result body (`Done` only).
+    result: Option<String>,
+    /// Failure / cancellation detail.
+    error: Option<String>,
+    /// Timings for the status endpoint (never part of the result body).
+    queue_wait_s: Option<f64>,
+    run_s: Option<f64>,
+    times: Option<PhaseTimes>,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — back off and retry (429).
+    Busy,
+    /// The engine is draining for shutdown (503).
+    ShuttingDown,
+}
+
+struct Shared {
+    cfg: EngineConfig,
+    queue: Mutex<VecDeque<(u64, JobSpec)>>,
+    available: Condvar,
+    jobs: Mutex<BTreeMap<u64, JobRecord>>,
+    next_id: AtomicU64,
+    shutting: AtomicBool,
+    metrics: Metrics,
+}
+
+/// Mutex access that survives a poisoned lock: a panicking job is caught
+/// inside `catch_unwind` before any engine lock is released abnormally,
+/// but a defensive read of poisoned state beats a cascading panic.
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The engine handle: submit/inspect/cancel jobs, drain on shutdown.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Starts the worker pool.
+    pub fn start(cfg: EngineConfig) -> std::io::Result<Engine> {
+        let shared = Arc::new(Shared {
+            cfg: cfg.clone(),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            jobs: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            shutting: AtomicBool::new(false),
+            metrics: Metrics::default(),
+        });
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for ix in 0..cfg.workers {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("sdp-serve-worker-{ix}"))
+                .spawn(move || worker_loop(&shared))?;
+            workers.push(handle);
+        }
+        Ok(Engine {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Queues a validated job. Applies backpressure when the bounded
+    /// queue is full instead of growing without limit.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        if self.shared.shutting.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let mut queue = lock(&self.shared.queue);
+        if queue.len() >= self.shared.cfg.queue_depth {
+            self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Busy);
+        }
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let record = JobRecord {
+            label: spec.label.clone(),
+            state: JobState::Queued,
+            token: CancelToken::new(),
+            submitted: Instant::now(),
+            phase: None,
+            frac: 0.0,
+            result: None,
+            error: None,
+            queue_wait_s: None,
+            run_s: None,
+            times: None,
+        };
+        lock(&self.shared.jobs).insert(id, record);
+        queue.push_back((id, spec));
+        drop(queue);
+        self.shared
+            .metrics
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.available.notify_one();
+        Ok(id)
+    }
+
+    /// The status body for a job, or `None` for unknown ids.
+    pub fn status_json(&self, id: u64) -> Option<String> {
+        let jobs = lock(&self.shared.jobs);
+        let r = jobs.get(&id)?;
+        let mut pairs = vec![
+            ("id", Json::num(id as f64)),
+            ("design", Json::str(r.label.clone())),
+            ("state", Json::str(r.state.name())),
+        ];
+        if let Some(phase) = r.phase {
+            pairs.push(("phase", Json::str(phase.name())));
+            pairs.push(("progress", Json::num(r.frac)));
+        }
+        if let Some(w) = r.queue_wait_s {
+            pairs.push(("queue_wait_s", Json::num(w)));
+        }
+        if let Some(s) = r.run_s {
+            pairs.push(("run_s", Json::num(s)));
+        }
+        if let Some(t) = r.times {
+            pairs.push((
+                "phase_s",
+                Json::obj([
+                    ("extract", Json::num(t.extract)),
+                    ("global", Json::num(t.global)),
+                    ("legalize", Json::num(t.legalize)),
+                    ("detailed", Json::num(t.detailed)),
+                ]),
+            ));
+        }
+        if let Some(e) = &r.error {
+            pairs.push(("error", Json::str(e.clone())));
+        }
+        Some(Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).to_string())
+    }
+
+    /// The result endpoint: `(status, body)` for a known job — 200 with
+    /// the deterministic result, 409 while unfinished, 500 for a crashed
+    /// job, 410-style 409 for a cancelled one. `None` for unknown ids.
+    pub fn result_response(&self, id: u64) -> Option<(u16, String)> {
+        let jobs = lock(&self.shared.jobs);
+        let r = jobs.get(&id)?;
+        Some(match (&r.state, &r.result) {
+            (JobState::Done, Some(body)) => (200, body.clone()),
+            (JobState::Failed, _) => (
+                500,
+                error_body(
+                    "job failed",
+                    r.error.as_deref().unwrap_or("unknown failure"),
+                ),
+            ),
+            (JobState::Cancelled, _) => (
+                409,
+                error_body("job cancelled", r.error.as_deref().unwrap_or("cancelled")),
+            ),
+            _ => (409, error_body("job not finished", r.state.name())),
+        })
+    }
+
+    /// Requests cooperative cancellation. Returns the resulting state
+    /// name, or `None` for unknown ids. Queued jobs are skipped by the
+    /// worker that pops them; running jobs stop at their next checkpoint.
+    pub fn cancel(&self, id: u64) -> Option<&'static str> {
+        let mut jobs = lock(&self.shared.jobs);
+        let r = jobs.get_mut(&id)?;
+        match r.state {
+            JobState::Queued | JobState::Running => {
+                r.token.cancel();
+                if r.error.is_none() {
+                    r.error = Some("cancelled by client".to_string());
+                }
+                Some(r.state.name())
+            }
+            _ => Some(r.state.name()),
+        }
+    }
+
+    /// Prometheus exposition text.
+    pub fn metrics_text(&self) -> String {
+        let depth = lock(&self.shared.queue).len();
+        self.shared
+            .metrics
+            .render(depth, self.shared.cfg.queue_depth, self.shared.cfg.workers)
+    }
+
+    /// Graceful shutdown: stop accepting, wake every worker, and join
+    /// them after they drain the queue (in-flight jobs run to
+    /// completion; queued jobs still execute before the pool exits).
+    pub fn shutdown(&self) {
+        self.shared.shutting.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        let mut workers = lock(&self.workers);
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Snapshot of `(state, has_result)` — used by tests and the CLI's
+    /// shutdown report.
+    pub fn peek_state(&self, id: u64) -> Option<(JobState, bool)> {
+        let jobs = lock(&self.shared.jobs);
+        jobs.get(&id).map(|r| (r.state.clone(), r.result.is_some()))
+    }
+}
+
+/// A `{"error": …, "detail": …}` body.
+pub fn error_body(error: &str, detail: &str) -> String {
+    Json::obj([("error", Json::str(error)), ("detail", Json::str(detail))]).to_string()
+}
+
+/// The per-job progress sink: forwards phase/fraction into the job
+/// record and folds the deadline into cancellation.
+struct JobSink {
+    shared: Arc<Shared>,
+    id: u64,
+    token: CancelToken,
+    deadline: Option<Instant>,
+}
+
+impl ProgressSink for JobSink {
+    fn report(&self, phase: Phase, frac: f64) {
+        let mut jobs = lock(&self.shared.jobs);
+        if let Some(r) = jobs.get_mut(&self.id) {
+            r.phase = Some(phase);
+            r.frac = frac;
+        }
+    }
+
+    fn cancelled(&self) -> bool {
+        if self.token.is_cancelled() {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                let mut jobs = lock(&self.shared.jobs);
+                if let Some(r) = jobs.get_mut(&self.id) {
+                    if r.error.is_none() {
+                        r.error = Some("deadline exceeded".to_string());
+                    }
+                }
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let task = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(t) = queue.pop_front() {
+                    break Some(t);
+                }
+                if shared.shutting.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        let Some((id, spec)) = task else {
+            return;
+        };
+
+        // Claim the job; a cancel that raced the queue pop is honoured
+        // here without running anything.
+        let (token, started) = {
+            let mut jobs = lock(&shared.jobs);
+            let Some(r) = jobs.get_mut(&id) else {
+                continue;
+            };
+            let wait = r.submitted.elapsed().as_secs_f64();
+            r.queue_wait_s = Some(wait);
+            shared.metrics.observe_queue_wait(wait);
+            if r.token.is_cancelled() {
+                r.state = JobState::Cancelled;
+                shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            r.state = JobState::Running;
+            (r.token.clone(), Instant::now())
+        };
+
+        let sink = JobSink {
+            shared: Arc::clone(shared),
+            id,
+            token,
+            deadline: spec
+                .deadline_ms
+                .map(|ms| started + std::time::Duration::from_millis(ms)),
+        };
+        let obs = Observer::new(Arc::new(MonotonicClock::new()), Arc::new(sink));
+
+        // Crash isolation: a panicking job must not take the worker (or
+        // the server) down — it becomes this job's `failed` state.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(&spec, &obs)));
+
+        let mut jobs = lock(&shared.jobs);
+        let Some(r) = jobs.get_mut(&id) else {
+            continue;
+        };
+        r.run_s = Some(started.elapsed().as_secs_f64());
+        r.phase = None;
+        match outcome {
+            Ok(Ok((body, times))) => {
+                r.state = JobState::Done;
+                r.result = Some(body);
+                r.times = Some(times);
+                shared.metrics.observe_phases(&times);
+                shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Err(Cancelled)) => {
+                r.state = JobState::Cancelled;
+                shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(payload) => {
+                r.state = JobState::Failed;
+                r.error = Some(format!("job panicked: {}", panic_message(payload.as_ref())));
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Runs one job to completion. Only ever called inside the worker's
+/// `catch_unwind` boundary — the chaos hook below relies on that.
+fn run_job(spec: &JobSpec, obs: &Observer) -> Result<(String, PhaseTimes), Cancelled> {
+    if spec.chaos_panic {
+        panic!("chaos requested by job spec");
+    }
+    obs.checkpoint()?;
+    let generated;
+    let (netlist, design, placement) = match &spec.source {
+        CaseSource::Generated(cfg) => {
+            generated = sdp_dpgen::generate(cfg);
+            (&generated.netlist, &generated.design, &generated.placement)
+        }
+        CaseSource::Loaded(case) => (&case.netlist, &case.design, &case.placement),
+    };
+    obs.checkpoint()?;
+    let out =
+        StructurePlacer::new(spec.flow.clone()).place_with(netlist, design, placement, obs)?;
+    let times = out.report.times;
+    Ok((result_body(netlist, &out), times))
+}
+
+/// The deterministic result body: metrics and the final placement,
+/// **excluding** every timing field, the job id, and anything else that
+/// varies run-to-run — identical specs must yield byte-identical
+/// results regardless of server concurrency.
+fn result_body(netlist: &Netlist, out: &FlowOutput) -> String {
+    let placement: Vec<Json> = netlist
+        .cell_ids()
+        .map(|c| {
+            let p = out.placement.get(c);
+            Json::str(format!("{} {} {}", netlist.cell(c).name, p.x, p.y))
+        })
+        .collect();
+    Json::obj([
+        (
+            "alignment",
+            Json::obj([
+                (
+                    "aligned_row_fraction",
+                    Json::num(out.report.alignment.aligned_row_fraction),
+                ),
+                (
+                    "mean_row_y_spread",
+                    Json::num(out.report.alignment.mean_row_y_spread),
+                ),
+                (
+                    "mean_col_x_spread",
+                    Json::num(out.report.alignment.mean_col_x_spread),
+                ),
+                (
+                    "rows_measured",
+                    Json::num(out.report.alignment.rows_measured as f64),
+                ),
+            ]),
+        ),
+        (
+            "hpwl",
+            Json::obj([
+                ("total", Json::num(out.report.hpwl.total)),
+                ("datapath", Json::num(out.report.hpwl.datapath)),
+                ("other", Json::num(out.report.hpwl.other)),
+                (
+                    "datapath_nets",
+                    Json::num(out.report.hpwl.datapath_nets as f64),
+                ),
+            ]),
+        ),
+        ("legal_violations", Json::num(out.legal_violations as f64)),
+        ("num_groups", Json::num(out.report.num_groups as f64)),
+        (
+            "num_group_cells",
+            Json::num(out.report.num_group_cells as f64),
+        ),
+        (
+            "gp_outer_iters",
+            Json::num(out.report.gp.outer_iters as f64),
+        ),
+        ("placement", Json::Arr(placement)),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::parse_spec;
+
+    fn wait_done(engine: &Engine, id: u64) -> JobState {
+        for _ in 0..600 {
+            if let Some((state, _)) = engine.peek_state(id) {
+                if !matches!(state, JobState::Queued | JobState::Running) {
+                    return state;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        panic!("job {id} never settled");
+    }
+
+    #[test]
+    fn identical_specs_yield_byte_identical_results() {
+        let engine = Engine::start(EngineConfig {
+            workers: 4,
+            queue_depth: 8,
+        })
+        .unwrap();
+        let spec = r#"{"design": {"preset": "dp_tiny", "seed": 11}}"#;
+        let a = engine.submit(parse_spec(spec).unwrap()).unwrap();
+        let b = engine.submit(parse_spec(spec).unwrap()).unwrap();
+        assert_eq!(wait_done(&engine, a), JobState::Done);
+        assert_eq!(wait_done(&engine, b), JobState::Done);
+        let (sa, ra) = engine.result_response(a).unwrap();
+        let (sb, rb) = engine.result_response(b).unwrap();
+        assert_eq!((sa, sb), (200, 200));
+        assert_eq!(ra, rb, "same spec on concurrent workers → same bytes");
+        assert!(ra.contains("\"placement\""));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn queue_backpressure_rejects_when_full() {
+        // Zero workers: nothing drains, so the bound is exact.
+        let engine = Engine::start(EngineConfig {
+            workers: 0,
+            queue_depth: 2,
+        })
+        .unwrap();
+        let spec = || parse_spec(r#"{"design": {"preset": "dp_tiny"}}"#).unwrap();
+        assert!(engine.submit(spec()).is_ok());
+        assert!(engine.submit(spec()).is_ok());
+        assert_eq!(engine.submit(spec()), Err(SubmitError::Busy));
+        assert!(engine
+            .metrics_text()
+            .contains("sdp_serve_jobs_rejected_total 1"));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn chaos_panic_is_isolated_to_its_job() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 8,
+        })
+        .unwrap();
+        let bad = engine
+            .submit(parse_spec(r#"{"design": {"preset": "dp_tiny"}, "chaos": "panic"}"#).unwrap())
+            .unwrap();
+        let good = engine
+            .submit(parse_spec(r#"{"design": {"preset": "dp_tiny"}}"#).unwrap())
+            .unwrap();
+        assert_eq!(wait_done(&engine, bad), JobState::Failed);
+        let (status, body) = engine.result_response(bad).unwrap();
+        assert_eq!(status, 500);
+        assert!(body.contains("chaos requested"), "{body}");
+        // The same worker survives and completes the next job.
+        assert_eq!(wait_done(&engine, good), JobState::Done);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 8,
+        })
+        .unwrap();
+        let ids: Vec<u64> = (0..3)
+            .map(|k| {
+                engine
+                    .submit(
+                        parse_spec(&format!(
+                            r#"{{"design": {{"preset": "dp_tiny", "seed": {k}}}}}"#
+                        ))
+                        .unwrap(),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        engine.shutdown();
+        for id in ids {
+            let (state, has_result) = engine.peek_state(id).unwrap();
+            assert_eq!(state, JobState::Done, "job {id} drained");
+            assert!(has_result);
+        }
+        assert!(matches!(
+            engine.submit(parse_spec(r#"{"design": {"preset": "dp_tiny"}}"#).unwrap()),
+            Err(SubmitError::ShuttingDown)
+        ));
+    }
+}

@@ -1,0 +1,215 @@
+//! Lock-free serving metrics and their Prometheus text exposition
+//! (`GET /metrics`). Counters and histogram buckets are plain atomics;
+//! float sums are stored as microseconds in a `u64` so no atomic-float
+//! emulation is needed.
+
+use sdp_progress::Phase;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Histogram bucket upper bounds, in seconds. Chosen to straddle the
+/// dp_tiny…dp_huge per-phase latency range at `fast()` effort.
+const BOUNDS: [f64; 10] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0];
+
+/// A fixed-bucket latency histogram.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    /// One counter per bound in [`BOUNDS`], plus the implicit `+Inf`
+    /// bucket at the end.
+    counts: [AtomicU64; BOUNDS.len() + 1],
+    /// Total observed time in integer microseconds.
+    sum_micros: AtomicU64,
+    /// Number of observations.
+    observations: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one latency observation.
+    pub fn observe(&self, seconds: f64) {
+        let ix = BOUNDS
+            .iter()
+            .position(|&b| seconds <= b)
+            .unwrap_or(BOUNDS.len());
+        self.counts[ix].fetch_add(1, Ordering::Relaxed);
+        let micros = (seconds.max(0.0) * 1e6).round() as u64;
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.observations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Appends `name{labels…}` bucket/sum/count lines in exposition
+    /// format. `labels` is either empty or `key="value",` fragments to
+    /// splice before `le`.
+    fn render_into(&self, out: &mut String, name: &str, labels: &str) {
+        let mut cumulative = 0u64;
+        for (ix, bound) in BOUNDS.iter().enumerate() {
+            cumulative += self.counts[ix].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "{name}_bucket{{{labels}le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.counts[BOUNDS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "{name}_bucket{{{labels}le=\"+Inf\"}} {cumulative}\n"
+        ));
+        let sum = self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        let labels_block = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", labels.trim_end_matches(','))
+        };
+        out.push_str(&format!("{name}_sum{labels_block} {sum}\n"));
+        out.push_str(&format!(
+            "{name}_count{labels_block} {}\n",
+            self.observations.load(Ordering::Relaxed)
+        ));
+    }
+}
+
+/// All serving metrics, shared across the accept loop and workers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Jobs accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Jobs that produced a result.
+    pub completed: AtomicU64,
+    /// Jobs that panicked (crash-isolated) or were otherwise lost.
+    pub failed: AtomicU64,
+    /// Jobs cancelled by a client or a deadline.
+    pub cancelled: AtomicU64,
+    /// Submissions rejected with 429 (queue full).
+    pub rejected: AtomicU64,
+    /// Per-phase placement latency, indexed by [`Phase::ALL`] order.
+    phase_seconds: [Histogram; Phase::ALL.len()],
+    /// Time jobs sat queued before a worker picked them up.
+    queue_wait: Histogram,
+}
+
+impl Metrics {
+    /// Records the per-phase latencies of a completed job.
+    pub fn observe_phases(&self, times: &sdp_core::PhaseTimes) {
+        for (ix, phase) in Phase::ALL.iter().enumerate() {
+            let seconds = match phase {
+                Phase::Extract => times.extract,
+                Phase::Global => times.global,
+                Phase::Legalize => times.legalize,
+                Phase::Detailed => times.detailed,
+            };
+            self.phase_seconds[ix].observe(seconds);
+        }
+    }
+
+    /// Records how long a job waited in the queue.
+    pub fn observe_queue_wait(&self, seconds: f64) {
+        self.queue_wait.observe(seconds);
+    }
+
+    /// Renders the whole registry in Prometheus text exposition format.
+    /// `queue_depth` and `workers` are point-in-time gauges supplied by
+    /// the engine.
+    pub fn render(&self, queue_depth: usize, queue_capacity: usize, workers: usize) -> String {
+        let mut out = String::with_capacity(4096);
+        let counter = |out: &mut String, name: &str, help: &str, v: &AtomicU64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
+                v.load(Ordering::Relaxed)
+            ));
+        };
+        counter(
+            &mut out,
+            "sdp_serve_jobs_submitted_total",
+            "Jobs accepted into the queue.",
+            &self.submitted,
+        );
+        counter(
+            &mut out,
+            "sdp_serve_jobs_completed_total",
+            "Jobs that produced a placement result.",
+            &self.completed,
+        );
+        counter(
+            &mut out,
+            "sdp_serve_jobs_failed_total",
+            "Jobs that crashed (isolated per job).",
+            &self.failed,
+        );
+        counter(
+            &mut out,
+            "sdp_serve_jobs_cancelled_total",
+            "Jobs cancelled by clients or deadlines.",
+            &self.cancelled,
+        );
+        counter(
+            &mut out,
+            "sdp_serve_jobs_rejected_total",
+            "Submissions rejected because the queue was full.",
+            &self.rejected,
+        );
+        out.push_str(&format!(
+            "# HELP sdp_serve_queue_depth Jobs currently queued.\n# TYPE sdp_serve_queue_depth gauge\nsdp_serve_queue_depth {queue_depth}\n"
+        ));
+        out.push_str(&format!(
+            "# HELP sdp_serve_queue_capacity Configured queue bound.\n# TYPE sdp_serve_queue_capacity gauge\nsdp_serve_queue_capacity {queue_capacity}\n"
+        ));
+        out.push_str(&format!(
+            "# HELP sdp_serve_workers Configured worker threads.\n# TYPE sdp_serve_workers gauge\nsdp_serve_workers {workers}\n"
+        ));
+        out.push_str(
+            "# HELP sdp_serve_phase_seconds Placement phase latency.\n# TYPE sdp_serve_phase_seconds histogram\n",
+        );
+        for (ix, phase) in Phase::ALL.iter().enumerate() {
+            self.phase_seconds[ix].render_into(
+                &mut out,
+                "sdp_serve_phase_seconds",
+                &format!("phase=\"{phase}\","),
+            );
+        }
+        out.push_str(
+            "# HELP sdp_serve_queue_wait_seconds Time jobs waited for a worker.\n# TYPE sdp_serve_queue_wait_seconds histogram\n",
+        );
+        self.queue_wait
+            .render_into(&mut out, "sdp_serve_queue_wait_seconds", "");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.observe(0.0005); // bucket 0
+        h.observe(0.3); // ≤ 0.5
+        h.observe(120.0); // +Inf
+        let mut out = String::new();
+        h.render_into(&mut out, "t", "");
+        assert!(out.contains("t_bucket{le=\"0.001\"} 1"), "{out}");
+        assert!(out.contains("t_bucket{le=\"0.5\"} 2"), "{out}");
+        assert!(out.contains("t_bucket{le=\"+Inf\"} 3"), "{out}");
+        assert!(out.contains("t_count 3"), "{out}");
+    }
+
+    #[test]
+    fn render_is_valid_exposition_shape() {
+        let m = Metrics::default();
+        m.submitted.fetch_add(2, Ordering::Relaxed);
+        m.observe_phases(&sdp_core::PhaseTimes {
+            extract: 0.01,
+            global: 0.2,
+            legalize: 0.005,
+            detailed: 0.03,
+        });
+        m.observe_queue_wait(0.002);
+        let text = m.render(1, 8, 4);
+        assert!(text.contains("sdp_serve_jobs_submitted_total 2"));
+        assert!(text.contains("sdp_serve_queue_depth 1"));
+        assert!(text.contains("phase=\"global\",le=\"0.5\"}"));
+        assert!(text.contains("sdp_serve_queue_wait_seconds_count 1"));
+        // Every non-comment line is `name{...} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad exposition line: {line}");
+        }
+    }
+}

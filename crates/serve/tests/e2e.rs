@@ -1,0 +1,232 @@
+//! End-to-end tests: a real server on a loopback ephemeral port, driven
+//! through the HTTP API exactly as an external client would.
+
+use sdp_serve::client::{request, wait_for_job};
+use sdp_serve::{JobState, Server, ServerConfig};
+use std::time::Duration;
+
+fn start(workers: usize, queue_depth: usize) -> sdp_serve::ServerHandle {
+    Server::start(ServerConfig {
+        port: 0,
+        workers,
+        queue_depth,
+    })
+    .expect("server starts on an ephemeral port")
+}
+
+/// Submits a spec and returns the job id from the 202 body.
+fn submit(port: u16, spec: &str) -> u64 {
+    let (status, body) = request(port, "POST", "/jobs", spec).expect("submit");
+    assert_eq!(status, 202, "submit body: {body}");
+    let v = sdp_json::parse(&body).expect("202 body is JSON");
+    v.get("id")
+        .and_then(|x| x.as_u64())
+        .expect("202 body has id")
+}
+
+const TINY: &str = r#"{"design": {"preset": "dp_tiny", "seed": 3}, "flow": {"fast": true}}"#;
+
+#[test]
+fn submit_poll_result_roundtrip_and_determinism() {
+    let server = start(4, 16);
+    let port = server.port();
+
+    let (status, body) = request(port, "GET", "/healthz", "").unwrap();
+    assert_eq!((status, body.as_str()), (200, r#"{"status":"ok"}"#));
+
+    // Two identical-seed jobs racing on a 4-worker pool.
+    let a = submit(port, TINY);
+    let b = submit(port, TINY);
+    assert_ne!(a, b);
+
+    for id in [a, b] {
+        let status_body = wait_for_job(port, id, Duration::from_secs(120)).unwrap();
+        assert!(status_body.contains(r#""state":"done""#), "{status_body}");
+        assert!(status_body.contains("\"phase_s\""), "{status_body}");
+    }
+
+    let (sa, ra) = request(port, "GET", &format!("/jobs/{a}/result"), "").unwrap();
+    let (sb, rb) = request(port, "GET", &format!("/jobs/{b}/result"), "").unwrap();
+    assert_eq!((sa, sb), (200, 200));
+    assert_eq!(
+        ra, rb,
+        "identical specs must produce byte-identical results"
+    );
+    assert!(
+        ra.contains("\"hpwl\"") && ra.contains("\"placement\""),
+        "{ra}"
+    );
+    // Nothing run-specific may leak into the result body.
+    assert!(!ra.contains("\"id\"") && !ra.contains("seconds"), "{ra}");
+
+    // Metrics reflect the completed jobs.
+    let (ms, metrics) = request(port, "GET", "/metrics", "").unwrap();
+    assert_eq!(ms, 200);
+    assert!(
+        metrics.contains("sdp_serve_jobs_submitted_total 2"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("sdp_serve_jobs_completed_total 2"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("sdp_serve_phase_seconds_bucket"),
+        "{metrics}"
+    );
+}
+
+#[test]
+fn full_queue_rejects_with_429() {
+    // Zero workers: the queue cannot drain, so the bound is exact.
+    let server = start(0, 2);
+    let port = server.port();
+    submit(port, TINY);
+    submit(port, TINY);
+    let (status, body) = request(port, "POST", "/jobs", TINY).unwrap();
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("queue full"), "{body}");
+    let (_, metrics) = request(port, "GET", "/metrics", "").unwrap();
+    assert!(
+        metrics.contains("sdp_serve_jobs_rejected_total 1"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("sdp_serve_queue_depth 2"), "{metrics}");
+}
+
+#[test]
+fn cancellation_lands_mid_phase() {
+    let server = start(1, 4);
+    let port = server.port();
+    // Full-effort medium design: long enough that cancellation is
+    // requested while global placement is iterating.
+    let id = submit(
+        port,
+        r#"{"design": {"preset": "dp_medium", "seed": 1}, "flow": {"fast": false}}"#,
+    );
+
+    // Wait until the job reports a running phase…
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let (_, body) = request(port, "GET", &format!("/jobs/{id}"), "").unwrap();
+        if body.contains(r#""state":"running""#) && body.contains("\"phase\"") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job never started running: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // …then cancel it mid-flight.
+    let (status, body) = request(port, "DELETE", &format!("/jobs/{id}"), "").unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    let final_body = wait_for_job(port, id, Duration::from_secs(60)).unwrap();
+    assert!(
+        final_body.contains(r#""state":"cancelled""#),
+        "{final_body}"
+    );
+    assert!(final_body.contains("cancelled by client"), "{final_body}");
+
+    let (rs, rb) = request(port, "GET", &format!("/jobs/{id}/result"), "").unwrap();
+    assert_eq!(rs, 409, "cancelled jobs have no result: {rb}");
+}
+
+#[test]
+fn malformed_requests_get_structured_400s() {
+    let server = start(1, 4);
+    let port = server.port();
+
+    // Invalid JSON.
+    let (status, body) = request(port, "POST", "/jobs", "{not json").unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("invalid JSON"), "{body}");
+
+    // Valid JSON, unknown key (strict parsing).
+    let (status, body) = request(
+        port,
+        "POST",
+        "/jobs",
+        r#"{"design": {"preset": "dp_tiny"}, "bogus": 1}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("bogus"), "{body}");
+
+    // A Bookshelf payload that fails the netlist reader: the parse error
+    // surfaces synchronously in the 400 body.
+    let (status, body) = request(
+        port,
+        "POST",
+        "/jobs",
+        r#"{"design": {"bookshelf": {"nodes": "NumNoodles : 1", "nets": "", "pl": "", "scl": ""}}}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("bookshelf payload"), "{body}");
+
+    // Unknown job / bad id / wrong method.
+    let (status, _) = request(port, "GET", "/jobs/999", "").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = request(port, "GET", "/jobs/banana", "").unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = request(port, "PUT", "/jobs", "{}").unwrap();
+    assert_eq!(status, 405);
+    let (status, _) = request(port, "GET", "/nope", "").unwrap();
+    assert_eq!(status, 404);
+}
+
+#[test]
+fn panicking_job_fails_alone_while_server_keeps_serving() {
+    let server = start(1, 8);
+    let port = server.port();
+
+    let bad = submit(
+        port,
+        r#"{"design": {"preset": "dp_tiny", "seed": 5}, "chaos": "panic"}"#,
+    );
+    let good = submit(port, TINY);
+
+    let bad_status = wait_for_job(port, bad, Duration::from_secs(30)).unwrap();
+    assert!(bad_status.contains(r#""state":"failed""#), "{bad_status}");
+
+    let (status, body) = request(port, "GET", &format!("/jobs/{bad}/result"), "").unwrap();
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("chaos requested"), "{body}");
+
+    // The same single worker survives the panic and serves the next job.
+    let good_status = wait_for_job(port, good, Duration::from_secs(120)).unwrap();
+    assert!(good_status.contains(r#""state":"done""#), "{good_status}");
+    let (status, _) = request(port, "GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200);
+    let (_, metrics) = request(port, "GET", "/metrics", "").unwrap();
+    assert!(
+        metrics.contains("sdp_serve_jobs_failed_total 1"),
+        "{metrics}"
+    );
+}
+
+#[test]
+fn graceful_shutdown_drains_the_queue() {
+    let mut server = start(1, 8);
+    let port = server.port();
+    let ids: Vec<u64> = (0..3)
+        .map(|k| {
+            submit(
+                port,
+                &format!(r#"{{"design": {{"preset": "dp_tiny", "seed": {k}}}}}"#),
+            )
+        })
+        .collect();
+
+    server.shutdown();
+
+    // Every job — including ones still queued at shutdown — ran to done.
+    for id in ids {
+        let (state, has_result) = server.engine().peek_state(id).expect("job exists");
+        assert_eq!(state, JobState::Done, "job {id} drained");
+        assert!(has_result);
+    }
+}
