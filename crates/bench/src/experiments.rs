@@ -730,6 +730,7 @@ fn serve_throughput(mode: Mode) -> Exp {
         port: 0,
         workers,
         queue_depth: n_jobs,
+        ..ServerConfig::default()
     })
     .expect("loopback server on an ephemeral port");
     let port = server.port();

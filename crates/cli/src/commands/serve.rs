@@ -8,10 +8,14 @@ use sdp_serve::{Server, ServerConfig};
 /// in-flight jobs.
 pub fn run(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
+    let defaults = ServerConfig::default();
     let cfg = ServerConfig {
         port: args.number::<u16>("port")?.unwrap_or(7878),
         workers: args.number::<usize>("workers")?.unwrap_or(2),
         queue_depth: args.number::<usize>("queue-depth")?.unwrap_or(16),
+        retain_terminal: args
+            .number::<usize>("retain")?
+            .unwrap_or(defaults.retain_terminal),
     };
     let workers = cfg.workers;
     let queue_depth = cfg.queue_depth;

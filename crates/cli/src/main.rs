@@ -28,7 +28,7 @@ USAGE:
                 [--seed S] [--threads T] [--out PATH] [--svg FILE]
   sdplace route <case.aux> [--tracks N]
   sdplace eval <case.aux>
-  sdplace serve [--port P] [--workers N] [--queue-depth D]
+  sdplace serve [--port P] [--workers N] [--queue-depth D] [--retain R]
 
 SUBCOMMANDS:
   gen      generate a benchmark (presets: dp_tiny dp_small dp_medium
@@ -60,6 +60,8 @@ OPTIONS:
   --port P        serve: TCP port on 127.0.0.1         [default: 7878]
   --workers N     serve: placement worker threads         [default: 2]
   --queue-depth D serve: bounded job-queue depth         [default: 16]
+  --retain R      serve: finished job records kept before the oldest
+                  are evicted (bounds memory)           [default: 256]
 ";
 
 fn main() -> ExitCode {

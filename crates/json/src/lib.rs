@@ -289,20 +289,7 @@ impl<'a> Parser<'a> {
                         b'r' => out.push('\r'),
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let Some(hex) = self.s.get(self.i..self.i + 4) else {
-                                return Err(self.err("truncated \\u escape"));
-                            };
-                            let code = std::str::from_utf8(hex)
-                                .ok()
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            self.i += 4;
-                            let Some(c) = char::from_u32(code) else {
-                                return Err(self.err("surrogate in \\u escape"));
-                            };
-                            out.push(c);
-                        }
+                        b'u' => out.push(self.unicode_escape()?),
                         other => {
                             return Err(self.err(format!("bad escape `\\{}`", other as char)));
                         }
@@ -312,16 +299,64 @@ impl<'a> Parser<'a> {
                     return Err(self.err(format!("raw control character 0x{b:02x} in string")));
                 }
                 Some(_) => {
-                    // Multi-byte UTF-8: copy the full scalar.
-                    let rest = std::str::from_utf8(&self.s[self.i..])
+                    // Bulk-copy the run of ordinary bytes up to the next
+                    // quote, backslash, or control character. The input
+                    // came from a `&str`, and the run delimiters are all
+                    // ASCII (never UTF-8 continuation bytes), so the run
+                    // is itself valid UTF-8 — one O(len) validation per
+                    // run instead of one O(remaining) scan per character.
+                    let start = self.i;
+                    while self
+                        .s
+                        .get(self.i)
+                        .is_some_and(|&b| b != b'"' && b != b'\\' && b >= 0x20)
+                    {
+                        self.i += 1;
+                    }
+                    let run = std::str::from_utf8(&self.s[start..self.i])
                         .map_err(|e| self.err(e.to_string()))?;
-                    let Some(c) = rest.chars().next() else {
-                        return Err(self.err("unterminated string"));
-                    };
-                    out.push(c);
-                    self.i += c.len_utf8();
+                    out.push_str(run);
                 }
             }
+        }
+    }
+
+    /// Four hex digits of a `\u` escape (cursor past the `\u`).
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let Some(hex) = self.s.get(self.i..self.i + 4) else {
+            return Err(self.err("truncated \\u escape"));
+        };
+        if !hex.iter().all(u8::is_ascii_hexdigit) {
+            return Err(self.err("bad \\u escape"));
+        }
+        let code = std::str::from_utf8(hex)
+            .ok()
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| self.err("bad \\u escape"))?;
+        self.i += 4;
+        Ok(code)
+    }
+
+    /// One `\u` escape, combining a high/low surrogate pair (the form
+    /// standard serializers use for supplementary-plane characters such
+    /// as emoji) into its scalar. Unpaired surrogates are rejected.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let code = self.hex4()?;
+        match code {
+            0xD800..=0xDBFF => {
+                if self.peek() != Some(b'\\') || self.s.get(self.i + 1) != Some(&b'u') {
+                    return Err(self.err("unpaired surrogate in \\u escape"));
+                }
+                self.i += 2;
+                let lo = self.hex4()?;
+                if !(0xDC00..=0xDFFF).contains(&lo) {
+                    return Err(self.err("unpaired surrogate in \\u escape"));
+                }
+                let scalar = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                char::from_u32(scalar).ok_or_else(|| self.err("bad \\u escape"))
+            }
+            0xDC00..=0xDFFF => Err(self.err("unpaired surrogate in \\u escape")),
+            _ => char::from_u32(code).ok_or_else(|| self.err("bad \\u escape")),
         }
     }
 
@@ -455,6 +490,10 @@ mod tests {
             "\"bad \\x escape\"",
             "\"ctrl \u{1} char\"",
             "\"trunc \\u12\"",
+            "\"lone high surrogate \\ud83d\"",
+            "\"lone low surrogate \\ude00\"",
+            "\"bad pair \\ud83d\\u0041\"",
+            "\"signed hex \\u+123\"",
             "nan",
             "1e999",
         ] {
@@ -474,6 +513,35 @@ mod tests {
         assert_eq!(
             parse("\"\\u2192 \\u00e9\"").unwrap(),
             Json::Str("\u{2192} \u{e9}".into())
+        );
+    }
+
+    #[test]
+    fn surrogate_pairs_combine() {
+        // The escape form standard serializers emit for emoji.
+        assert_eq!(
+            parse("\"\\ud83d\\ude00!\"").unwrap(),
+            Json::Str("\u{1f600}!".into())
+        );
+        assert_eq!(
+            parse("\"\\uD834\\uDD1E\"").unwrap(),
+            Json::Str("\u{1d11e}".into())
+        );
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        // Regression guard for the O(n²) per-character re-validation:
+        // a multi-megabyte string (mixed ASCII and multi-byte scalars)
+        // must parse in well under a second, not minutes.
+        let payload = "datapath-α-β\u{1f600} ".repeat(150_000);
+        let doc = quote(&payload);
+        let start = std::time::Instant::now();
+        assert_eq!(parse(&doc).unwrap(), Json::Str(payload));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "large string parse took {:?}",
+            start.elapsed()
         );
     }
 

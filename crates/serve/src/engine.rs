@@ -35,6 +35,12 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Bounded queue depth; submissions beyond it are rejected (429).
     pub queue_depth: usize,
+    /// Terminal-state records (Done/Failed/Cancelled) retained for
+    /// clients to fetch; once exceeded, the oldest are evicted and
+    /// their ids answer 404. Bounds server memory — result bodies can
+    /// be large, and a long-running server must not grow per completed
+    /// job forever.
+    pub retain_terminal: usize,
 }
 
 impl Default for EngineConfig {
@@ -42,6 +48,7 @@ impl Default for EngineConfig {
         EngineConfig {
             workers: 2,
             queue_depth: 16,
+            retain_terminal: 256,
         }
     }
 }
@@ -154,10 +161,14 @@ impl Engine {
     /// Queues a validated job. Applies backpressure when the bounded
     /// queue is full instead of growing without limit.
     pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        let mut queue = lock(&self.shared.queue);
+        // Checked under the queue lock: `shutdown()` sets the flag and
+        // workers decide to exit under this same lock, so an enqueue can
+        // never slip in after the pool has drained and left (which would
+        // strand the job in `Queued` forever).
         if self.shared.shutting.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }
-        let mut queue = lock(&self.shared.queue);
         if queue.len() >= self.shared.cfg.queue_depth {
             self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Busy);
@@ -276,7 +287,12 @@ impl Engine {
     /// them after they drain the queue (in-flight jobs run to
     /// completion; queued jobs still execute before the pool exits).
     pub fn shutdown(&self) {
-        self.shared.shutting.store(true, Ordering::Release);
+        {
+            // Under the queue lock so it serializes with `submit`'s
+            // check — see the comment there.
+            let _queue = lock(&self.shared.queue);
+            self.shared.shutting.store(true, Ordering::Release);
+        }
         self.shared.available.notify_all();
         let mut workers = lock(&self.workers);
         for handle in workers.drain(..) {
@@ -368,6 +384,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             if r.token.is_cancelled() {
                 r.state = JobState::Cancelled;
                 shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                prune_terminal(&mut jobs, shared.cfg.retain_terminal);
                 continue;
             }
             r.state = JobState::Running;
@@ -413,6 +430,23 @@ fn worker_loop(shared: &Arc<Shared>) {
                 shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
             }
         }
+        prune_terminal(&mut jobs, shared.cfg.retain_terminal);
+    }
+}
+
+/// Evicts the oldest terminal-state records beyond `keep`, so memory is
+/// bounded by `keep` retained results plus the queued/running set (itself
+/// bounded by queue depth + workers). Evicted ids answer 404 afterwards.
+fn prune_terminal(jobs: &mut BTreeMap<u64, JobRecord>, keep: usize) {
+    let terminal: Vec<u64> = jobs
+        .iter()
+        .filter(|(_, r)| !matches!(r.state, JobState::Queued | JobState::Running))
+        .map(|(&id, _)| id)
+        .collect();
+    // BTreeMap iteration is id-ascending, so the front of `terminal` is
+    // oldest-first.
+    for id in terminal.iter().take(terminal.len().saturating_sub(keep)) {
+        jobs.remove(id);
     }
 }
 
@@ -532,6 +566,7 @@ mod tests {
         let engine = Engine::start(EngineConfig {
             workers: 4,
             queue_depth: 8,
+            ..EngineConfig::default()
         })
         .unwrap();
         let spec = r#"{"design": {"preset": "dp_tiny", "seed": 11}}"#;
@@ -553,6 +588,7 @@ mod tests {
         let engine = Engine::start(EngineConfig {
             workers: 0,
             queue_depth: 2,
+            ..EngineConfig::default()
         })
         .unwrap();
         let spec = || parse_spec(r#"{"design": {"preset": "dp_tiny"}}"#).unwrap();
@@ -570,6 +606,7 @@ mod tests {
         let engine = Engine::start(EngineConfig {
             workers: 1,
             queue_depth: 8,
+            ..EngineConfig::default()
         })
         .unwrap();
         let bad = engine
@@ -588,10 +625,41 @@ mod tests {
     }
 
     #[test]
+    fn terminal_records_are_evicted_beyond_retention() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 8,
+            retain_terminal: 2,
+        })
+        .unwrap();
+        let ids: Vec<u64> = (0..4)
+            .map(|k| {
+                engine
+                    .submit(
+                        parse_spec(&format!(
+                            r#"{{"design": {{"preset": "dp_tiny", "seed": {k}}}}}"#
+                        ))
+                        .unwrap(),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        engine.shutdown();
+        // Only the newest two terminal records survive; evicted ids are
+        // unknown (the HTTP layer answers 404).
+        assert_eq!(engine.peek_state(ids[0]), None);
+        assert_eq!(engine.peek_state(ids[1]), None);
+        assert!(engine.result_response(ids[1]).is_none());
+        assert_eq!(engine.peek_state(ids[2]).unwrap().0, JobState::Done);
+        assert_eq!(engine.result_response(ids[3]).unwrap().0, 200);
+    }
+
+    #[test]
     fn shutdown_drains_queued_jobs() {
         let engine = Engine::start(EngineConfig {
             workers: 1,
             queue_depth: 8,
+            ..EngineConfig::default()
         })
         .unwrap();
         let ids: Vec<u64> = (0..3)

@@ -50,6 +50,9 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded job-queue depth; beyond it submissions get 429.
     pub queue_depth: usize,
+    /// Finished job records kept for result fetches before the oldest
+    /// are evicted (their ids then 404); bounds server memory.
+    pub retain_terminal: usize,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +61,7 @@ impl Default for ServerConfig {
             port: 0,
             workers: 2,
             queue_depth: 16,
+            retain_terminal: 256,
         }
     }
 }
@@ -74,6 +78,7 @@ impl Server {
         let engine = Arc::new(Engine::start(EngineConfig {
             workers: cfg.workers,
             queue_depth: cfg.queue_depth,
+            retain_terminal: cfg.retain_terminal,
         })?);
         let shutting = Arc::new(AtomicBool::new(false));
 

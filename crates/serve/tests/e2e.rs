@@ -10,6 +10,7 @@ fn start(workers: usize, queue_depth: usize) -> sdp_serve::ServerHandle {
         port: 0,
         workers,
         queue_depth,
+        ..ServerConfig::default()
     })
     .expect("server starts on an ephemeral port")
 }
