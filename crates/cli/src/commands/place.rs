@@ -35,6 +35,10 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     if let Some(threads) = args.number::<usize>("threads")? {
         config = config.with_threads(threads);
     }
+    if let Some(name) = args.value("solver") {
+        config.gp.solver = sdp_gp::GpSolver::parse(name)
+            .ok_or_else(|| format!("unknown --solver '{name}' (expected cg or nesterov)"))?;
+    }
 
     let out = StructurePlacer::new(config).place(&case.netlist, &case.design, &case.placement);
     let r = &out.report;

@@ -309,6 +309,7 @@ impl StructurePlacer {
                 stats.final_hpwl = rstats.final_hpwl;
                 stats.final_overflow = rstats.final_overflow;
                 stats.seconds += rstats.seconds;
+                stats.evals += rstats.evals;
             }
             stats
         } else {
@@ -350,6 +351,7 @@ impl StructurePlacer {
                 stats.final_hpwl = rstats.final_hpwl;
                 stats.final_overflow = rstats.final_overflow;
                 stats.seconds += rstats.seconds;
+                stats.evals += rstats.evals;
             }
             stats
         };
@@ -596,6 +598,7 @@ impl StructurePlacer {
             )?;
             stats.outer_iters += r.outer_iters;
             stats.seconds += r.seconds;
+            stats.evals += r.evals;
             let s = score(placement);
             if s < best_score {
                 best_score = s;

@@ -43,6 +43,9 @@ pub mod flow;
 
 pub use align::{AlignConfig, AlignTerm};
 pub use flow::{FlowConfig, FlowOutput, FlowReport, LegalizerKind, PhaseTimes, StructurePlacer};
+// Re-exported so downstream crates (serve, bench) can select the GP
+// solver without depending on `sdp-gp` directly.
+pub use sdp_gp::{GpConfig, GpSolver};
 pub use sdp_progress::{
     CancelToken, Cancelled, Clock, ManualClock, MonotonicClock, NullSink, Observer, Phase,
     ProgressSink, TokenSink,

@@ -50,9 +50,10 @@ impl Default for CgOptions {
     }
 }
 
-/// Result of a CG run.
+/// Result of a solver run (shared by [`minimize_cg`] and the Nesterov
+/// solver in [`crate::nesterov`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CgResult {
+pub struct SolveResult {
     /// Final objective value.
     pub value: f64,
     /// Iterations actually performed.
@@ -81,18 +82,22 @@ fn rms(a: &[Point]) -> f64 {
 /// steepest descent when the direction loses descent, and an Armijo
 /// back-tracking line search. Robust rather than clever: placement
 /// objectives are cheap to evaluate and mildly nonconvex.
-pub fn minimize_cg<O: Objective>(obj: &mut O, x: &mut [Point], opts: &CgOptions) -> CgResult {
+pub fn minimize_cg<O: Objective>(obj: &mut O, x: &mut [Point], opts: &CgOptions) -> SolveResult {
     let n = x.len();
     let mut grad = vec![Point::ORIGIN; n];
     let mut value = obj.eval(x, &mut grad);
     let mut evals = 1;
     let mut dir: Vec<Point> = grad.iter().map(|&g| -g).collect();
     let mut prev_grad = grad.clone();
+    // Scratch reused across iterations so the hot loop allocates nothing:
+    // `x0` snapshots the line-search origin, `g2` receives trial gradients.
+    let mut x0 = vec![Point::ORIGIN; n];
+    let mut g2 = vec![Point::ORIGIN; n];
 
     for iter in 0..opts.max_iters {
         let gnorm = rms(&grad);
         if gnorm < opts.grad_tol {
-            return CgResult {
+            return SolveResult {
                 value,
                 iters: iter,
                 evals,
@@ -110,20 +115,20 @@ pub fn minimize_cg<O: Objective>(obj: &mut O, x: &mut [Point], opts: &CgOptions)
         // Scale the first trial so cells move about `step_hint` units.
         let dnorm = rms(&dir).max(1e-18);
         let mut step = opts.step_hint / dnorm;
-        let x0: Vec<Point> = x.to_vec();
+        x0.copy_from_slice(x);
         let mut accepted = false;
         for _ in 0..opts.max_backtracks {
             for i in 0..n {
                 x[i] = x0[i] + dir[i] * step;
             }
             obj.project(x);
-            let mut g2 = vec![Point::ORIGIN; n];
+            g2.fill(Point::ORIGIN);
             let v2 = obj.eval(x, &mut g2);
             evals += 1;
             if v2 <= value + opts.armijo_c * step * slope {
                 value = v2;
                 prev_grad.copy_from_slice(&grad);
-                grad = g2;
+                std::mem::swap(&mut grad, &mut g2);
                 accepted = true;
                 break;
             }
@@ -132,7 +137,7 @@ pub fn minimize_cg<O: Objective>(obj: &mut O, x: &mut [Point], opts: &CgOptions)
         if !accepted {
             // Restore and give up: the line search cannot improve.
             x.copy_from_slice(&x0);
-            return CgResult {
+            return SolveResult {
                 value,
                 iters: iter,
                 evals,
@@ -149,7 +154,7 @@ pub fn minimize_cg<O: Objective>(obj: &mut O, x: &mut [Point], opts: &CgOptions)
             dir[i] = -grad[i] + dir[i] * beta;
         }
     }
-    CgResult {
+    SolveResult {
         value,
         iters: opts.max_iters,
         evals,
@@ -158,12 +163,13 @@ pub fn minimize_cg<O: Objective>(obj: &mut O, x: &mut [Point], opts: &CgOptions)
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
-    /// Convex quadratic bowl: f = Σ |p − target|².
-    struct Bowl {
-        targets: Vec<Point>,
+    /// Convex quadratic bowl: f = Σ |p − target|². Shared with the
+    /// Nesterov solver's tests ([`crate::nesterov`]).
+    pub(crate) struct Bowl {
+        pub(crate) targets: Vec<Point>,
     }
 
     impl Objective for Bowl {
@@ -203,7 +209,7 @@ mod tests {
     }
 
     /// Rosenbrock in 2-D embedded in one Point.
-    struct Rosenbrock;
+    pub(crate) struct Rosenbrock;
 
     impl Objective for Rosenbrock {
         fn eval(&mut self, x: &[Point], grad: &mut [Point]) -> f64 {
@@ -235,7 +241,7 @@ mod tests {
     }
 
     /// Projection must be respected: constrain to x ≥ 1.
-    struct ProjectedBowl;
+    pub(crate) struct ProjectedBowl;
 
     impl Objective for ProjectedBowl {
         fn eval(&mut self, x: &[Point], grad: &mut [Point]) -> f64 {

@@ -539,6 +539,7 @@ fn result_body(netlist: &Netlist, out: &FlowOutput) -> String {
             "gp_outer_iters",
             Json::num(out.report.gp.outer_iters as f64),
         ),
+        ("gp_evals", Json::num(out.report.gp.evals as f64)),
         ("placement", Json::Arr(placement)),
     ])
     .to_string()

@@ -34,6 +34,11 @@ pub enum HttpError {
     Malformed(String),
     /// Body advertised more than [`MAX_BODY`] bytes.
     TooLarge,
+    /// A body-bearing method (POST/PUT/PATCH) arrived without a
+    /// `Content-Length` header. Answered with 411 rather than treating
+    /// the length as 0, which would silently drop the body and surface
+    /// as a confusing JSON parse error.
+    LengthRequired,
 }
 
 impl std::fmt::Display for HttpError {
@@ -42,6 +47,9 @@ impl std::fmt::Display for HttpError {
             HttpError::Io(e) => write!(f, "i/o: {e}"),
             HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
             HttpError::TooLarge => f.write_str("request body too large"),
+            HttpError::LengthRequired => {
+                f.write_str("body-bearing request without Content-Length")
+            }
         }
     }
 }
@@ -58,13 +66,19 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
+    // Resume the terminator scan where the previous read left off (minus
+    // 3 bytes in case `\r\n\r\n` straddles the read boundary) so header
+    // parsing stays O(head) instead of re-scanning the whole buffer —
+    // O(head²) — after every 4KB read.
+    let mut scanned = 0usize;
     let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
+        if let Some(pos) = find_head_end(&buf, scanned) {
             break pos;
         }
         if buf.len() > MAX_HEAD {
             return Err(HttpError::Malformed("header block too large".into()));
         }
+        scanned = buf.len().saturating_sub(3);
         let n = stream.read(&mut chunk)?;
         if n == 0 {
             return Err(HttpError::Malformed("connection closed mid-header".into()));
@@ -88,18 +102,26 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
     let path = target.split('?').next().unwrap_or(target).to_string();
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
         };
         if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .trim()
-                .parse::<usize>()
-                .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?;
+            content_length = Some(
+                value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?,
+            );
         }
     }
+    let body_bearing = matches!(method.as_str(), "POST" | "PUT" | "PATCH");
+    let content_length = match content_length {
+        Some(len) => len,
+        None if body_bearing => return Err(HttpError::LengthRequired),
+        None => 0,
+    };
     if content_length > MAX_BODY {
         return Err(HttpError::TooLarge);
     }
@@ -118,9 +140,16 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     Ok(Request { method, path, body })
 }
 
-/// Byte offset of the `\r\n\r\n` head terminator, if present.
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
+/// Byte offset of the `\r\n\r\n` head terminator at or after `from`, if
+/// present. `from` lets the read loop resume where the last scan ended.
+fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+    if buf.len() < from + 4 {
+        return None;
+    }
+    buf[from..]
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| from + p)
 }
 
 /// Writes a complete response and flushes. `Connection: close` keeps the
@@ -150,6 +179,7 @@ pub fn status_text(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        411 => "Length Required",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
@@ -164,15 +194,38 @@ mod tests {
 
     #[test]
     fn head_end_detection() {
-        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
-        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest", 0), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n", 0), None);
+    }
+
+    #[test]
+    fn head_end_resume_offset_never_misses_the_terminator() {
+        // The read loop resumes at `len - 3`: a terminator straddling any
+        // read boundary must still be found, and never found twice at
+        // different positions.
+        let msg = b"GET / HTTP/1.1\r\nH: v\r\n\r\nbody";
+        let full = find_head_end(msg, 0);
+        assert_eq!(full, Some(20));
+        // Any prefix that does not yet contain the full terminator is a
+        // valid "previous read" state; its resume offset must still find it.
+        for split in 1..msg.len() {
+            if find_head_end(&msg[..split], 0).is_some() {
+                continue;
+            }
+            let from = split.saturating_sub(3);
+            assert_eq!(find_head_end(msg, from), full, "resume at {from}");
+        }
+        // Out-of-range resume offsets are a clean miss, not a panic.
+        assert_eq!(find_head_end(b"\r\n\r\n", 1), None);
+        assert_eq!(find_head_end(b"ab", 5), None);
     }
 
     #[test]
     fn status_phrases_cover_the_api() {
-        for s in [200, 202, 400, 404, 405, 409, 413, 429, 500, 503] {
+        for s in [200, 202, 400, 404, 405, 409, 411, 413, 429, 500, 503] {
             assert!(!status_text(s).is_empty(), "{s} needs a phrase");
         }
         assert_eq!(status_text(599), "");
+        assert_eq!(status_text(411), "Length Required");
     }
 }

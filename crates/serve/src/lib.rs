@@ -181,6 +181,14 @@ fn handle_connection(stream: &mut TcpStream, engine: &Engine) {
             let _ = http::write_response(stream, 400, "application/json", &body);
             return;
         }
+        Err(http::HttpError::LengthRequired) => {
+            let body = error_body(
+                "length required",
+                "body-bearing requests must send Content-Length",
+            );
+            let _ = http::write_response(stream, 411, "application/json", &body);
+            return;
+        }
         Err(http::HttpError::Io(_)) => return,
     };
     let (status, content_type, body) = route(engine, &req);

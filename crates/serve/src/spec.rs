@@ -211,6 +211,7 @@ fn parse_flow(flow: Option<&Json>) -> Result<FlowConfig, SpecError> {
             "refine_outers",
             "routability_rounds",
             "dp_net_weight",
+            "solver",
         ],
         "flow",
     )?;
@@ -263,6 +264,13 @@ fn parse_flow(flow: Option<&Json>) -> Result<FlowConfig, SpecError> {
     if let Some(rounds) = get_u64("routability_rounds")? {
         cfg.routability_rounds = rounds as usize;
     }
+    if let Some(s) = flow.get("solver") {
+        let name = s
+            .as_str()
+            .ok_or_else(|| SpecError("`solver` must be a string".into()))?;
+        cfg.gp.solver = sdp_core::GpSolver::parse(name)
+            .ok_or_else(|| SpecError(format!("unknown `solver` `{name}` (cg | nesterov)")))?;
+    }
     if let Some(w) = flow.get("dp_net_weight") {
         cfg.dp_net_weight = w
             .as_f64()
@@ -289,7 +297,8 @@ mod tests {
     fn flow_overrides_apply() {
         let s = parse_spec(
             r#"{"design": {"preset": "dp_tiny"},
-                "flow": {"baseline": true, "seed": 9, "threads": 2, "detailed_passes": 0},
+                "flow": {"baseline": true, "seed": 9, "threads": 2, "detailed_passes": 0,
+                         "solver": "cg"},
                 "deadline_ms": 5000}"#,
         )
         .unwrap();
@@ -297,7 +306,20 @@ mod tests {
         assert_eq!(s.flow.gp.seed, 9);
         assert_eq!(s.flow.gp.threads, 2);
         assert_eq!(s.flow.detailed_passes, 0);
+        assert_eq!(s.flow.gp.solver, sdp_core::GpSolver::Cg);
         assert_eq!(s.deadline_ms, Some(5000));
+    }
+
+    #[test]
+    fn solver_override_defaults_to_nesterov_and_rejects_unknown() {
+        let s = parse_spec(r#"{"design": {"preset": "dp_tiny"}}"#).unwrap();
+        assert_eq!(s.flow.gp.solver, sdp_core::GpSolver::Nesterov);
+        for bad in [
+            r#"{"design": {"preset": "dp_tiny"}, "flow": {"solver": "adam"}}"#,
+            r#"{"design": {"preset": "dp_tiny"}, "flow": {"solver": 3}}"#,
+        ] {
+            assert!(parse_spec(bad).is_err(), "must reject {bad}");
+        }
     }
 
     #[test]

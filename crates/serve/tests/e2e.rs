@@ -179,6 +179,85 @@ fn malformed_requests_get_structured_400s() {
     assert_eq!(status, 404);
 }
 
+/// Sends raw bytes (in `chunks`) over one connection and returns the
+/// response status line's code, or `None` if the server reset the
+/// connection before a response could be read (it closes as soon as it
+/// rejects, and unread request bytes then surface as a TCP RST). For
+/// requests the `client` helper cannot produce (missing headers,
+/// oversized heads).
+fn raw_request(port: u16, chunks: &[&[u8]]) -> Option<u16> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(("127.0.0.1", port)).unwrap();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    for chunk in chunks {
+        if stream.write_all(chunk).and_then(|()| stream.flush()).is_err() {
+            break; // server already gave up on the request
+        }
+    }
+    let mut response = Vec::new();
+    if stream.read_to_end(&mut response).is_err() || response.is_empty() {
+        return None;
+    }
+    let text = std::str::from_utf8(&response).unwrap();
+    Some(text.split_whitespace().nth(1).unwrap().parse().unwrap())
+}
+
+#[test]
+fn post_without_content_length_gets_411() {
+    let server = start(0, 2);
+    let port = server.port();
+    let status = raw_request(
+        port,
+        &[b"POST /jobs HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"],
+    );
+    assert_eq!(
+        status,
+        Some(411),
+        "body-bearing method without Content-Length"
+    );
+    // A GET without Content-Length stays fine — no body expected.
+    let (status, _) = request(port, "GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200);
+    // So does a POST that declares an empty body explicitly.
+    let (status, body) = request(port, "POST", "/jobs", "").unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("invalid JSON"), "{body}");
+}
+
+#[test]
+fn many_chunk_header_parses_and_oversized_header_is_rejected() {
+    let server = start(0, 2);
+    let port = server.port();
+
+    // A valid request whose head arrives in many small writes, padded
+    // with filler headers across many 4KB read chunks — exercises the
+    // incremental terminator scan (and would crawl under the old
+    // O(n²) rescan if it regressed).
+    let filler: String = (0..400)
+        .map(|i| format!("X-Pad-{i}: {}\r\n", "v".repeat(100)))
+        .collect();
+    let head = format!(
+        "GET /healthz HTTP/1.1\r\nHost: x\r\n{filler}Connection: close\r\n\r\n"
+    );
+    assert!(head.len() > 16 * 1024, "filler spans many read chunks");
+    let chunks: Vec<&[u8]> = head.as_bytes().chunks(512).collect();
+    assert_eq!(raw_request(port, &chunks), Some(200));
+
+    // Past MAX_HEAD the server rejects rather than buffering forever —
+    // either a clean 400 or an immediate close (RST when our unread
+    // bytes are still in flight), never an accepted request.
+    let huge: String = (0..1300)
+        .map(|i| format!("X-Pad-{i}: {}\r\n", "v".repeat(100)))
+        .collect();
+    let head = format!("GET /healthz HTTP/1.1\r\nHost: x\r\n{huge}Connection: close\r\n\r\n");
+    assert!(head.len() > 128 * 1024);
+    let status = raw_request(port, &[head.as_bytes()]);
+    assert!(
+        status == Some(400) || status.is_none(),
+        "oversized head must be rejected, got {status:?}"
+    );
+}
+
 #[test]
 fn panicking_job_fails_alone_while_server_keeps_serving() {
     let server = start(1, 8);

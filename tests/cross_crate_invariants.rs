@@ -2,7 +2,7 @@
 //! computed by two different layers must agree.
 
 use sdp_dpgen::{generate, GenConfig};
-use sdp_gp::{cluster::cluster_netlist, hpwl, GlobalPlacer, GpConfig, WirelengthModel};
+use sdp_gp::{cluster::cluster_netlist, hpwl, GlobalPlacer, GpConfig, GpSolver, WirelengthModel};
 use sdp_legal::{legalize, LegalizeOptions};
 use sdp_netlist::Placement;
 use sdp_route::router::grid_hpwl_lower_bound;
@@ -139,4 +139,44 @@ fn legalization_never_increases_violations() {
     );
     assert_eq!(stats.failed, 0);
     assert!(sdp_legal::check_legal(&d.netlist, &d.design, &d.placement).is_empty());
+}
+
+#[test]
+fn nesterov_place_inflated_is_bitwise_identical_across_thread_counts() {
+    // A full `place_inflated` run — inflation factors engaged, the
+    // Nesterov solver explicitly selected — must produce byte-identical
+    // placements at 1 and 4 threads: every float reduction in the solver
+    // and the kernels is chunk-folded in an order independent of the
+    // thread count.
+    let run = |threads: usize| {
+        let mut d = generate(&GenConfig::named("dp_tiny", 11).expect("known preset"));
+        let inflation = vec![1.25; d.netlist.num_cells()];
+        let placer = GlobalPlacer::new(GpConfig {
+            solver: GpSolver::Nesterov,
+            threads,
+            ..GpConfig::fast()
+        });
+        let stats = placer.place_inflated(
+            &d.netlist,
+            &d.design,
+            &mut d.placement,
+            None,
+            Some(&inflation),
+            None,
+        );
+        (stats, d.placement.positions().to_vec())
+    };
+    let (s1, p1) = run(1);
+    let (s4, p4) = run(4);
+    assert_eq!(s1.outer_iters, s4.outer_iters);
+    assert_eq!(s1.evals, s4.evals, "solver trajectory must match exactly");
+    assert_eq!(s1.final_hpwl.to_bits(), s4.final_hpwl.to_bits());
+    assert_eq!(p1.len(), p4.len());
+    for (k, (a, b)) in p1.iter().zip(&p4).enumerate() {
+        assert_eq!(
+            (a.x.to_bits(), a.y.to_bits()),
+            (b.x.to_bits(), b.y.to_bits()),
+            "cell {k} differs between 1 and 4 threads"
+        );
+    }
 }
