@@ -54,6 +54,7 @@ pub fn all_ids() -> &'static [&'static str] {
         "f7",
         "gp-solver",
         "serve-throughput",
+        "trajectory",
     ]
 }
 
@@ -126,6 +127,7 @@ pub fn run_experiment(id: &str, mode: Mode) -> Option<ExperimentResult> {
         "f7" => f7(mode),
         "gp-solver" => gp_solver(mode),
         "serve-throughput" => serve_throughput(mode),
+        "trajectory" => trajectory(mode),
         _ => return None,
     };
     Some(ExperimentResult {
@@ -997,6 +999,182 @@ fn serve_throughput(mode: Mode) -> Exp {
          (machine-dependent) — unlike the placement tables they are not \
          bitwise reproducible, which is why they live in a separate \
          BENCH_serve.json rather than the deterministic tables output.",
+    )
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); `0.0` where that file is unavailable
+/// (non-Linux), which the perf gate treats as "metric not measured".
+fn peak_rss_bytes() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb * 1024.0;
+        }
+    }
+    0.0
+}
+
+/// trajectory — the performance-trajectory snapshot CI gates on: GP
+/// objective evaluations per second (preconditioned Nesterov),
+/// extraction cells per second, serve jobs per second through a real
+/// loopback server, and the process's peak RSS. Writes
+/// `BENCH_trajectory.json` at the repo root in full
+/// mode; the `perf_gate` binary compares it against the committed
+/// `BENCH_trajectory_baseline.json` and fails on a >10% regression on
+/// any throughput metric (or >10% peak-RSS growth).
+fn trajectory(mode: Mode) -> Exp {
+    use sdp_gp::{GlobalPlacer, GpConfig, GpSolver};
+    use sdp_json::Json;
+    use sdp_serve::client::{request, wait_for_job};
+    use sdp_serve::{Server, ServerConfig};
+    use std::time::Duration;
+
+    // GP throughput: the Nesterov inner loop on a fixed design.
+    let gp_preset = match mode {
+        Mode::Quick => "dp_tiny",
+        Mode::Full => "dp_small",
+    };
+    let base = match mode {
+        Mode::Quick => GpConfig::fast(),
+        Mode::Full => GpConfig::default(),
+    };
+    let mut d = gen(gp_preset);
+    let placer = GlobalPlacer::new(GpConfig {
+        solver: GpSolver::Nesterov,
+        ..base
+    });
+    let t0 = Instant::now();
+    let stats = placer.place(&d.netlist, &d.design, &mut d.placement, None);
+    let gp_wall = t0.elapsed().as_secs_f64();
+    let gp_evals_per_sec = stats.evals as f64 / gp_wall.max(1e-9);
+
+    // Extraction throughput on the same design: cells scanned per
+    // second through the full multi-round extractor.
+    let t0 = Instant::now();
+    let _ = extract(&d.netlist, &ExtractConfig::default());
+    let extract_wall = t0.elapsed().as_secs_f64();
+    let extract_cells_per_sec = d.netlist.num_cells() as f64 / extract_wall.max(1e-9);
+
+    // Serve throughput: small fast jobs through a loopback instance —
+    // deliberately lighter than serve-throughput so the snapshot stays
+    // cheap enough to run on every CI push.
+    let (n_jobs, workers) = match mode {
+        Mode::Quick => (4usize, 2usize),
+        Mode::Full => (12, 4),
+    };
+    let server = Server::start(ServerConfig {
+        port: 0,
+        workers,
+        queue_depth: n_jobs,
+        ..ServerConfig::default()
+    })
+    .expect("loopback server on an ephemeral port");
+    let port = server.port();
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..n_jobs)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let spec = format!(
+                    r#"{{"design": {{"preset": "dp_tiny", "seed": {k}}}, "flow": {{"fast": true}}}}"#
+                );
+                let (status, body) = request(port, "POST", "/jobs", &spec).expect("submit");
+                assert_eq!(status, 202, "submit: {body}");
+                let id = sdp_json::parse(&body)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(sdp_json::Json::as_u64))
+                    .expect("202 body carries the job id");
+                let status_body =
+                    wait_for_job(port, id, Duration::from_secs(600)).expect("job settles");
+                assert!(
+                    status_body.contains(r#""state":"done""#),
+                    "job {id}: {status_body}"
+                );
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let serve_wall = t0.elapsed().as_secs_f64();
+    let serve_jobs_per_sec = n_jobs as f64 / serve_wall.max(1e-9);
+
+    // Measured last so it covers both workloads above.
+    let rss = peak_rss_bytes();
+
+    let json = Json::obj([
+        (
+            "mode",
+            Json::str(if mode == Mode::Quick { "quick" } else { "full" }),
+        ),
+        (
+            "gp",
+            Json::obj([
+                ("preset", Json::str(gp_preset)),
+                ("evals", Json::num(stats.evals as f64)),
+                ("wall_s", Json::num(gp_wall)),
+                ("evals_per_sec", Json::num(gp_evals_per_sec)),
+            ]),
+        ),
+        (
+            "extract",
+            Json::obj([
+                ("cells", Json::num(d.netlist.num_cells() as f64)),
+                ("wall_s", Json::num(extract_wall)),
+                ("cells_per_sec", Json::num(extract_cells_per_sec)),
+            ]),
+        ),
+        (
+            "serve",
+            Json::obj([
+                ("jobs", Json::num(n_jobs as f64)),
+                ("workers", Json::num(workers as f64)),
+                ("wall_s", Json::num(serve_wall)),
+                ("jobs_per_sec", Json::num(serve_jobs_per_sec)),
+            ]),
+        ),
+        ("peak_rss_bytes", Json::num(rss)),
+    ]);
+    // Same policy as the other BENCH files: only a full run refreshes
+    // the snapshot (quick mode runs inside `cargo test`).
+    if mode == Mode::Full {
+        let out_path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_trajectory.json");
+        std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_trajectory.json");
+    }
+
+    let mut t = Table::new(["metric", "value"]);
+    t.row(["gp evals/s".to_string(), format!("{gp_evals_per_sec:.0}")]);
+    t.row([
+        "extract cells/s".to_string(),
+        format!("{extract_cells_per_sec:.0}"),
+    ]);
+    t.row([
+        "serve jobs/s".to_string(),
+        format!("{serve_jobs_per_sec:.2}"),
+    ]);
+    t.row([
+        "peak RSS MiB".to_string(),
+        format!("{:.1}", rss / (1024.0 * 1024.0)),
+    ]);
+    (
+        "trajectory",
+        "Performance trajectory: GP evals/s, serve jobs/s, peak RSS",
+        t,
+        "All four metrics are machine-dependent wall-clock/memory \
+         numbers, so they live in BENCH_trajectory.json rather than the \
+         deterministic tables output. The perf_gate binary holds each \
+         run within 10% of the committed baseline; refresh the baseline \
+         deliberately (and on the same machine class) when a change is \
+         supposed to move these numbers.",
     )
 }
 

@@ -13,7 +13,7 @@
 //! area already in the bin). Both the value and the analytic gradient with
 //! respect to every movable cell centre are provided.
 
-use crate::exec::{chunk_ranges, Executor};
+use crate::exec::{chunk_count, chunk_range, Executor};
 use sdp_geom::{BinGrid, Point, Rect};
 use sdp_netlist::{CellId, Netlist};
 
@@ -87,6 +87,11 @@ pub struct DensityModel {
     /// Per-cell area inflation factors (routability-driven placement
     /// widens cells in congested regions); `1.0` = no inflation.
     inflation: Vec<f64>,
+    /// Movable-cell ids in netlist order, cached so parallel evaluation
+    /// does not rebuild the list every call.
+    movable: Vec<CellId>,
+    /// Scratch: per-cell deposit list reused across accumulation passes.
+    deposit_scratch: Vec<(usize, f64)>,
     /// Total movable area, for the overflow ratio.
     movable_area: f64,
 }
@@ -135,6 +140,8 @@ impl DensityModel {
             potential: vec![0.0; len],
             norm: vec![0.0; netlist.num_cells()],
             inflation: vec![1.0; netlist.num_cells()],
+            movable: netlist.movable_ids().collect(),
+            deposit_scratch: Vec::new(),
             movable_area: netlist.movable_area().max(1e-12),
         }
     }
@@ -208,20 +215,23 @@ impl DensityModel {
         if exec.threads() == 1 {
             return self.eval(netlist, pos, grad);
         }
-        let movable: Vec<CellId> = netlist.movable_ids().collect();
-        let chunks = chunk_ranges(movable.len(), CELL_CHUNK);
 
         // Phase 1: masses + deposits in parallel, applied in chunk order.
         let parts: Vec<PotentialChunk> = {
             let grid = &self.grid;
             let inflation = &self.inflation;
-            let movable = &movable;
-            exec.map(chunks.len(), |ci| {
+            let movable = &self.movable;
+            exec.map(chunk_count(movable.len(), CELL_CHUNK), |ci| {
+                let cells = chunk_range(movable.len(), CELL_CHUNK, ci);
                 let mut part = PotentialChunk {
-                    norms: Vec::with_capacity(chunks[ci].len()),
+                    // sdp-lint: allow(hot-loop-alloc) -- one exact-sized
+                    // buffer per 128-cell chunk, amortized over the chunk.
+                    norms: Vec::with_capacity(cells.len()),
+                    // sdp-lint: allow(hot-loop-alloc) -- per-chunk deposit
+                    // list; grows once then amortizes across the chunk.
                     deposits: Vec::new(),
                 };
-                for &c in &movable[chunks[ci].clone()] {
+                for &c in &movable[cells] {
                     let m = netlist.master_of(c);
                     let center = pos[c.ix()];
                     let infl = inflation[c.ix()];
@@ -273,11 +283,13 @@ impl DensityModel {
         // chunk, so there is no cross-chunk accumulation to order.
         let grads: Vec<Vec<(usize, Point)>> = {
             let this = &*self;
-            let movable = &movable;
-            exec.map(chunks.len(), |ci| {
-                movable[chunks[ci].clone()]
+            let movable = &self.movable;
+            exec.map(chunk_count(movable.len(), CELL_CHUNK), |ci| {
+                movable[chunk_range(movable.len(), CELL_CHUNK, ci)]
                     .iter()
                     .map(|&c| (c.ix(), this.cell_gradient(netlist, c, pos[c.ix()])))
+                    // sdp-lint: allow(hot-loop-alloc) -- one exact-sized
+                    // gradient list per 128-cell chunk.
                     .collect()
             })
         };
@@ -352,6 +364,9 @@ impl DensityModel {
     /// Recomputes the potential field and per-cell normalizations.
     fn accumulate_potential(&mut self, netlist: &Netlist, pos: &[Point]) {
         self.potential.fill(0.0);
+        // One deposit buffer reused across all cells; it must live outside
+        // `self` while filling because the visitor closure borrows the grid.
+        let mut deposits = std::mem::take(&mut self.deposit_scratch);
         for c in netlist.movable_ids() {
             let m = netlist.master_of(c);
             let center = pos[c.ix()];
@@ -376,7 +391,7 @@ impl DensityModel {
                 continue;
             }
             // Pass 2: deposit normalized potential.
-            let mut deposits: Vec<(usize, f64)> = Vec::new();
+            deposits.clear();
             for_bins_in_radius(&self.grid, center, &bx, &by, |bix| {
                 let bc = self.grid.bin_center(bix);
                 let t = bx.theta((center.x - bc.x).abs()) * by.theta((center.y - bc.y).abs());
@@ -384,10 +399,11 @@ impl DensityModel {
                     deposits.push((self.grid.flat(bix), ci * t));
                 }
             });
-            for (f, v) in deposits {
+            for &(f, v) in &deposits {
                 self.potential[f] += v;
             }
         }
+        self.deposit_scratch = deposits;
     }
 }
 

@@ -111,6 +111,9 @@ impl ThreadPool {
 fn worker_loop(rx: &Mutex<Receiver<Job>>) {
     loop {
         let job = match rx.lock() {
+            // sdp-lint: allow(lock-discipline) -- the mutex exists only to
+            // share one Receiver among workers; senders never take it, so
+            // blocking in recv() with the guard held cannot deadlock.
             Ok(guard) => guard.recv(),
             Err(_) => return,
         };
@@ -199,9 +202,13 @@ impl Executor {
     {
         let pool = match &self.pool {
             Some(pool) if n > 1 => pool,
+            // sdp-lint: allow(hot-loop-alloc) -- the collect IS the result
+            // vector map returns; callers own and reuse it.
             _ => return (0..n).map(f).collect(),
         };
 
+        // sdp-lint: allow(hot-loop-alloc) -- the result buffer itself;
+        // map's contract is to return a fresh Vec<T> per call.
         let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
         let shared = Shared {
@@ -218,6 +225,9 @@ impl Executor {
             let shared_ref = &shared;
             let latch_ref = &latch;
             for _ in 0..helpers {
+                // sdp-lint: allow(hot-loop-alloc) -- one small Box per helper
+                // thread per dispatch (threads-1 boxes), amortized over a
+                // whole chunk of work; an arena would not be observable here.
                 let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                     drain(shared_ref);
                     latch_ref.count_down();
@@ -250,6 +260,8 @@ impl Executor {
             // n jobs completed and each job writes exactly its own slot; an
             // empty slot is a broken executor invariant worth crashing on.
             .map(|s| s.expect("every job index was drained"))
+            // sdp-lint: allow(hot-loop-alloc) -- unwrapping the slot buffer
+            // into the returned Vec<T>; this is map's result allocation.
             .collect()
     }
 }
@@ -310,26 +322,37 @@ where
     }
 }
 
+/// Number of chunks [`chunk_range`] splits `0..len` into: `len` divided
+/// into pieces of roughly `target` items. A function of `len` and
+/// `target` only — never the thread count.
+pub fn chunk_count(len: usize, target: usize) -> usize {
+    assert!(target > 0, "chunk target must be positive");
+    len.div_ceil(target)
+}
+
+/// The `i`-th of [`chunk_count`]`(len, target)` contiguous chunks of
+/// `0..len`. Chunk sizes differ by at most one and boundaries depend only
+/// on `len` and `target`, so chunked computations reduce identically on
+/// any executor. Computing each chunk on demand keeps the solver's inner
+/// reductions allocation-free (no `Vec<Range>` per evaluation).
+pub fn chunk_range(len: usize, target: usize, i: usize) -> Range<usize> {
+    let count = chunk_count(len, target);
+    debug_assert!(i < count, "chunk index {i} out of {count}");
+    let base = len / count;
+    let extra = len % count;
+    let start = i * base + i.min(extra);
+    start..start + base + usize::from(i < extra)
+}
+
 /// Splits `0..len` into contiguous chunks of roughly `target` items.
 /// Boundaries depend only on `len` and `target` — never on the thread
 /// count — so chunked computations reduce identically on any executor.
+/// Hot paths should iterate [`chunk_range`] by index instead of
+/// materializing this vector per evaluation.
 pub fn chunk_ranges(len: usize, target: usize) -> Vec<Range<usize>> {
-    assert!(target > 0, "chunk target must be positive");
-    if len == 0 {
-        return Vec::new();
-    }
-    let count = len.div_ceil(target);
-    let base = len / count;
-    let extra = len % count;
-    let mut ranges = Vec::with_capacity(count);
-    let mut start = 0;
-    for i in 0..count {
-        let size = base + usize::from(i < extra);
-        ranges.push(start..start + size);
-        start += size;
-    }
-    debug_assert_eq!(start, len);
-    ranges
+    (0..chunk_count(len, target))
+        .map(|i| chunk_range(len, target, i))
+        .collect()
 }
 
 #[cfg(test)]
@@ -354,6 +377,19 @@ mod tests {
                     ranges.iter().map(|r| r.len()).max(),
                 ) {
                     assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_chunk_accessors_match_the_materialized_ranges() {
+        for len in [0usize, 1, 5, 127, 128, 129, 1000] {
+            for target in [1usize, 7, 64, 128, 4096] {
+                let ranges = chunk_ranges(len, target);
+                assert_eq!(ranges.len(), chunk_count(len, target));
+                for (i, r) in ranges.iter().enumerate() {
+                    assert_eq!(*r, chunk_range(len, target, i), "len {len} target {target}");
                 }
             }
         }

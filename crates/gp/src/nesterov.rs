@@ -16,7 +16,7 @@
 //! depend only on the vector length, never on the thread count — so the
 //! solver trajectory is bitwise identical at any `--threads` setting.
 
-use crate::exec::{chunk_ranges, Executor};
+use crate::exec::{chunk_count, chunk_range, Executor};
 use crate::optimizer::{Objective, SolveResult};
 use sdp_geom::Point;
 
@@ -57,16 +57,16 @@ impl Default for NesterovOptions {
 }
 
 /// Reduction chunk size: fixed, so partial-sum boundaries depend only on
-/// the vector length (see [`chunk_ranges`]).
+/// the vector length (see [`chunk_range`]).
 const REDUCE_CHUNK: usize = 4096;
 
 /// Sums `term(i)` for `i in 0..len` as chunk partials folded in index
-/// order — bitwise identical at any executor thread count.
+/// order — bitwise identical at any executor thread count. Chunk bounds
+/// are computed by index so the solver's inner loop allocates nothing.
 fn chunked_sum(exec: &Executor, len: usize, term: &(impl Fn(usize) -> f64 + Sync)) -> f64 {
-    let chunks = chunk_ranges(len, REDUCE_CHUNK);
-    let parts: Vec<f64> = exec.map(chunks.len(), |ci| {
+    let parts: Vec<f64> = exec.map(chunk_count(len, REDUCE_CHUNK), |ci| {
         let mut s = 0.0;
-        for i in chunks[ci].clone() {
+        for i in chunk_range(len, REDUCE_CHUNK, ci) {
             s += term(i);
         }
         s
@@ -389,7 +389,11 @@ mod tests {
         for threads in [2usize, 4, 8] {
             let en = Executor::new(threads);
             assert_eq!(rms(&en, &a).to_bits(), r1.to_bits(), "{threads} threads");
-            assert_eq!(dist(&en, &a, &b).to_bits(), d1.to_bits(), "{threads} threads");
+            assert_eq!(
+                dist(&en, &a, &b).to_bits(),
+                d1.to_bits(),
+                "{threads} threads"
+            );
         }
     }
 

@@ -170,6 +170,7 @@ struct Composed<'n, 'd, 'e, 't, 'x> {
     movable: &'n [CellId],
     pos: Vec<Point>,
     grad_full: Vec<Point>,
+    dgrad: Vec<Point>,
     density: &'d mut DensityModel,
     extra: Option<&'e mut (dyn ExtraTerm + 't)>,
     model: WirelengthModel,
@@ -203,11 +204,11 @@ impl Objective for Composed<'_, '_, '_, '_, '_> {
         for g in self.grad_full.iter_mut() {
             *g = *g * self.wl_scale;
         }
-        let mut dgrad = vec![Point::ORIGIN; self.pos.len()];
+        self.dgrad.fill(Point::ORIGIN);
         let dens = self
             .density
-            .eval_with(self.netlist, &self.pos, &mut dgrad, self.exec);
-        for (g, d) in self.grad_full.iter_mut().zip(&dgrad) {
+            .eval_with(self.netlist, &self.pos, &mut self.dgrad, self.exec);
+        for (g, d) in self.grad_full.iter_mut().zip(&self.dgrad) {
             *g += *d * self.lambda;
         }
         let extra_val = match self.extra.as_mut() {
@@ -391,6 +392,7 @@ impl GlobalPlacer {
                     movable: &movable,
                     pos: placement.positions().to_vec(),
                     grad_full: vec![Point::ORIGIN; placement.len()],
+                    dgrad: vec![Point::ORIGIN; placement.len()],
                     density: &mut density,
                     extra: extra.as_deref_mut(),
                     model: self.config.model,

@@ -14,7 +14,7 @@
 //! Both are evaluated with max-shifted exponentials for numerical
 //! stability, and accumulate gradients per *cell* (pin offsets are rigid).
 
-use crate::exec::{chunk_ranges, Executor};
+use crate::exec::{chunk_count, chunk_range, Executor};
 use sdp_geom::Point;
 use sdp_netlist::{NetId, Netlist};
 
@@ -114,14 +114,18 @@ pub fn eval_wirelength_with(
     debug_assert_eq!(grad.len(), pos.len());
 
     let num_nets = netlist.num_nets();
-    let chunks = chunk_ranges(num_nets, NET_CHUNK);
-    let parts: Vec<WlChunk> = exec.map(chunks.len(), |ci| {
+    let parts: Vec<WlChunk> = exec.map(chunk_count(num_nets, NET_CHUNK), |ci| {
+        let nets = chunk_range(num_nets, NET_CHUNK, ci);
         let mut scratch = NetScratch::default();
         let mut part = WlChunk {
-            values: Vec::with_capacity(chunks[ci].len()),
+            // sdp-lint: allow(hot-loop-alloc) -- one exact-sized buffer per
+            // 256-net chunk, amortized over the chunk's evaluation.
+            values: Vec::with_capacity(nets.len()),
+            // sdp-lint: allow(hot-loop-alloc) -- per-chunk deposit list;
+            // grows once then amortizes across the chunk's pins.
             deposits: Vec::new(),
         };
-        for i in chunks[ci].clone() {
+        for i in nets {
             let v = eval_net(
                 model,
                 netlist,
@@ -163,11 +167,19 @@ struct WlChunk {
     deposits: Vec<(u32, Point)>,
 }
 
-/// Reusable per-net coordinate buffers.
+/// Reusable per-net buffers: pin coordinates, max/min-shifted
+/// exponentials, and the per-pin axis gradients. Owning them here keeps
+/// [`lse_axis`]/[`wa_axis`] allocation-free per net — they are called
+/// once per net per objective evaluation, squarely inside the solver's
+/// inner loop.
 #[derive(Default)]
 struct NetScratch {
     xs: Vec<f64>,
     ys: Vec<f64>,
+    e_p: Vec<f64>,
+    e_n: Vec<f64>,
+    gx: Vec<f64>,
+    gy: Vec<f64>,
 }
 
 /// Evaluates one net, emitting each pin's weighted gradient contribution
@@ -199,73 +211,91 @@ fn eval_net(
         scratch.ys.push(at.y);
     }
     let w = net.weight;
-    let (vx, gx, vy, gy) = match model {
-        WirelengthModel::Lse => {
-            let (vx, gx) = lse_axis(&scratch.xs, gamma);
-            let (vy, gy) = lse_axis(&scratch.ys, gamma);
-            (vx, gx, vy, gy)
-        }
-        WirelengthModel::Wa => {
-            let (vx, gx) = wa_axis(&scratch.xs, gamma);
-            let (vy, gy) = wa_axis(&scratch.ys, gamma);
-            (vx, gx, vy, gy)
-        }
+    let NetScratch {
+        xs,
+        ys,
+        e_p,
+        e_n,
+        gx,
+        gy,
+    } = scratch;
+    let (vx, vy) = match model {
+        WirelengthModel::Lse => (
+            lse_axis(xs, gamma, e_p, e_n, gx),
+            lse_axis(ys, gamma, e_p, e_n, gy),
+        ),
+        WirelengthModel::Wa => (
+            wa_axis(xs, gamma, e_p, e_n, gx),
+            wa_axis(ys, gamma, e_p, e_n, gy),
+        ),
     };
     for (k, &p) in net.pins.iter().enumerate() {
         let cell = netlist.pin(p).cell.ix();
-        emit(cell, Point::new(w * gx[k], w * gy[k]));
+        emit(cell, Point::new(w * scratch.gx[k], w * scratch.gy[k]));
     }
     w * (vx + vy)
 }
 
-/// LSE on one axis: value and per-pin gradient.
-///
-/// `γ ln Σ e^{(x−M)/γ} + M` for the max side (M = max x), mirrored for the
-/// min side, so no exponential ever overflows.
-fn lse_axis(xs: &[f64], gamma: f64) -> (f64, Vec<f64>) {
+/// Fills the shared max/min-shifted exponential buffers for one axis:
+/// `e_p[k] = e^{(x_k − max)/γ}` and `e_n[k] = e^{(min − x_k)/γ}`, so no
+/// exponential ever overflows. Returns their sums `(Σe_p, Σe_n)`.
+fn shifted_exps(
+    xs: &[f64],
+    gamma: f64,
+    e_p: &mut Vec<f64>,
+    e_n: &mut Vec<f64>,
+) -> (f64, f64, f64, f64) {
     let x_max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let x_min = xs.iter().copied().fold(f64::INFINITY, f64::min);
-    let mut sum_p = 0.0;
-    let mut sum_n = 0.0;
-    let e_p: Vec<f64> = xs.iter().map(|&x| ((x - x_max) / gamma).exp()).collect();
-    let e_n: Vec<f64> = xs.iter().map(|&x| ((x_min - x) / gamma).exp()).collect();
-    for k in 0..xs.len() {
-        sum_p += e_p[k];
-        sum_n += e_n[k];
-    }
-    let value = gamma * sum_p.ln() + x_max + gamma * sum_n.ln() - x_min;
-    let grad = (0..xs.len())
-        .map(|k| e_p[k] / sum_p - e_n[k] / sum_n)
-        .collect();
-    (value, grad)
+    e_p.clear();
+    e_p.extend(xs.iter().map(|&x| ((x - x_max) / gamma).exp()));
+    e_n.clear();
+    e_n.extend(xs.iter().map(|&x| ((x_min - x) / gamma).exp()));
+    (x_max, x_min, e_p.iter().sum(), e_n.iter().sum())
 }
 
-/// WA on one axis: value and per-pin gradient.
-fn wa_axis(xs: &[f64], gamma: f64) -> (f64, Vec<f64>) {
-    let x_max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let x_min = xs.iter().copied().fold(f64::INFINITY, f64::min);
-    let e_p: Vec<f64> = xs.iter().map(|&x| ((x - x_max) / gamma).exp()).collect();
-    let e_n: Vec<f64> = xs.iter().map(|&x| ((x_min - x) / gamma).exp()).collect();
-    let (mut sp, mut sxp, mut sn, mut sxn) = (0.0, 0.0, 0.0, 0.0);
+/// LSE on one axis: the value, with per-pin gradients written to `grad`.
+///
+/// `γ ln Σ e^{(x−M)/γ} + M` for the max side (M = max x), mirrored for the
+/// min side. The caller owns the scratch buffers (see [`NetScratch`]), so
+/// repeated evaluation allocates nothing once they reach net degree.
+fn lse_axis(
+    xs: &[f64],
+    gamma: f64,
+    e_p: &mut Vec<f64>,
+    e_n: &mut Vec<f64>,
+    grad: &mut Vec<f64>,
+) -> f64 {
+    let (x_max, x_min, sum_p, sum_n) = shifted_exps(xs, gamma, e_p, e_n);
+    let value = gamma * sum_p.ln() + x_max + gamma * sum_n.ln() - x_min;
+    grad.clear();
+    grad.extend((0..xs.len()).map(|k| e_p[k] / sum_p - e_n[k] / sum_n));
+    value
+}
+
+/// WA on one axis: the value, with per-pin gradients written to `grad`.
+fn wa_axis(
+    xs: &[f64],
+    gamma: f64,
+    e_p: &mut Vec<f64>,
+    e_n: &mut Vec<f64>,
+    grad: &mut Vec<f64>,
+) -> f64 {
+    let (_, _, sp, sn) = shifted_exps(xs, gamma, e_p, e_n);
+    let (mut sxp, mut sxn) = (0.0, 0.0);
     for (k, &x) in xs.iter().enumerate() {
-        sp += e_p[k];
         sxp += x * e_p[k];
-        sn += e_n[k];
         sxn += x * e_n[k];
     }
     let f_max = sxp / sp; // smooth max
     let f_min = sxn / sn; // smooth min
-    let value = f_max - f_min;
-    let grad = xs
-        .iter()
-        .enumerate()
-        .map(|(k, &x)| {
-            let g_max = e_p[k] * (1.0 + (x - f_max) / gamma) / sp;
-            let g_min = e_n[k] * (1.0 - (x - f_min) / gamma) / sn;
-            g_max - g_min
-        })
-        .collect();
-    (value, grad)
+    grad.clear();
+    grad.extend(xs.iter().enumerate().map(|(k, &x)| {
+        let g_max = e_p[k] * (1.0 + (x - f_max) / gamma) / sp;
+        let g_min = e_n[k] * (1.0 - (x - f_min) / gamma) / sn;
+        g_max - g_min
+    }));
+    f_max - f_min
 }
 
 #[cfg(test)]

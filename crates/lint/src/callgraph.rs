@@ -40,6 +40,8 @@ pub struct SourceFile {
 /// One call site inside a function body.
 #[derive(Debug)]
 struct CallSite {
+    /// Token index of the callee name.
+    tok_ix: usize,
     /// Callee's bare name.
     name: String,
     /// `Qual::name(…)` qualifier (the segment right before the name).
@@ -48,18 +50,36 @@ struct CallSite {
     crate_hint: Option<String>,
     /// Method-call syntax (`recv.name(…)`).
     is_method: bool,
+    /// Lexically inside a `catch_unwind(…)` argument list.
+    guarded: bool,
 }
 
-/// Node id into [`Graph::nodes`].
-type NodeId = usize;
+/// Node id into the graph's node table.
+pub type NodeId = usize;
 
+/// One resolved call edge bundle: a call site plus every workspace
+/// function it may invoke.
 #[derive(Debug)]
-struct Node {
-    file_ix: usize,
-    fn_ix: usize,
-    crate_name: String,
-    qual: String,
-    is_root: bool,
+pub struct Call {
+    /// Token index of the callee name in the caller's file.
+    pub tok_ix: usize,
+    /// Candidate callee nodes (name-resolution-approximate).
+    pub callees: Vec<NodeId>,
+    /// Inside a `catch_unwind(…)` argument list: panics do not cross
+    /// this edge, but data-flow (the closure's result) does.
+    pub guarded: bool,
+}
+
+/// One function in the workspace call graph.
+#[derive(Debug)]
+pub struct Node {
+    pub file_ix: usize,
+    pub fn_ix: usize,
+    pub crate_name: String,
+    pub qual: String,
+    pub is_root: bool,
+    /// Resolved call sites in body order.
+    pub calls: Vec<Call>,
 }
 
 /// The workspace call graph plus reachability from the flow roots.
@@ -69,6 +89,7 @@ pub struct Graph<'a> {
     /// Predecessor in a shortest root→node chain; `usize::MAX` for roots.
     pred: Vec<usize>,
     reachable: Vec<bool>,
+    by_pos: HashMap<(usize, usize), NodeId>,
 }
 
 /// Keywords and constructors that look like `name(…)` but are never
@@ -101,32 +122,113 @@ impl<'a> Graph<'a> {
                     crate_name: cn.clone(),
                     qual: item.qual.clone(),
                     is_root,
+                    calls: Vec::new(),
                 });
             }
         }
 
         let mut by_name: HashMap<&str, Vec<NodeId>> = HashMap::new();
+        let mut by_pos: HashMap<(usize, usize), NodeId> = HashMap::new();
         for (id, n) in nodes.iter().enumerate() {
             let item = &files[n.file_ix].fns[n.fn_ix];
             by_name.entry(item.name.as_str()).or_default().push(id);
+            by_pos.insert((n.file_ix, n.fn_ix), id);
         }
 
-        // BFS from the roots, resolving each node's call sites lazily.
-        let mut pred = vec![usize::MAX; nodes.len()];
-        let mut reachable = vec![false; nodes.len()];
+        // Resolve every node's call sites eagerly: the new rule families
+        // (determinism taint, hot-loop allocation, lock discipline) walk
+        // edges from their own root sets, not just the flow roots.
+        let mut all_calls: Vec<Vec<Call>> = Vec::with_capacity(nodes.len());
+        for n in &nodes {
+            let f = &files[n.file_ix];
+            let item = &f.fns[n.fn_ix];
+            let mut calls = Vec::new();
+            for site in call_sites(&f.toks, item) {
+                let callees = resolve(&site, &by_name, &nodes, files, item);
+                if !callees.is_empty() {
+                    calls.push(Call {
+                        tok_ix: site.tok_ix,
+                        callees,
+                        guarded: site.guarded,
+                    });
+                }
+            }
+            all_calls.push(calls);
+        }
+        for (n, calls) in nodes.iter_mut().zip(all_calls) {
+            n.calls = calls;
+        }
+
+        let mut g = Graph {
+            files,
+            nodes,
+            pred: Vec::new(),
+            reachable: Vec::new(),
+            by_pos,
+        };
+        let roots: Vec<NodeId> = (0..g.nodes.len())
+            .filter(|&id| g.nodes[id].is_root)
+            .collect();
+        // Panic-reachability does not follow guarded edges: a panic inside
+        // a `catch_unwind` closure is contained at the boundary.
+        let (reachable, pred) = g.reach_from(&roots, false);
+        g.reachable = reachable;
+        g.pred = pred;
+        g
+    }
+
+    /// The graph's nodes (one per non-test fn in a flow crate).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The source files the graph was built over.
+    pub fn files(&self) -> &[SourceFile] {
+        self.files
+    }
+
+    /// The file and item behind a node.
+    pub fn source(&self, id: NodeId) -> (&SourceFile, &FnItem) {
+        let n = &self.nodes[id];
+        let f = &self.files[n.file_ix];
+        (f, &f.fns[n.fn_ix])
+    }
+
+    /// Node for `(file_ix, fn_ix)`, if it is in the graph.
+    pub fn node_id(&self, file_ix: usize, fn_ix: usize) -> Option<NodeId> {
+        self.by_pos.get(&(file_ix, fn_ix)).copied()
+    }
+
+    /// All nodes whose bare fn name is `name`.
+    pub fn nodes_named<'g>(&'g self, name: &'g str) -> impl Iterator<Item = NodeId> + 'g {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(move |(_, n)| self.files[n.file_ix].fns[n.fn_ix].name == name)
+            .map(|(id, _)| id)
+    }
+
+    /// Breadth-first reachability from `roots`. Returns per-node
+    /// reachability plus the BFS predecessor tree (`usize::MAX` for
+    /// roots and unreached nodes). `follow_guarded` decides whether
+    /// edges inside `catch_unwind(…)` argument lists are crossed —
+    /// panics stop at the unwind boundary, data-flow does not.
+    pub fn reach_from(&self, roots: &[NodeId], follow_guarded: bool) -> (Vec<bool>, Vec<usize>) {
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut pred = vec![usize::MAX; self.nodes.len()];
         let mut queue: VecDeque<NodeId> = VecDeque::new();
-        for (id, n) in nodes.iter().enumerate() {
-            if n.is_root {
-                reachable[id] = true;
-                queue.push_back(id);
+        for &r in roots {
+            if !reachable[r] {
+                reachable[r] = true;
+                queue.push_back(r);
             }
         }
         while let Some(id) = queue.pop_front() {
-            let n = &nodes[id];
-            let f = &files[n.file_ix];
-            let item = &f.fns[n.fn_ix];
-            for call in call_sites(&f.toks, item) {
-                for callee in resolve(&call, &by_name, &nodes, files, item) {
+            for call in &self.nodes[id].calls {
+                if call.guarded && !follow_guarded {
+                    continue;
+                }
+                for &callee in &call.callees {
                     if !reachable[callee] {
                         reachable[callee] = true;
                         pred[callee] = id;
@@ -135,38 +237,60 @@ impl<'a> Graph<'a> {
                 }
             }
         }
-        Graph {
-            files,
-            nodes,
-            pred,
-            reachable,
-        }
+        (reachable, pred)
     }
 
-    /// The root→…→node call chain (display-qualified names), shortest
-    /// first; `None` when the node is unreachable.
-    fn chain(&self, id: NodeId) -> Option<Vec<String>> {
-        if !self.reachable[id] {
-            return None;
+    /// `call`'s callees after the *precision* filter used by the
+    /// lock-discipline summary propagation: path-qualified calls are
+    /// trusted as resolved (the tiers are precise and external
+    /// qualifiers resolve to nothing); `self.method(…)` and bare calls
+    /// are restricted to the caller's crate (a bare call can only name a
+    /// same-module or imported fn, and `self`'s impl lives in the
+    /// caller's crate); every other method call — iterator adapters,
+    /// trait methods on fields — is dropped. That name-only resolution
+    /// is the *sound* direction for panic reachability, but for lock
+    /// summaries it floods every `.map(…)` with `Executor::map`'s locks.
+    pub fn trusted_callees(&self, id: NodeId, call: &Call) -> Vec<NodeId> {
+        let n = &self.nodes[id];
+        let toks = &self.files[n.file_ix].toks;
+        let k = call.tok_ix;
+        let prev = if k > 0 { toks[k - 1].text.as_str() } else { "" };
+        if prev == ":" {
+            return call.callees.clone();
         }
+        if prev == "." && (k < 2 || toks[k - 2].text != "self") {
+            return Vec::new();
+        }
+        call.callees
+            .iter()
+            .copied()
+            .filter(|&c| self.nodes[c].crate_name == n.crate_name)
+            .collect()
+    }
+
+    /// The root→…→`id` chain (display-qualified names) through an
+    /// arbitrary predecessor tree from [`Graph::reach_from`].
+    pub fn chain_through(&self, pred: &[usize], id: NodeId) -> Vec<String> {
         let mut chain = vec![self.nodes[id].qual.clone()];
         let mut cur = id;
-        while self.pred[cur] != usize::MAX {
-            cur = self.pred[cur];
+        while pred[cur] != usize::MAX {
+            cur = pred[cur];
             chain.push(self.nodes[cur].qual.clone());
             if chain.len() > 32 {
                 break; // cycles cannot occur (pred is a BFS tree); belt and braces
             }
         }
         chain.reverse();
-        Some(chain)
+        chain
     }
 
-    /// Node for `(file_ix, fn_ix)`, if it is in the graph.
-    fn node_of(&self, file_ix: usize, fn_ix: usize) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.file_ix == file_ix && n.fn_ix == fn_ix)
+    /// The root→…→node flow chain; `None` when the node is unreachable
+    /// from every flow root.
+    fn chain(&self, id: NodeId) -> Option<Vec<String>> {
+        if !self.reachable[id] {
+            return None;
+        }
+        Some(self.chain_through(&self.pred, id))
     }
 
     /// Runs the `panic-reachability` rule over every file in the graph:
@@ -180,20 +304,13 @@ impl<'a> Graph<'a> {
             }
             for site in panic_sites(&f.toks) {
                 let tok = &f.toks[site.tok_ix];
-                // Innermost enclosing fn (bodies nest for inner fns).
-                let Some((fn_ix, item)) = f
-                    .fns
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, it)| it.body_contains(site.tok_ix))
-                    .min_by_key(|(_, it)| it.body_len())
-                else {
+                let Some((fn_ix, item)) = enclosing_fn(f, site.tok_ix) else {
                     continue; // file-scope token (const initializer …)
                 };
                 if item.is_test {
                     continue;
                 }
-                let Some(id) = self.node_of(file_ix, fn_ix) else {
+                let Some(id) = self.node_id(file_ix, fn_ix) else {
                     continue;
                 };
                 let Some(chain) = self.chain(id) else {
@@ -224,32 +341,41 @@ impl<'a> Graph<'a> {
     }
 }
 
-/// Is this file part of the call graph / panic-reachability scope?
-fn in_graph(ctx: &FileCtx) -> bool {
+/// Is this file part of the call graph / workspace-analysis scope?
+pub fn in_graph(ctx: &FileCtx) -> bool {
     !ctx.test_code
         && !ctx.crate_name.is_empty()
         && !EXEMPT_CRATES.contains(&ctx.crate_name.as_str())
 }
 
+/// The innermost non-test fn whose body contains `tok_ix` (bodies nest
+/// for inner fns).
+pub fn enclosing_fn(f: &SourceFile, tok_ix: usize) -> Option<(usize, &FnItem)> {
+    f.fns
+        .iter()
+        .enumerate()
+        .filter(|(_, it)| it.body_contains(tok_ix))
+        .min_by_key(|(_, it)| it.body_len())
+}
+
 /// Extracts every call site in `item`'s body. Sites lexically inside a
-/// `catch_unwind(…)` argument list are *not* edges: the unwind boundary
-/// is the sanctioned crash-isolation mechanism (`sdp-serve` runs each
-/// job under one so a panicking job becomes a structured error instead
-/// of taking the server down), so work dispatched there does not make
-/// its panics reachable from a flow root.
+/// `catch_unwind(…)` argument list are marked `guarded`: the unwind
+/// boundary is the sanctioned crash-isolation mechanism (`sdp-serve`
+/// runs each job under one so a panicking job becomes a structured
+/// error instead of taking the server down), so work dispatched there
+/// does not make its panics reachable from a flow root — but its
+/// *results* still flow back, which matters for determinism taint.
 fn call_sites(toks: &[Tok], item: &FnItem) -> Vec<CallSite> {
     let Some((open, close)) = item.body else {
         return Vec::new();
     };
-    let guarded = unwind_guarded_spans(toks, open, close);
+    let guarded_spans = unwind_guarded_spans(toks, open, close);
     let mut out = Vec::new();
     for k in open + 1..close {
         if toks[k + 1].text != "(" || !is_ident(&toks[k].text) {
             continue;
         }
-        if guarded.iter().any(|&(a, b)| a < k && k < b) {
-            continue;
-        }
+        let guarded = guarded_spans.iter().any(|&(a, b)| a < k && k < b);
         let name = toks[k].text.as_str();
         if NOT_CALLS.contains(&name) {
             continue;
@@ -264,7 +390,7 @@ fn call_sites(toks: &[Tok], item: &FnItem) -> Vec<CallSite> {
         if prev == ":" && k >= 3 && toks[k - 2].text == ":" {
             // Walk the path backwards: `a :: b :: name`.
             let mut segs: Vec<&str> = Vec::new();
-            let mut j = k - 2; // at the second `:`
+            let mut j = k - 1; // at the `:` adjacent to the name
             while j >= 2
                 && toks[j].text == ":"
                 && toks[j - 1].text == ":"
@@ -280,10 +406,12 @@ fn call_sites(toks: &[Tok], item: &FnItem) -> Vec<CallSite> {
             crate_hint = segs.iter().find_map(|s| crate_of_path_head(s));
         }
         out.push(CallSite {
+            tok_ix: k,
             name: name.to_string(),
             qualifier,
             crate_hint,
             is_method,
+            guarded,
         });
     }
     out
@@ -377,12 +505,17 @@ fn resolve(
         if !tier.is_empty() {
             return tier;
         }
+        // A qualifier that matches no workspace impl type, crate, or
+        // module names an external item (`Box::new`, `Instant::now`):
+        // falling through to name-only would link it to every same-named
+        // workspace fn, which is noise, not sound over-approximation.
+        return Vec::new();
     }
     let _ = call.is_method;
     named.clone()
 }
 
-fn is_ident(s: &str) -> bool {
+pub(crate) fn is_ident(s: &str) -> bool {
     s.chars()
         .next()
         .is_some_and(|c| c.is_alphabetic() || c == '_')

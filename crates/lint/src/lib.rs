@@ -7,7 +7,7 @@
 //! properties *build-time guarantees* instead of conventions: it scans
 //! every workspace source file at the token level (the workspace is
 //! offline, so `syn` is unavailable; a small lexer strips comments and
-//! literals first) and enforces four named, allowlistable rules:
+//! literals first) and enforces nine named, allowlistable rules:
 //!
 //! | rule | scope | invariant |
 //! |------|-------|-----------|
@@ -15,6 +15,11 @@
 //! | `wall-clock-in-library` | library crates | no `Instant::now` / `SystemTime::now` / entropy-seeded RNG — `sdp-progress` ([`CLOCK_CRATE`]) is the one sanctioned wrapper |
 //! | `unchunked-float-reduction` | kernel crates | no `sum`/`fold`/`reduce` chained onto `Executor::map` output |
 //! | `undocumented-unsafe` | everywhere | every `unsafe` is preceded by a `SAFETY:` comment |
+//! | `panic-reachability` | call graph | no panic site reachable from a flow entry point without a `PANIC-OK:` comment |
+//! | `float-soundness` | kernel crates | no raw float comparisons / NaN-propagating idioms in kernel numerics |
+//! | `lock-discipline` | call graph | consistent lock-acquisition order; no guard held across `Condvar::wait` on another mutex, `join`, or blocking channel ops |
+//! | `determinism-taint` | call graph | no nondeterminism source (hash iteration, clock, entropy, thread identity) reachable from a result-affecting entry point |
+//! | `hot-loop-alloc` | call graph | no heap allocation inside solver inner loops or the functions they call |
 //!
 //! A site is suppressed by `// sdp-lint: allow(<rule>) -- <reason>` on
 //! the same line or up to five lines above; the reason is mandatory.
@@ -22,10 +27,13 @@
 //! from the determinism rules but not from `undocumented-unsafe`.
 
 pub mod callgraph;
+pub mod hot;
 pub mod items;
 pub mod lexer;
+pub mod locks;
 pub mod rules;
 pub mod sarif;
+pub mod taint;
 
 pub use callgraph::SourceFile;
 pub use rules::{lint_source, Diagnostic, FileCtx, Rule};
@@ -177,6 +185,9 @@ pub fn lint_sources(files: &[SourceFile]) -> Vec<Diagnostic> {
     }
     let graph = callgraph::Graph::build(files);
     graph.check_panic_reachability(&mut diags);
+    locks::check_lock_discipline(&graph, &mut diags);
+    taint::check_determinism_taint(&graph, &mut diags);
+    hot::check_hot_loop_alloc(&graph, &mut diags);
     diags.sort_by(|a, b| {
         (&a.rel_path, a.line, a.col, a.rule).cmp(&(&b.rel_path, b.line, b.col, b.rule))
     });

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! USAGE: sdp-lint [--root <dir>] [--rule <name>]... [--format rustc|sarif]
-//!                 [--output <file>] [--stats] [--list-rules]
+//!                 [--output <file>] [--stats] [--list-rules] [--explain <rule>]
 //! ```
 
 use sdp_lint::{find_root, lint_workspace_graph, sarif, Rule};
@@ -59,6 +59,24 @@ fn main() -> ExitCode {
                 }
             },
             "--stats" => stats = true,
+            "--explain" => {
+                let Some(name) = args.next() else {
+                    eprintln!("error: --explain needs a rule name (see --list-rules)");
+                    return ExitCode::from(2);
+                };
+                let Some(rule) = Rule::ALL.iter().find(|r| r.name() == name) else {
+                    eprintln!("error: unknown rule `{name}` (see --list-rules)");
+                    return ExitCode::from(2);
+                };
+                println!(
+                    "{}: {}\n\n{}\n\nhelp: {}",
+                    rule,
+                    rule.short_description(),
+                    rule.explain(),
+                    rule.help()
+                );
+                return ExitCode::SUCCESS;
+            }
             "--list-rules" => {
                 for r in Rule::ALL {
                     println!("{r}");
@@ -68,13 +86,16 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "USAGE: sdp-lint [--root <dir>] [--rule <name>]... \
-                     [--format rustc|sarif] [--output <file>] [--stats] [--list-rules]\n\n\
-                     Lints the sdplace workspace for determinism & soundness\n\
-                     invariants (including call-graph panic-reachability and\n\
-                     float-soundness). Exits 1 when violations are found.\n\n\
+                     [--format rustc|sarif] [--output <file>] [--stats] [--list-rules] \
+                     [--explain <rule>]\n\n\
+                     Lints the sdplace workspace for determinism, soundness, and\n\
+                     concurrency invariants (call-graph panic-reachability,\n\
+                     lock-discipline, determinism-taint, hot-loop-alloc, …).\n\
+                     Exits 1 when violations are found.\n\n\
                      --format sarif emits a SARIF 2.1.0 document for CI code\n\
                      scanning; --output writes the report to a file instead of\n\
-                     stdout; --stats prints per-crate call-graph reachability."
+                     stdout; --stats prints per-crate call-graph reachability;\n\
+                     --explain prints a rule's full rationale and marker syntax."
                 );
                 return ExitCode::SUCCESS;
             }

@@ -41,16 +41,36 @@ pub enum Rule {
     /// (panics on NaN — use `total_cmp`), NaN-blind `==`/`!=` against
     /// floats, and float→int `as` casts (saturating, NaN → 0).
     FloatSoundness,
+    /// Lock-acquisition ordering problems found by propagating each
+    /// function's guard scopes over the call graph: lock-order cycles
+    /// (potential deadlocks), a lock held across `Condvar::wait` on a
+    /// *different* mutex, and guards held across blocking channel
+    /// operations or `JoinHandle::join`.
+    LockDiscipline,
+    /// A nondeterministic source (hash iteration, wall clock, thread
+    /// identity) inside a function the call graph shows is invoked by a
+    /// result-affecting entry point (`place`/`solve`/serve result
+    /// serialization) — its output can vary run-to-run and leak into
+    /// placement results. The diagnostic prints the full call chain.
+    DeterminismTaint,
+    /// A heap allocation (`Vec::new`, `collect`, `clone`, `format!`, …)
+    /// inside the solver's inner loops — functions the call graph marks
+    /// as reachable from the Nesterov/CG iteration bodies. Per-iteration
+    /// allocation is the hot-path bug class PR 6 fixed by hand.
+    HotLoopAlloc,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 9] = [
         Rule::NondeterministicIter,
         Rule::WallClockInLibrary,
         Rule::UnchunkedFloatReduction,
         Rule::UndocumentedUnsafe,
         Rule::PanicReachability,
         Rule::FloatSoundness,
+        Rule::LockDiscipline,
+        Rule::DeterminismTaint,
+        Rule::HotLoopAlloc,
     ];
 
     /// The kebab-case name used in diagnostics and allow-markers.
@@ -62,6 +82,9 @@ impl Rule {
             Rule::UndocumentedUnsafe => "undocumented-unsafe",
             Rule::PanicReachability => "panic-reachability",
             Rule::FloatSoundness => "float-soundness",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::HotLoopAlloc => "hot-loop-alloc",
         }
     }
 
@@ -92,6 +115,18 @@ impl Rule {
                 "order floats with `f64::total_cmp`, compare with an explicit tolerance, guard \
                  casts, or add `// sdp-lint: allow(float-soundness) -- <reason>`"
             }
+            Rule::LockDiscipline => {
+                "acquire locks in the documented hierarchy order (DESIGN.md), drop guards before \
+                 blocking calls, or add `// sdp-lint: allow(lock-discipline) -- <reason>`"
+            }
+            Rule::DeterminismTaint => {
+                "sort the iteration, inject the clock through sdp-progress, keep the value out \
+                 of result bodies, or add `// sdp-lint: allow(determinism-taint) -- <reason>`"
+            }
+            Rule::HotLoopAlloc => {
+                "hoist the buffer into a reused scratch field (see gp::wirelength::NetScratch), \
+                 or add `// sdp-lint: allow(hot-loop-alloc) -- <reason>`"
+            }
         }
     }
 
@@ -112,6 +147,145 @@ impl Rule {
             Rule::FloatSoundness => {
                 "No panicking partial_cmp orderings, NaN-blind float equality, or unguarded \
                  float-int as casts in kernels"
+            }
+            Rule::LockDiscipline => {
+                "No lock-order cycles, no locks held across Condvar::wait on another mutex, no \
+                 guards held across blocking channel ops or thread joins"
+            }
+            Rule::DeterminismTaint => {
+                "No nondeterministic sources in functions reachable from result-affecting entry \
+                 points"
+            }
+            Rule::HotLoopAlloc => {
+                "No per-iteration heap allocation in functions called from solver inner loops"
+            }
+        }
+    }
+
+    /// Long-form rationale and allow-marker guidance — the `--explain`
+    /// text, so suppressing a rule never requires DESIGN.md archaeology.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::NondeterministicIter => {
+                "Std hash containers seed SipHash per process, so `HashMap`/`HashSet` \
+                 iteration order differs between runs of the same binary on the same \
+                 input. In a kernel crate that order silently becomes cell or net \
+                 order, and the placement stops being reproducible — which breaks the \
+                 bitwise determinism guarantee the calibration methodology depends on.\n\
+                 \n\
+                 Fix by switching to `BTreeMap`/`BTreeSet`, sorting the collected \
+                 items, or ending the chain in an order-insensitive terminal \
+                 (`count`, `any`, `min`, …). Iteration that is provably \
+                 order-insensitive for another reason can carry\n\
+                 `// sdp-lint: allow(nondeterministic-iter) -- <reason>`\n\
+                 on the line or up to five lines above; the reason is mandatory."
+            }
+            Rule::WallClockInLibrary => {
+                "A library crate that reads `Instant::now`, `SystemTime::now`, or an \
+                 entropy source produces values that differ run-to-run, and those \
+                 values have a way of leaking into results or control flow. All \
+                 timing goes through the injectable `Clock` in `sdp-progress` (the \
+                 one sanctioned wall-clock site); binaries (`cli`, `bench`, `serve`) \
+                 may time freely.\n\
+                 \n\
+                 Fix by threading an `Observer`/`Clock` in, taking an explicit seed, \
+                 or moving the timing to a tool crate. Suppress with\n\
+                 `// sdp-lint: allow(wall-clock-in-library) -- <reason>`."
+            }
+            Rule::UnchunkedFloatReduction => {
+                "Float addition is not associative, so a reduction whose grouping \
+                 depends on thread scheduling gives different bits at different \
+                 thread counts. `Executor::map` output must be folded as fixed-size \
+                 chunk partials combined in chunk-index order (see `gp::exec`), which \
+                 replays one canonical addition sequence at any worker count.\n\
+                 \n\
+                 Fix by following the chunked-partial convention; a reduction that is \
+                 provably order-independent can carry\n\
+                 `// sdp-lint: allow(unchunked-float-reduction) -- <reason>`."
+            }
+            Rule::UndocumentedUnsafe => {
+                "Every `unsafe` block, fn, or impl encodes an invariant the compiler \
+                 cannot check; the reviewer (and the next editor) need that invariant \
+                 written down where the code is. Precede the site with a\n\
+                 `// SAFETY: <invariant>` comment (or a `# Safety` doc section).\n\
+                 There is no allow marker — the SAFETY comment *is* the marker."
+            }
+            Rule::PanicReachability => {
+                "An `unwrap`/`expect`/`panic!` (or constant-index slicing) in a \
+                 function reachable from a flow entry point turns malformed input \
+                 into a backtrace instead of a typed error. The cross-crate call \
+                 graph computes reachability from the CLI commands and kernel public \
+                 APIs; the diagnostic prints the root→site chain. `catch_unwind(…)` \
+                 argument spans are a sanctioned crash-isolation boundary and stop \
+                 propagation.\n\
+                 \n\
+                 Fix by returning a typed error (see `netlist::ParseError`). A panic \
+                 that is provably unreachable (checked invariant) can carry\n\
+                 `// sdp-lint: allow(panic-reachability) -- <reason>`."
+            }
+            Rule::FloatSoundness => {
+                "Three float pitfalls that corrupt kernels silently: \
+                 `partial_cmp(..).unwrap()` panics on the first NaN (use \
+                 `f64::total_cmp`); `==`/`!=` against floats is NaN-blind; float→int \
+                 `as` casts saturate and send NaN to 0 without a trace.\n\
+                 \n\
+                 Fix with `total_cmp`, tolerance comparisons, or the audited helpers \
+                 in `geom::cast`. Exact-sentinel comparisons (a value assigned only \
+                 from a literal) can carry\n\
+                 `// sdp-lint: allow(float-soundness) -- <reason>`."
+            }
+            Rule::LockDiscipline => {
+                "The analysis extracts every lock acquisition (`.lock()`, `.read()`, \
+                 `.write()`, and `lock(&…)` helper calls), approximates guard \
+                 lifetimes by lexical scope (a `let` guard lives to its block end or \
+                 an explicit `drop`; a temporary lives to its statement, or through \
+                 the `match` it scrutinizes), and propagates acquisitions over the \
+                 call graph. It reports: (1) lock-order cycles — two code paths that \
+                 nest the same locks in opposite orders can deadlock; (2) a lock held \
+                 across `Condvar::wait` on a *different* mutex — the wait releases \
+                 only its own mutex, so the held lock blocks every other thread for \
+                 the whole wait; (3) guards held across `JoinHandle::join` or \
+                 blocking channel `send`/`recv` — the joined/peer thread may need \
+                 that lock to make progress. The workspace hierarchy (serve: queue → \
+                 jobs) is documented in DESIGN.md.\n\
+                 \n\
+                 Fix by acquiring in hierarchy order and dropping guards before \
+                 blocking calls. A deliberate protocol (e.g. holding a shared \
+                 `Receiver`'s mutex across `recv` to serialize consumers) can carry\n\
+                 `// sdp-lint: allow(lock-discipline) -- <reason>`."
+            }
+            Rule::DeterminismTaint => {
+                "Interprocedural taint: the result-affecting cone is every function \
+                 reachable (through the call graph, including `catch_unwind` \
+                 boundaries — data flows back even when panics do not) from \
+                 `place`/`solve`/the serve result serializer. A nondeterministic \
+                 source inside that cone — hash-container iteration, \
+                 `Instant::now`/`SystemTime::now`/entropy outside `sdp-progress`, \
+                 `thread::current` — can change placement results run-to-run. The \
+                 diagnostic prints the entry-point→source call chain. Sites already \
+                 owned by a local rule (hash iteration in kernel crates, wall clocks \
+                 in library crates) are reported once, by the local rule.\n\
+                 \n\
+                 Fix by sorting the iteration, injecting the clock through \
+                 `sdp-progress`, or keeping the value out of result bodies. A value \
+                 that provably never reaches result bytes (e.g. a deadline check \
+                 that only decides *whether* a job completes) can carry\n\
+                 `// sdp-lint: allow(determinism-taint) -- <reason>`."
+            }
+            Rule::HotLoopAlloc => {
+                "The call graph marks functions invoked from the Nesterov/CG solver \
+                 iteration bodies (`gp::minimize_nesterov`, `gp::minimize_cg`) as \
+                 solver-inner. A heap allocation there — `Vec::new`, \
+                 `with_capacity`, `collect`, zero-arg `clone`, `format!`, \
+                 `to_vec`/`to_string`/`to_owned`, `Box::new` — runs per evaluation × \
+                 per net/cell, exactly the allocation class PR 6 hand-hoisted out of \
+                 the wirelength and optimizer loops.\n\
+                 \n\
+                 Fix by hoisting the buffer into a caller-owned scratch struct that \
+                 is cleared and refilled (see `gp::wirelength::NetScratch`). An \
+                 allocation that amortizes (one exact-sized buffer per chunk, not \
+                 per item) can carry\n\
+                 `// sdp-lint: allow(hot-loop-alloc) -- <reason>`."
             }
         }
     }
@@ -181,7 +355,7 @@ impl fmt::Display for Diagnostic {
 }
 
 /// Methods whose call on a hash container iterates it in hash order.
-const ITER_METHODS: &[&str] = &[
+pub(crate) const ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "into_iter",
@@ -199,7 +373,7 @@ const ITER_METHODS: &[&str] = &[
 /// Tokens that make a flagged iteration order-insensitive when they occur
 /// later in the same statement: the stream is sorted, re-collected into an
 /// ordered container, or reduced by an order-independent terminal.
-const ORDER_INSENSITIVE: &[&str] = &[
+pub(crate) const ORDER_INSENSITIVE: &[&str] = &[
     "sort",
     "sort_unstable",
     "sort_by",
@@ -222,7 +396,7 @@ const REDUCERS: &[&str] = &["sum", "fold", "reduce", "product"];
 
 /// Entropy / wall-clock tokens forbidden in library crates. Seeded
 /// generators (`seed_from_u64`, `from_seed`) are fine and not listed.
-const ENTROPY_IDENTS: &[&str] = &[
+pub(crate) const ENTROPY_IDENTS: &[&str] = &[
     "thread_rng",
     "from_entropy",
     "from_os_rng",
@@ -299,14 +473,14 @@ fn in_ranges(line: usize, ranges: &[(usize, usize)]) -> bool {
     ranges.iter().any(|&(a, b)| line >= a && line <= b)
 }
 
-fn matches_seq(toks: &[Tok], start: usize, seq: &[&str]) -> bool {
+pub(crate) fn matches_seq(toks: &[Tok], start: usize, seq: &[&str]) -> bool {
     seq.iter()
         .enumerate()
         .all(|(k, s)| toks.get(start + k).map(|t| t.text.as_str()) == Some(*s))
 }
 
 /// Index of the `}` matching the `{` at `open` (or last token).
-fn matching_brace(toks: &[Tok], open: usize) -> usize {
+pub(crate) fn matching_brace(toks: &[Tok], open: usize) -> usize {
     let mut depth = 0i32;
     for (k, t) in toks.iter().enumerate().skip(open) {
         match t.text.as_str() {
@@ -334,7 +508,7 @@ fn is_close(t: &str) -> bool {
 /// stops at a `;` at the statement's own nesting depth, or when a closer
 /// drops below it (end of an enclosing argument list). Returns the token
 /// range `[start, end)`.
-fn statement_end(toks: &[Tok], start: usize) -> usize {
+pub(crate) fn statement_end(toks: &[Tok], start: usize) -> usize {
     let mut depth = 0i32;
     for (k, t) in toks.iter().enumerate().skip(start) {
         let s = t.text.as_str();
@@ -363,7 +537,7 @@ fn statement_end(toks: &[Tok], start: usize) -> usize {
 
 /// Walks backward from `site` to the start of its statement: the token
 /// after the previous `;`, `{`, or `}` (bounded).
-fn statement_start(toks: &[Tok], site: usize) -> usize {
+pub(crate) fn statement_start(toks: &[Tok], site: usize) -> usize {
     let mut k = site;
     while k > 0 && site - k < 60 {
         let s = toks[k - 1].text.as_str();
@@ -379,7 +553,7 @@ fn statement_start(toks: &[Tok], site: usize) -> usize {
 /// statement), reporting the first token from `wanted` that sits at the
 /// chain's own nesting depth — i.e. not inside a closure or argument
 /// list. Returns its index.
-fn chain_has(toks: &[Tok], site: usize, wanted: &[&str]) -> Option<usize> {
+pub(crate) fn chain_has(toks: &[Tok], site: usize, wanted: &[&str]) -> Option<usize> {
     let end = statement_end(toks, site);
     let mut depth = 0i32;
     for (k, t) in toks.iter().enumerate().take(end).skip(site) {
@@ -484,7 +658,7 @@ fn report(
 
 /// Names of local variables / parameters / fields whose declared type (or
 /// initializer) mentions any of `type_names` in this file.
-fn tracked_names(toks: &[Tok], type_names: &[&str]) -> Vec<String> {
+pub(crate) fn tracked_names(toks: &[Tok], type_names: &[&str]) -> Vec<String> {
     let mut names = Vec::new();
     let mut push = |n: &str| {
         if !n.is_empty() && !names.iter().any(|x| x == n) {
@@ -623,16 +797,16 @@ fn field_name(seg: &[Tok], mentions: &dyn Fn(&[Tok]) -> bool) -> Option<String> 
 // ---------------------------------------------------------------------
 // rule 1: nondeterministic-iter
 
-fn rule_nondeterministic_iter(
-    toks: &[Tok],
-    file: &CleanFile,
-    ctx: &FileCtx,
-    skip: &[(usize, usize)],
-    out: &mut Vec<Diagnostic>,
-) {
+/// Hash-iteration sites: `name.keys()`-family calls and `for … in name`
+/// loops over names tracked as `HashMap`/`HashSet`, minus sites
+/// neutralized by an order-insensitive consumer in the same statement
+/// (sorting, BTree re-collection, counting) or a sort at the head of the
+/// immediately following statement. Shared by the local kernel rule and
+/// the workspace determinism-taint pass.
+pub(crate) fn hash_iter_sites(toks: &[Tok]) -> Vec<usize> {
     let names = tracked_names(toks, &["HashMap", "HashSet"]);
     if names.is_empty() {
-        return;
+        return Vec::new();
     }
     let mut sites: Vec<usize> = Vec::new();
 
@@ -667,11 +841,7 @@ fn rule_nondeterministic_iter(
         }
     }
 
-    for i in sites {
-        let t = &toks[i];
-        if in_ranges(t.line, skip) {
-            continue;
-        }
+    sites.retain(|&i| {
         // Order-insensitive consumers in the same statement (sorting,
         // BTree re-collection, counting) neutralize the site. The part
         // before the site (e.g. a `let x: BTreeMap<…> =` ascription) is
@@ -682,16 +852,29 @@ fn rule_nondeterministic_iter(
             .iter()
             .any(|t| ORDER_INSENSITIVE.contains(&t.text.as_str()));
         if pre_ok || chain_has(toks, i, ORDER_INSENSITIVE).is_some() {
-            continue;
+            return false;
         }
         // `let v: Vec<_> = map.keys().collect(); v.sort();` — a sort at
         // the head of the immediately following statement is the classic
         // sorted-adapter idiom and neutralizes the site too.
         let end = statement_end(toks, i);
-        if toks[end + 1..(end + 14).min(toks.len())]
+        !toks[end + 1..(end + 14).min(toks.len())]
             .iter()
             .any(|t| t.text.starts_with("sort"))
-        {
+    });
+    sites
+}
+
+fn rule_nondeterministic_iter(
+    toks: &[Tok],
+    file: &CleanFile,
+    ctx: &FileCtx,
+    skip: &[(usize, usize)],
+    out: &mut Vec<Diagnostic>,
+) {
+    for i in hash_iter_sites(toks) {
+        let t = &toks[i];
+        if in_ranges(t.line, skip) {
             continue;
         }
         report(
@@ -958,7 +1141,7 @@ fn rule_float_soundness(
 }
 
 /// Index of the `(`/`[` matching the `)`/`]` at `close` (backward scan).
-fn matching_open(toks: &[Tok], close: usize) -> usize {
+pub(crate) fn matching_open(toks: &[Tok], close: usize) -> usize {
     let (open_s, close_s) = match toks[close].text.as_str() {
         ")" => ("(", ")"),
         "]" => ("[", "]"),
@@ -1011,7 +1194,7 @@ fn cast_operand_start(toks: &[Tok], cast: usize) -> usize {
 }
 
 /// Index of the `)` matching the `(` at `open` (or last token).
-fn matching_paren(toks: &[Tok], open: usize) -> usize {
+pub(crate) fn matching_paren(toks: &[Tok], open: usize) -> usize {
     let mut depth = 0i32;
     for (k, t) in toks.iter().enumerate().skip(open) {
         match t.text.as_str() {

@@ -1,0 +1,59 @@
+//! Seeded determinism-taint corpus: sources inside the result cone fire
+//! (with the entry-point call chain in the note); sources outside it, or
+//! order-insensitive container use, stay silent. Linted as crate `serve`
+//! with kernel/library flags off, so only the taint rule speaks.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Req {
+    pub cells: u32,
+}
+
+// `generate` is a result-affecting entry point (SINK_ROOTS).
+pub fn generate(req: &Req) -> String {
+    let mut out = render(req, jitter());
+    out.push_str(&worker_tag());
+    if dedup_count(&[req.cells, 2]) > 0 {
+        out.push_str(&format!("{:.3}", stamp()));
+    }
+    out
+}
+
+fn jitter() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64 //~ ERROR determinism-taint
+}
+
+fn render(req: &Req, seed: u64) -> String {
+    let mut tags: HashMap<u32, u64> = HashMap::new();
+    tags.insert(req.cells, seed);
+    let mut out = String::new();
+    for (k, v) in tags.iter() { //~ ERROR determinism-taint
+        out.push_str(&format!("{k}:{v};"));
+    }
+    out
+}
+
+fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id()) //~ ERROR determinism-taint
+}
+
+// Pinned negative: membership-only HashSet use is order-insensitive —
+// collect-then-contains/len never observes hash order.
+fn dedup_count(xs: &[u32]) -> usize {
+    let seen: std::collections::HashSet<u32> = xs.iter().copied().collect();
+    seen.len()
+}
+
+// A clock read whose value provably never reaches result bytes carries
+// a reasoned marker.
+fn stamp() -> f64 {
+    // sdp-lint: allow(determinism-taint) -- display-precision demo value; rounded to fixed width
+    Instant::now().elapsed().as_secs_f64()
+}
+
+// Negative: unreachable from every result-affecting entry point — the
+// cone, not the lexical pattern, decides.
+pub fn orphan_clock() -> f64 {
+    Instant::now().elapsed().as_secs_f64()
+}

@@ -1,0 +1,48 @@
+//! Seeded hot-loop-alloc corpus: allocations inside the solver roots'
+//! loops (and anywhere in functions those loops call) fire; hoisted
+//! top-of-body scratch and for-header clones stay silent. Linted as
+//! crate `gp` (the hot-set crate).
+
+// A stand-in solver root: the name anchors HOT_ROOTS.
+pub fn minimize_nesterov(n: usize) -> f64 {
+    // Top-of-body scratch: the sanctioned hoist target, never flagged.
+    let mut scratch: Vec<f64> = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    let r = 0..n;
+    // Pinned negative: a for-header clone runs once per loop entry, not
+    // per iteration.
+    for i in r.clone() {
+        let tmp = vec![0.0; 4]; //~ ERROR hot-loop-alloc
+        acc += inner(i) + tmp.iter().sum::<f64>();
+        acc += grow(i).iter().sum::<usize>() as f64;
+        scratch.push(acc);
+    }
+    while acc > 1.0 {
+        acc -= step_string(acc).len() as f64;
+    }
+    acc
+}
+
+fn inner(i: usize) -> f64 {
+    let label = format!("cell{i}"); //~ ERROR hot-loop-alloc
+    label.len() as f64
+}
+
+fn step_string(x: f64) -> String {
+    x.to_string() //~ ERROR hot-loop-alloc
+}
+
+// Loop-called, but the allocation is deliberate and documented.
+fn grow(i: usize) -> Vec<usize> {
+    // sdp-lint: allow(hot-loop-alloc) -- demo: pretend this buffer is cached by the caller
+    let mut v = Vec::new();
+    v.push(i);
+    v
+}
+
+// Negative: constructor-time allocation outside every solver loop.
+pub fn build(n: usize) -> Vec<f64> {
+    let mut v = Vec::with_capacity(n);
+    v.resize(n, 0.0);
+    v
+}

@@ -47,9 +47,7 @@ impl std::fmt::Display for HttpError {
             HttpError::Io(e) => write!(f, "i/o: {e}"),
             HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
             HttpError::TooLarge => f.write_str("request body too large"),
-            HttpError::LengthRequired => {
-                f.write_str("body-bearing request without Content-Length")
-            }
+            HttpError::LengthRequired => f.write_str("body-bearing request without Content-Length"),
         }
     }
 }

@@ -190,7 +190,11 @@ fn raw_request(port: u16, chunks: &[&[u8]]) -> Option<u16> {
     let mut stream = std::net::TcpStream::connect(("127.0.0.1", port)).unwrap();
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     for chunk in chunks {
-        if stream.write_all(chunk).and_then(|()| stream.flush()).is_err() {
+        if stream
+            .write_all(chunk)
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
             break; // server already gave up on the request
         }
     }
@@ -236,9 +240,7 @@ fn many_chunk_header_parses_and_oversized_header_is_rejected() {
     let filler: String = (0..400)
         .map(|i| format!("X-Pad-{i}: {}\r\n", "v".repeat(100)))
         .collect();
-    let head = format!(
-        "GET /healthz HTTP/1.1\r\nHost: x\r\n{filler}Connection: close\r\n\r\n"
-    );
+    let head = format!("GET /healthz HTTP/1.1\r\nHost: x\r\n{filler}Connection: close\r\n\r\n");
     assert!(head.len() > 16 * 1024, "filler spans many read chunks");
     let chunks: Vec<&[u8]> = head.as_bytes().chunks(512).collect();
     assert_eq!(raw_request(port, &chunks), Some(200));
