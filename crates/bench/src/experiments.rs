@@ -54,6 +54,7 @@ pub fn all_ids() -> &'static [&'static str] {
         "f7",
         "gp-solver",
         "serve-throughput",
+        "serve-soak",
         "trajectory",
     ]
 }
@@ -127,6 +128,7 @@ pub fn run_experiment(id: &str, mode: Mode) -> Option<ExperimentResult> {
         "f7" => f7(mode),
         "gp-solver" => gp_solver(mode),
         "serve-throughput" => serve_throughput(mode),
+        "serve-soak" => serve_soak(mode),
         "trajectory" => trajectory(mode),
         _ => return None,
     };
@@ -1002,6 +1004,193 @@ fn serve_throughput(mode: Mode) -> Exp {
     )
 }
 
+/// What one duplicate-heavy stream measured.
+struct SoakStats {
+    wall: f64,
+    jobs_per_sec: f64,
+    /// Fraction of submissions absorbed by determinism — answered from
+    /// the cache or attached to an in-flight identical run.
+    hit_ratio: f64,
+    hits: f64,
+    coalesced: f64,
+    /// Placements that actually ran (the server's `completed` counter).
+    completed: f64,
+}
+
+/// Drives `n_jobs` submissions cycling through `unique` distinct seeds
+/// (dp_tiny, fast flow) through a fresh loopback server and scrapes the
+/// cache/coalescing counters afterwards.
+fn run_soak_stream(
+    n_jobs: usize,
+    unique: usize,
+    workers: usize,
+    client_threads: usize,
+) -> SoakStats {
+    use sdp_serve::client::{request, wait_for_job};
+    use sdp_serve::{Server, ServerConfig};
+    use std::time::Duration;
+
+    let server = Server::start(ServerConfig {
+        port: 0,
+        workers,
+        queue_depth: n_jobs,
+        ..ServerConfig::default()
+    })
+    .expect("loopback server on an ephemeral port");
+    let port = server.port();
+
+    // A few client threads drain the submission stream; seed = k %
+    // unique makes the tail of the stream pure repeats.
+    let t0 = Instant::now();
+    let next = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let clients: Vec<_> = (0..client_threads)
+        .map(|_| {
+            let next = std::sync::Arc::clone(&next);
+            std::thread::spawn(move || {
+                loop {
+                    let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if k >= n_jobs {
+                        return;
+                    }
+                    let spec = format!(
+                        r#"{{"design": {{"preset": "dp_tiny", "seed": {}}}, "flow": {{"fast": true}}}}"#,
+                        k % unique
+                    );
+                    let (status, body) = request(port, "POST", "/jobs", &spec).expect("submit");
+                    assert_eq!(status, 202, "submit: {body}");
+                    let id = sdp_json::parse(&body)
+                        .ok()
+                        .and_then(|v| v.get("id").and_then(sdp_json::Json::as_u64))
+                        .expect("202 body carries the job id");
+                    let status_body =
+                        wait_for_job(port, id, Duration::from_secs(600)).expect("job settles");
+                    assert!(
+                        status_body.contains(r#""state":"done""#),
+                        "job {id}: {status_body}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    let (_, metrics_text) = request(port, "GET", "/metrics", "").expect("metrics");
+    let counter = |name: &str| -> f64 {
+        metrics_text
+            .lines()
+            .find_map(|l| l.strip_prefix(name)?.trim().parse::<f64>().ok())
+            .unwrap_or(0.0)
+    };
+    let hits = counter("sdp_serve_cache_hits_total");
+    let coalesced = counter("sdp_serve_coalesced_total");
+    SoakStats {
+        wall,
+        jobs_per_sec: n_jobs as f64 / wall.max(1e-9),
+        hit_ratio: (hits + coalesced) / n_jobs as f64,
+        hits,
+        coalesced,
+        completed: counter("sdp_serve_jobs_completed_total"),
+    }
+}
+
+/// serve-soak — a duplicate-heavy job stream through a real loopback
+/// `sdp-serve` instance, exercising the content-addressed result cache
+/// and request coalescing: `jobs` submissions cycle through `unique`
+/// distinct seeds, so only `unique` placements should ever run and the
+/// rest should be answered from the cache (or attach to an in-flight
+/// run). Reports the measured hit ratio, end-to-end jobs/sec, and peak
+/// RSS; a full run merges a `soak` member into `BENCH_serve.json`.
+fn serve_soak(mode: Mode) -> Exp {
+    let (n_jobs, unique, workers, client_threads) = match mode {
+        Mode::Quick => (60usize, 6usize, 2usize, 3usize),
+        Mode::Full => (2000, 25, 4, 8),
+    };
+    let soak = run_soak_stream(n_jobs, unique, workers, client_threads);
+    let SoakStats {
+        wall,
+        jobs_per_sec,
+        hit_ratio,
+        hits,
+        coalesced,
+        completed,
+    } = soak;
+    assert!(
+        completed as usize <= unique + 5,
+        "roughly one placement per distinct seed may run (a benign \
+         submit/complete race can add a rare duplicate): \
+         completed={completed} unique={unique}"
+    );
+    let rss = peak_rss_bytes();
+
+    // serve-throughput owns BENCH_serve.json and overwrites it whole, so
+    // the soak snapshot merges in as a `soak` member (read-modify-write).
+    if mode == Mode::Full {
+        let soak = sdp_json::Json::obj([
+            ("jobs", sdp_json::Json::num(n_jobs as f64)),
+            ("unique_specs", sdp_json::Json::num(unique as f64)),
+            ("workers", sdp_json::Json::num(workers as f64)),
+            ("wall_s", sdp_json::Json::num(wall)),
+            ("jobs_per_sec", sdp_json::Json::num(jobs_per_sec)),
+            ("hit_ratio", sdp_json::Json::num(hit_ratio)),
+            ("cache_hits", sdp_json::Json::num(hits)),
+            ("coalesced", sdp_json::Json::num(coalesced)),
+            ("placements_run", sdp_json::Json::num(completed)),
+            ("peak_rss_bytes", sdp_json::Json::num(rss)),
+        ]);
+        let out_path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+        let merged = match std::fs::read_to_string(&out_path)
+            .ok()
+            .and_then(|text| sdp_json::parse(&text).ok())
+        {
+            Some(sdp_json::Json::Obj(mut members)) => {
+                members.insert("soak".to_string(), soak);
+                sdp_json::Json::Obj(members)
+            }
+            _ => sdp_json::Json::obj([("soak", soak)]),
+        };
+        std::fs::write(&out_path, format!("{merged}\n")).expect("write BENCH_serve.json");
+    }
+
+    let mut t = Table::new([
+        "jobs",
+        "unique",
+        "workers",
+        "wall s",
+        "jobs/s",
+        "hit ratio",
+        "hits",
+        "coalesced",
+        "placements",
+    ]);
+    t.row([
+        n_jobs.to_string(),
+        unique.to_string(),
+        workers.to_string(),
+        format!("{wall:.2}"),
+        format!("{jobs_per_sec:.2}"),
+        format!("{hit_ratio:.3}"),
+        format!("{hits:.0}"),
+        format!("{coalesced:.0}"),
+        format!("{completed:.0}"),
+    ]);
+    (
+        "serve-soak",
+        "Serving soak: duplicate-heavy stream through the result cache",
+        t,
+        "With jobs ≫ unique specs, the hit ratio approaches \
+         1 − unique/jobs: placement runs once per distinct spec and \
+         every repeat is answered from the content-addressed cache (or \
+         coalesces onto an in-flight run), so jobs/sec is far above the \
+         raw placement rate. Wall-clock numbers are machine-dependent \
+         and live in BENCH_serve.json's `soak` member, not the \
+         deterministic tables output.",
+    )
+}
+
 /// Peak resident set size of this process in bytes (`VmHWM` from
 /// `/proc/self/status`); `0.0` where that file is unavailable
 /// (non-Linux), which the perf gate treats as "metric not measured".
@@ -1107,7 +1296,16 @@ fn trajectory(mode: Mode) -> Exp {
     let serve_wall = t0.elapsed().as_secs_f64();
     let serve_jobs_per_sec = n_jobs as f64 / serve_wall.max(1e-9);
 
-    // Measured last so it covers both workloads above.
+    // Duplicate-heavy soak: the content-addressed-cache/coalescing fast
+    // path — the gate holds its hit ratio and jobs/sec so a regression
+    // in canonical hashing or the cache shows up on every CI push.
+    let (soak_jobs, soak_unique, soak_workers, soak_clients) = match mode {
+        Mode::Quick => (20usize, 4usize, 2usize, 2usize),
+        Mode::Full => (120, 6, 4, 4),
+    };
+    let soak = run_soak_stream(soak_jobs, soak_unique, soak_workers, soak_clients);
+
+    // Measured last so it covers all workloads above.
     let rss = peak_rss_bytes();
 
     let json = Json::obj([
@@ -1141,6 +1339,16 @@ fn trajectory(mode: Mode) -> Exp {
                 ("jobs_per_sec", Json::num(serve_jobs_per_sec)),
             ]),
         ),
+        (
+            "serve_soak",
+            Json::obj([
+                ("jobs", Json::num(soak_jobs as f64)),
+                ("unique_specs", Json::num(soak_unique as f64)),
+                ("wall_s", Json::num(soak.wall)),
+                ("jobs_per_sec", Json::num(soak.jobs_per_sec)),
+                ("hit_ratio", Json::num(soak.hit_ratio)),
+            ]),
+        ),
         ("peak_rss_bytes", Json::num(rss)),
     ]);
     // Same policy as the other BENCH files: only a full run refreshes
@@ -1160,6 +1368,14 @@ fn trajectory(mode: Mode) -> Exp {
     t.row([
         "serve jobs/s".to_string(),
         format!("{serve_jobs_per_sec:.2}"),
+    ]);
+    t.row([
+        "soak jobs/s".to_string(),
+        format!("{:.2}", soak.jobs_per_sec),
+    ]);
+    t.row([
+        "soak hit ratio".to_string(),
+        format!("{:.3}", soak.hit_ratio),
     ]);
     t.row([
         "peak RSS MiB".to_string(),

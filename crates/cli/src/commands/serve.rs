@@ -16,12 +16,23 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         retain_terminal: args
             .number::<usize>("retain")?
             .unwrap_or(defaults.retain_terminal),
+        cache_bytes: args
+            .number::<usize>("cache-bytes")?
+            .unwrap_or(defaults.cache_bytes),
+        state_dir: args.value("state-dir").map(std::path::PathBuf::from),
+        threads: args.number::<usize>("threads")?.unwrap_or(defaults.threads),
     };
     let workers = cfg.workers;
     let queue_depth = cfg.queue_depth;
+    let cache_mib = cfg.cache_bytes / (1024 * 1024);
+    let state = cfg
+        .state_dir
+        .as_ref()
+        .map(|d| format!(", state dir {}", d.display()))
+        .unwrap_or_default();
     let mut server = Server::start(cfg).map_err(|e| format!("starting server: {e}"))?;
     println!(
-        "sdp-serve listening on http://127.0.0.1:{} ({workers} workers, queue depth {queue_depth})",
+        "sdp-serve listening on http://127.0.0.1:{} ({workers} workers, queue depth {queue_depth}, {cache_mib} MiB result cache{state})",
         server.port()
     );
     println!("close stdin (Ctrl-D) to shut down gracefully");

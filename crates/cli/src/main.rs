@@ -29,6 +29,7 @@ USAGE:
   sdplace route <case.aux> [--tracks N]
   sdplace eval <case.aux>
   sdplace serve [--port P] [--workers N] [--queue-depth D] [--retain R]
+                [--cache-bytes B] [--state-dir DIR] [--threads T]
 
 SUBCOMMANDS:
   gen      generate a benchmark (presets: dp_tiny dp_small dp_medium
@@ -62,6 +63,10 @@ OPTIONS:
   --queue-depth D serve: bounded job-queue depth         [default: 16]
   --retain R      serve: finished job records kept before the oldest
                   are evicted (bounds memory)           [default: 256]
+  --cache-bytes B serve: content-addressed result-cache byte budget;
+                  0 disables caching             [default: 67108864]
+  --state-dir DIR serve: persist terminal jobs to DIR/jobs.log and
+                  replay them on startup            [default: in-memory]
 ";
 
 fn main() -> ExitCode {

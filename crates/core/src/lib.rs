@@ -43,9 +43,12 @@ pub mod flow;
 
 pub use align::{AlignConfig, AlignTerm};
 pub use flow::{FlowConfig, FlowOutput, FlowReport, LegalizerKind, PhaseTimes, StructurePlacer};
-// Re-exported so downstream crates (serve, bench) can select the GP
-// solver without depending on `sdp-gp` directly.
-pub use sdp_gp::{GpConfig, GpSolver};
+// Re-exported so downstream crates (serve, bench) can name every type
+// that appears in `FlowConfig` — the serve crate canonicalizes the full
+// resolved config for content-address hashing — without depending on
+// `sdp-gp`/`sdp-extract` directly.
+pub use sdp_extract::ExtractConfig;
+pub use sdp_gp::{GpConfig, GpSolver, WirelengthModel};
 pub use sdp_progress::{
     CancelToken, Cancelled, Clock, ManualClock, MonotonicClock, NullSink, Observer, Phase,
     ProgressSink, TokenSink,

@@ -406,6 +406,26 @@ pub fn quote(s: &str) -> String {
     out
 }
 
+/// 64-bit FNV-1a over a byte string — the vendored content-address
+/// hasher behind `sdp-serve`'s result cache. FNV is deliberate: tiny,
+/// dependency-free, endian-independent, and fully specified, so a hash
+/// written into a persistent job store replays identically on any
+/// machine. It is *not* collision-resistant against adversaries; the
+/// serving layer treats a collision as a cache key aliasing two specs,
+/// which determinism bounds to "wrong result body for a hand-crafted
+/// spec", and the canonical form hashed is several hundred bytes of
+/// structured text where accidental collisions are ~2⁻⁶⁴.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET_BASIS;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
 impl fmt::Display for Json {
     /// Serializes compactly (no insignificant whitespace, sorted object
     /// keys). `parse(v.to_string())` round-trips every value whose numbers
@@ -577,5 +597,15 @@ mod tests {
     fn quote_escapes_control_characters() {
         assert_eq!(quote("a\u{1}b"), "\"a\\u0001b\"");
         assert_eq!(quote("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn fnv1a_64_matches_published_vectors() {
+        // Reference values from the FNV specification (Noll's test suite).
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+        // Sensitivity: one flipped bit moves the whole hash.
+        assert_ne!(fnv1a_64(b"spec-a"), fnv1a_64(b"spec-b"));
     }
 }

@@ -5,13 +5,20 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest accepted header block.
 const MAX_HEAD: usize = 64 * 1024;
 /// Largest accepted request body (Bookshelf payloads are text; dp_huge
 /// serializes to a few MiB).
 pub const MAX_BODY: usize = 64 * 1024 * 1024;
+/// Per-read socket timeout: a client that sends *nothing* for this long
+/// is dropped.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// Whole-request wall deadline: a client trickling one byte per poll
+/// resets the per-read timeout forever, so without this bound it could
+/// pin a connection thread for hours on a 64 MiB body.
+const WALL_DEADLINE: Duration = Duration::from_secs(60);
 
 /// A parsed request.
 #[derive(Debug)]
@@ -58,10 +65,35 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
-/// Reads one request from the stream (bounded head and body, 10 s read
-/// timeout so a stalled client cannot pin a connection thread).
+/// Reads one request with the default 60 s wall deadline.
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    read_request_with(stream, WALL_DEADLINE)
+}
+
+/// Returns how much of `deadline` remains, as an `Err(TimedOut)` once it
+/// is spent, and arms the socket's read timeout with the smaller of the
+/// remainder and the per-read bound.
+fn arm_read_timeout(stream: &TcpStream, deadline: Instant) -> Result<(), HttpError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(HttpError::Io(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "request wall deadline exceeded",
+        )));
+    }
+    let _ = stream.set_read_timeout(Some(remaining.min(READ_TIMEOUT)));
+    Ok(())
+}
+
+/// Reads one request from the stream. Three bounds protect the
+/// connection thread: head and body byte limits, a per-read timeout
+/// (silent client), and `wall` — a whole-request deadline that a
+/// slow-trickle client (one byte per read, each read "succeeding")
+/// cannot reset.
+pub fn read_request_with(stream: &mut TcpStream, wall: Duration) -> Result<Request, HttpError> {
+    let deadline = Instant::now()
+        .checked_add(wall)
+        .unwrap_or_else(|| Instant::now() + WALL_DEADLINE);
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     // Resume the terminator scan where the previous read left off (minus
@@ -77,6 +109,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
             return Err(HttpError::Malformed("header block too large".into()));
         }
         scanned = buf.len().saturating_sub(3);
+        arm_read_timeout(stream, deadline)?;
         let n = stream.read(&mut chunk)?;
         if n == 0 {
             return Err(HttpError::Malformed("connection closed mid-header".into()));
@@ -106,12 +139,19 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
             continue;
         };
         if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = Some(
-                value
-                    .trim()
-                    .parse::<usize>()
-                    .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?,
-            );
+            let len = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?;
+            // Duplicate headers that agree are tolerated; ones that
+            // disagree are the classic request-smuggling shape — reject
+            // rather than silently letting the last one win.
+            if content_length.is_some_and(|prev| prev != len) {
+                return Err(HttpError::Malformed(
+                    "conflicting Content-Length headers".into(),
+                ));
+            }
+            content_length = Some(len);
         }
     }
     let body_bearing = matches!(method.as_str(), "POST" | "PUT" | "PATCH");
@@ -126,6 +166,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
 
     let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
     while body.len() < content_length {
+        arm_read_timeout(stream, deadline)?;
         let n = stream.read(&mut chunk)?;
         if n == 0 {
             return Err(HttpError::Malformed("connection closed mid-body".into()));
@@ -216,6 +257,69 @@ mod tests {
         // Out-of-range resume offsets are a clean miss, not a panic.
         assert_eq!(find_head_end(b"\r\n\r\n", 1), None);
         assert_eq!(find_head_end(b"ab", 5), None);
+    }
+
+    /// A connected loopback pair: (client, server) ends.
+    fn pipe() -> (TcpStream, TcpStream) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_length_is_rejected() {
+        let (mut client, mut server) = pipe();
+        client
+            .write_all(
+                b"POST /jobs HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello!",
+            )
+            .unwrap();
+        match read_request(&mut server) {
+            Err(HttpError::Malformed(m)) => assert!(m.contains("conflicting"), "{m}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agreeing_duplicate_content_length_is_tolerated() {
+        let (mut client, mut server) = pipe();
+        client
+            .write_all(
+                b"POST /jobs HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello",
+            )
+            .unwrap();
+        let req = read_request(&mut server).unwrap();
+        assert_eq!((req.method.as_str(), req.body.as_str()), ("POST", "hello"));
+    }
+
+    #[test]
+    fn slow_trickle_client_hits_the_wall_deadline() {
+        let (mut client, mut server) = pipe();
+        // Each one-byte write lands within the per-read timeout, so only
+        // the wall deadline can end this request.
+        let trickler = std::thread::spawn(move || {
+            let _ = client.write_all(b"POST /jobs HTTP/1.1\r\nContent-Length: 100000\r\n\r\n");
+            loop {
+                if client.write_all(b"x").is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let t0 = Instant::now();
+        let res = read_request_with(&mut server, Duration::from_millis(300));
+        assert!(
+            matches!(res, Err(HttpError::Io(_))),
+            "wall deadline must cut the request off: {res:?}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "the cut-off happens near the deadline, not after 100k bytes"
+        );
+        drop(server); // the trickler's next write fails and it exits
+        trickler.join().unwrap();
     }
 
     #[test]

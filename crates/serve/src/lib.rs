@@ -22,18 +22,26 @@
 //!   fails that job (structured 500) and nothing else.
 //! - **Determinism.** Result bodies contain only spec-determined data —
 //!   two identical-seed jobs are byte-identical at any worker count.
+//!   That invariant is *exploited*, not just promised: identical specs
+//!   are answered from a content-addressed result cache ([`canon`],
+//!   [`cache`]), coalesced onto in-flight runs, and replayed from a
+//!   persistent store across restarts ([`store`]).
 //! - **Graceful shutdown.** [`ServerHandle::shutdown`] stops accepting,
 //!   then drains queued and in-flight jobs before returning.
 
+mod cache;
+pub mod canon;
 mod engine;
 pub mod http;
 mod metrics;
 mod spec;
+mod store;
 
 pub mod client;
 
+pub use canon::spec_hash;
 pub use engine::{error_body, Engine, EngineConfig, JobState, SubmitError};
-pub use spec::{parse_spec, CaseSource, JobSpec, SpecError};
+pub use spec::{parse_spec, CaseSource, JobSpec, SpecError, MAX_DEADLINE_MS};
 
 use sdp_json::Json;
 use std::io;
@@ -53,6 +61,15 @@ pub struct ServerConfig {
     /// Finished job records kept for result fetches before the oldest
     /// are evicted (their ids then 404); bounds server memory.
     pub retain_terminal: usize,
+    /// Byte budget for the content-addressed result cache
+    /// (`--cache-bytes`; `0` disables caching).
+    pub cache_bytes: usize,
+    /// Directory for the persistent job store (`--state-dir`); `None`
+    /// keeps all state in memory.
+    pub state_dir: Option<std::path::PathBuf>,
+    /// Default kernel threads for jobs whose spec leaves `gp.threads`
+    /// at 0 (`--threads`; `0` keeps "available parallelism").
+    pub threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +79,9 @@ impl Default for ServerConfig {
             workers: 2,
             queue_depth: 16,
             retain_terminal: 256,
+            cache_bytes: 64 * 1024 * 1024,
+            state_dir: None,
+            threads: 0,
         }
     }
 }
@@ -79,6 +99,9 @@ impl Server {
             workers: cfg.workers,
             queue_depth: cfg.queue_depth,
             retain_terminal: cfg.retain_terminal,
+            cache_bytes: cfg.cache_bytes,
+            state_dir: cfg.state_dir.clone(),
+            default_threads: cfg.threads,
         })?);
         let shutting = Arc::new(AtomicBool::new(false));
 

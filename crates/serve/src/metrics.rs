@@ -77,6 +77,21 @@ pub struct Metrics {
     pub cancelled: AtomicU64,
     /// Submissions rejected with 429 (queue full).
     pub rejected: AtomicU64,
+    /// Submissions answered straight from the content-addressed result
+    /// cache (no placement ran).
+    pub cache_hits: AtomicU64,
+    /// Submissions whose spec hash was not cached (a placement ran, or
+    /// will — coalesced attachments are counted separately).
+    pub cache_misses: AtomicU64,
+    /// Submissions attached to an in-flight identical job instead of
+    /// queueing a second placement.
+    pub coalesced: AtomicU64,
+    /// Terminal records replayed from the state dir at startup.
+    pub replayed: AtomicU64,
+    /// Live worker threads — a panic escaping a worker loop (the bug
+    /// class the deadline regression test pins) shows up here as a gauge
+    /// below the configured pool size.
+    pub workers_live: AtomicU64,
     /// Per-phase placement latency, indexed by [`Phase::ALL`] order.
     phase_seconds: [Histogram; Phase::ALL.len()],
     /// Time jobs sat queued before a worker picked them up.
@@ -103,9 +118,15 @@ impl Metrics {
     }
 
     /// Renders the whole registry in Prometheus text exposition format.
-    /// `queue_depth` and `workers` are point-in-time gauges supplied by
-    /// the engine.
-    pub fn render(&self, queue_depth: usize, queue_capacity: usize, workers: usize) -> String {
+    /// `queue_depth`, `workers`, and `cache_bytes` are point-in-time
+    /// gauges supplied by the engine.
+    pub fn render(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        workers: usize,
+        cache_bytes: usize,
+    ) -> String {
         let mut out = String::with_capacity(4096);
         let counter = |out: &mut String, name: &str, help: &str, v: &AtomicU64| {
             out.push_str(&format!(
@@ -143,6 +164,37 @@ impl Metrics {
             "Submissions rejected because the queue was full.",
             &self.rejected,
         );
+        counter(
+            &mut out,
+            "sdp_serve_cache_hits_total",
+            "Submissions answered from the content-addressed result cache.",
+            &self.cache_hits,
+        );
+        counter(
+            &mut out,
+            "sdp_serve_cache_misses_total",
+            "Submissions whose canonical spec hash was not cached.",
+            &self.cache_misses,
+        );
+        counter(
+            &mut out,
+            "sdp_serve_coalesced_total",
+            "Submissions attached to an identical in-flight job.",
+            &self.coalesced,
+        );
+        counter(
+            &mut out,
+            "sdp_serve_replayed_total",
+            "Terminal records replayed from the state dir at startup.",
+            &self.replayed,
+        );
+        out.push_str(&format!(
+            "# HELP sdp_serve_cache_bytes Result-body bytes held by the cache.\n# TYPE sdp_serve_cache_bytes gauge\nsdp_serve_cache_bytes {cache_bytes}\n"
+        ));
+        out.push_str(&format!(
+            "# HELP sdp_serve_workers_live Worker threads currently alive.\n# TYPE sdp_serve_workers_live gauge\nsdp_serve_workers_live {}\n",
+            self.workers_live.load(Ordering::Relaxed)
+        ));
         out.push_str(&format!(
             "# HELP sdp_serve_queue_depth Jobs currently queued.\n# TYPE sdp_serve_queue_depth gauge\nsdp_serve_queue_depth {queue_depth}\n"
         ));
@@ -200,9 +252,17 @@ mod tests {
             detailed: 0.03,
         });
         m.observe_queue_wait(0.002);
-        let text = m.render(1, 8, 4);
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        m.workers_live.fetch_add(4, Ordering::Relaxed);
+        let text = m.render(1, 8, 4, 12345);
         assert!(text.contains("sdp_serve_jobs_submitted_total 2"));
         assert!(text.contains("sdp_serve_queue_depth 1"));
+        assert!(text.contains("sdp_serve_cache_hits_total 3"));
+        assert!(text.contains("sdp_serve_cache_misses_total 0"));
+        assert!(text.contains("sdp_serve_coalesced_total 0"));
+        assert!(text.contains("sdp_serve_replayed_total 0"));
+        assert!(text.contains("sdp_serve_cache_bytes 12345"));
+        assert!(text.contains("sdp_serve_workers_live 4"));
         assert!(text.contains("phase=\"global\",le=\"0.5\"}"));
         assert!(text.contains("sdp_serve_queue_wait_seconds_count 1"));
         // Every non-comment line is `name{...} value` or `name value`.

@@ -35,7 +35,14 @@ pub enum CaseSource {
     /// Generate with `sdp-dpgen` in the worker (cheap to queue).
     Generated(GenConfig),
     /// An already-parsed inline Bookshelf bundle.
-    Loaded(Box<BookshelfCase>),
+    Loaded {
+        /// The parsed netlist/design/placement bundle.
+        case: Box<BookshelfCase>,
+        /// FNV-1a 64 over the canonical JSON of the raw member text,
+        /// taken at parse time (the text is dropped after parsing).
+        /// Feeds [`crate::canon::spec_hash`]'s design component.
+        digest: u64,
+    },
 }
 
 /// A validated job, ready for the worker pool.
@@ -53,6 +60,13 @@ pub struct JobSpec {
     /// per-job `catch_unwind` crash isolation.
     pub chaos_panic: bool,
 }
+
+/// Largest accepted `deadline_ms`: one year. Anything longer is
+/// indistinguishable from "no deadline" for a placement job, and the cap
+/// keeps `Instant + Duration` arithmetic far from its representable
+/// edge on every platform (the engine still uses `checked_add` as
+/// defense in depth).
+pub const MAX_DEADLINE_MS: u64 = 366 * 24 * 60 * 60 * 1000;
 
 /// Parses and validates a `POST /jobs` body.
 pub fn parse_spec(body: &str) -> Result<JobSpec, SpecError> {
@@ -73,8 +87,12 @@ pub fn parse_spec(body: &str) -> Result<JobSpec, SpecError> {
         None => None,
         Some(d) => Some(
             d.as_u64()
-                .filter(|&ms| ms > 0)
-                .ok_or_else(|| SpecError("`deadline_ms` must be a positive integer".into()))?,
+                .filter(|&ms| ms > 0 && ms <= MAX_DEADLINE_MS)
+                .ok_or_else(|| {
+                    SpecError(format!(
+                        "`deadline_ms` must be an integer in 1..={MAX_DEADLINE_MS}"
+                    ))
+                })?,
         ),
     };
 
@@ -133,8 +151,19 @@ fn parse_design(design: &Json) -> Result<(String, CaseSource), SpecError> {
             if design.get("seed").is_some() {
                 return Err(SpecError("`seed` only applies to `preset` designs".into()));
             }
+            // Content-address the raw member text (canonically
+            // re-serialized, so whitespace in the *envelope* JSON does
+            // not matter but every byte of the payload members does)
+            // while it still exists — the parsed case drops it.
+            let digest = sdp_json::fnv1a_64(bs.to_string().as_bytes());
             let case = load_bookshelf(bs)?;
-            Ok(("bookshelf".to_string(), CaseSource::Loaded(Box::new(case))))
+            Ok((
+                "bookshelf".to_string(),
+                CaseSource::Loaded {
+                    case: Box::new(case),
+                    digest,
+                },
+            ))
         }
         (None, None) => Err(SpecError(
             "`design` needs a `preset` or a `bookshelf` payload".into(),
@@ -334,6 +363,8 @@ mod tests {
             r#"{"design": {"preset": "dp_tiny", "seed": -1}}"#,
             r#"{"design": {"preset": "dp_tiny"}, "flow": {"warp": true}}"#,
             r#"{"design": {"preset": "dp_tiny"}, "deadline_ms": 0}"#,
+            r#"{"design": {"preset": "dp_tiny"}, "deadline_ms": 31622400001}"#,
+            r#"{"design": {"preset": "dp_tiny"}, "deadline_ms": 18446744073709551615}"#,
             r#"{"design": {"preset": "dp_tiny"}, "chaos": "fire"}"#,
             r#"{"design": {"bookshelf": {"nodes": "x"}}}"#,
         ] {
@@ -364,10 +395,11 @@ mod tests {
         .to_string();
         std::fs::remove_dir_all(&dir).unwrap();
         let s = parse_spec(&body).unwrap();
-        let CaseSource::Loaded(case) = s.source else {
+        let CaseSource::Loaded { case, digest } = s.source else {
             panic!("expected a loaded case");
         };
         assert_eq!(case.netlist.num_cells(), d.netlist.num_cells());
+        assert_ne!(digest, 0, "raw payload digest recorded at parse time");
         // A corrupt member surfaces the netlist reader's ParseError text.
         let bad = body.replace("NumNodes", "NumNoodles");
         let e = parse_spec(&bad).unwrap_err();

@@ -6,13 +6,15 @@ use sdp_serve::{JobState, Server, ServerConfig};
 use std::time::Duration;
 
 fn start(workers: usize, queue_depth: usize) -> sdp_serve::ServerHandle {
-    Server::start(ServerConfig {
-        port: 0,
+    start_cfg(ServerConfig {
         workers,
         queue_depth,
         ..ServerConfig::default()
     })
-    .expect("server starts on an ephemeral port")
+}
+
+fn start_cfg(cfg: ServerConfig) -> sdp_serve::ServerHandle {
+    Server::start(ServerConfig { port: 0, ..cfg }).expect("server starts on an ephemeral port")
 }
 
 /// Submits a spec and returns the job id from the 202 body.
@@ -29,22 +31,28 @@ const TINY: &str = r#"{"design": {"preset": "dp_tiny", "seed": 3}, "flow": {"fas
 
 #[test]
 fn submit_poll_result_roundtrip_and_determinism() {
-    let server = start(4, 16);
+    // Cache disabled and submissions sequential: the second job really
+    // re-runs placement, so this pins the determinism invariant itself
+    // rather than the cache shortcut built on it.
+    let server = start_cfg(ServerConfig {
+        workers: 4,
+        queue_depth: 16,
+        cache_bytes: 0,
+        ..ServerConfig::default()
+    });
     let port = server.port();
 
     let (status, body) = request(port, "GET", "/healthz", "").unwrap();
     assert_eq!((status, body.as_str()), (200, r#"{"status":"ok"}"#));
 
-    // Two identical-seed jobs racing on a 4-worker pool.
     let a = submit(port, TINY);
+    let sa = wait_for_job(port, a, Duration::from_secs(120)).unwrap();
+    assert!(sa.contains(r#""state":"done""#), "{sa}");
+    assert!(sa.contains("\"phase_s\""), "{sa}");
     let b = submit(port, TINY);
     assert_ne!(a, b);
-
-    for id in [a, b] {
-        let status_body = wait_for_job(port, id, Duration::from_secs(120)).unwrap();
-        assert!(status_body.contains(r#""state":"done""#), "{status_body}");
-        assert!(status_body.contains("\"phase_s\""), "{status_body}");
-    }
+    let sb = wait_for_job(port, b, Duration::from_secs(120)).unwrap();
+    assert!(sb.contains(r#""state":"done""#), "{sb}");
 
     let (sa, ra) = request(port, "GET", &format!("/jobs/{a}/result"), "").unwrap();
     let (sb, rb) = request(port, "GET", &format!("/jobs/{b}/result"), "").unwrap();
@@ -79,12 +87,14 @@ fn submit_poll_result_roundtrip_and_determinism() {
 
 #[test]
 fn full_queue_rejects_with_429() {
-    // Zero workers: the queue cannot drain, so the bound is exact.
+    // Zero workers and distinct seeds: the queue cannot drain and
+    // nothing coalesces, so the bound is exact.
     let server = start(0, 2);
     let port = server.port();
-    submit(port, TINY);
-    submit(port, TINY);
-    let (status, body) = request(port, "POST", "/jobs", TINY).unwrap();
+    let spec = |seed: u64| format!(r#"{{"design": {{"preset": "dp_tiny", "seed": {seed}}}}}"#);
+    submit(port, &spec(1));
+    submit(port, &spec(2));
+    let (status, body) = request(port, "POST", "/jobs", &spec(3)).unwrap();
     assert_eq!(status, 429, "{body}");
     assert!(body.contains("queue full"), "{body}");
     let (_, metrics) = request(port, "GET", "/metrics", "").unwrap();
@@ -288,6 +298,137 @@ fn panicking_job_fails_alone_while_server_keeps_serving() {
         metrics.contains("sdp_serve_jobs_failed_total 1"),
         "{metrics}"
     );
+}
+
+#[test]
+fn repeat_submission_is_served_from_the_cache() {
+    let server = start(1, 8);
+    let port = server.port();
+
+    let a = submit(port, TINY);
+    let sa = wait_for_job(port, a, Duration::from_secs(120)).unwrap();
+    assert!(sa.contains(r#""state":"done""#), "{sa}");
+    let (_, ra) = request(port, "GET", &format!("/jobs/{a}/result"), "").unwrap();
+
+    // The repeat is Done before we ever poll: one status GET suffices.
+    let t0 = std::time::Instant::now();
+    let b = submit(port, TINY);
+    let (_, sb) = request(port, "GET", &format!("/jobs/{b}"), "").unwrap();
+    let hit_latency = t0.elapsed();
+    assert!(
+        sb.contains(r#""state":"done""#),
+        "cache hit is done at submit time: {sb}"
+    );
+    assert!(
+        hit_latency < Duration::from_millis(250),
+        "submit+status of a hit took {hit_latency:?} — it must not run placement"
+    );
+
+    let (status, rb) = request(port, "GET", &format!("/jobs/{b}/result"), "").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(ra, rb, "cached bytes identical to the placed bytes");
+
+    let (_, metrics) = request(port, "GET", "/metrics", "").unwrap();
+    assert!(
+        metrics.contains("sdp_serve_cache_hits_total 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("sdp_serve_jobs_completed_total 1"),
+        "placement ran once for two submissions: {metrics}"
+    );
+    assert!(!metrics.contains("sdp_serve_cache_bytes 0\n"), "{metrics}");
+}
+
+#[test]
+fn restart_with_state_dir_serves_prior_results() {
+    let dir = std::env::temp_dir().join(format!("sdp-e2e-state-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = || ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        state_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    let (id, body) = {
+        let mut server = start_cfg(cfg());
+        let port = server.port();
+        let id = submit(port, TINY);
+        let s = wait_for_job(port, id, Duration::from_secs(120)).unwrap();
+        assert!(s.contains(r#""state":"done""#), "{s}");
+        let (_, body) = request(port, "GET", &format!("/jobs/{id}/result"), "").unwrap();
+        server.shutdown();
+        (id, body)
+    };
+
+    // Restart with zero workers: everything served must come from the
+    // replayed log, not from re-running placement.
+    let server = start_cfg(ServerConfig {
+        workers: 0,
+        ..cfg()
+    });
+    let port = server.port();
+    let (status, replayed) = request(port, "GET", &format!("/jobs/{id}/result"), "").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(replayed, body, "pre-restart result survives byte-for-byte");
+    let (_, metrics) = request(port, "GET", "/metrics", "").unwrap();
+    assert!(metrics.contains("sdp_serve_replayed_total 1"), "{metrics}");
+
+    // The replayed body warmed the cache: a repeat submission completes
+    // with no workers at all.
+    let dup = submit(port, TINY);
+    let (_, s) = request(port, "GET", &format!("/jobs/{dup}"), "").unwrap();
+    assert!(s.contains(r#""state":"done""#), "{s}");
+    let (_, rb) = request(port, "GET", &format!("/jobs/{dup}/result"), "").unwrap();
+    assert_eq!(rb, body);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn absurd_deadline_is_rejected_and_kills_no_worker() {
+    let server = start(1, 8);
+    let port = server.port();
+
+    // Over the parse-time cap (≈ one year) and the old panic payload
+    // (u64::MAX) both get a clean 400 — never a worker-killing overflow.
+    for bad in ["31622400001", "18446744073709551615"] {
+        let spec =
+            format!(r#"{{"design": {{"preset": "dp_tiny", "seed": 3}}, "deadline_ms": {bad}}}"#);
+        let (status, body) = request(port, "POST", "/jobs", &spec).unwrap();
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("deadline_ms"), "{body}");
+    }
+
+    // The regression this pins: every worker is still alive, and the
+    // next job completes on this same pool.
+    let (_, metrics) = request(port, "GET", "/metrics", "").unwrap();
+    assert!(metrics.contains("sdp_serve_workers_live 1"), "{metrics}");
+    let id = submit(port, TINY);
+    let s = wait_for_job(port, id, Duration::from_secs(120)).unwrap();
+    assert!(s.contains(r#""state":"done""#), "{s}");
+}
+
+#[test]
+fn conflicting_content_length_is_rejected() {
+    let server = start(0, 2);
+    let port = server.port();
+    let status = raw_request(
+        port,
+        &[b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\nContent-Length: 3\r\nConnection: close\r\n\r\n{}x"],
+    );
+    assert_eq!(
+        status,
+        Some(400),
+        "smuggling-shaped request must be rejected"
+    );
+    // Duplicates that agree stay acceptable.
+    let status = raw_request(
+        port,
+        &[b"GET /healthz HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"],
+    );
+    assert_eq!(status, Some(200));
 }
 
 #[test]
