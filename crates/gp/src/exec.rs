@@ -128,6 +128,9 @@ impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.sender.take(); // close the channel so workers exit
         for w in self.workers.drain(..) {
+            // sdp-lint: allow(swallowed-error) -- Drop must not panic; a
+            // join error only means a worker panicked, and job panics are
+            // already caught and rethrown on the submitting thread.
             let _ = w.join();
         }
     }

@@ -1,0 +1,325 @@
+//! The `--fix` engine: applies the machine-applicable edits carried by
+//! diagnostics ([`crate::rules::Fix`]) to source files.
+//!
+//! Edits are span-based: `(line, col_start, col_end, replacement)` with
+//! 1-indexed char columns and an exclusive end, never spanning lines.
+//! The lexer blanks comments and string bodies *in place*, so token
+//! coordinates address the original source exactly — an edit computed
+//! on cleaned tokens splices correctly into the raw file.
+//!
+//! Properties the test-suite pins:
+//! - deterministic: edits are grouped per file, sorted, and exact
+//!   duplicates (two diagnostics proposing the same rewrite) collapse;
+//!   overlapping edits are dropped conservatively (first wins).
+//! - idempotent: applying a file's edits and re-linting yields no
+//!   further edits — fix → re-lint → clean, fix twice → no-op.
+//! - self-contained: after a `HashMap`→`BTreeMap` rewrite the
+//!   `use std::collections::…` line is recomputed from what the edited
+//!   file still references, so the result compiles without a manual
+//!   import pass.
+
+use crate::rules::{Diagnostic, Edit};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// All pending edits for one file.
+pub struct FileEdits {
+    pub rel_path: String,
+    pub edits: Vec<Edit>,
+}
+
+/// Groups the fixable diagnostics' edits per file: sorted, deduped,
+/// overlap-free (on conflict the earlier edit wins), files in path
+/// order.
+pub fn collect(diags: &[Diagnostic]) -> Vec<FileEdits> {
+    let mut by_file: BTreeMap<&str, Vec<Edit>> = BTreeMap::new();
+    for d in diags {
+        if let Some(fix) = &d.fix {
+            by_file
+                .entry(d.rel_path.as_str())
+                .or_default()
+                .extend(fix.edits.iter().cloned());
+        }
+    }
+    by_file
+        .into_iter()
+        .map(|(rel_path, mut edits)| {
+            edits.sort();
+            edits.dedup();
+            let mut kept: Vec<Edit> = Vec::with_capacity(edits.len());
+            for e in edits {
+                let overlaps = kept
+                    .last()
+                    .is_some_and(|p| p.line == e.line && e.col_start < p.col_end);
+                if !overlaps {
+                    kept.push(e);
+                }
+            }
+            FileEdits {
+                rel_path: rel_path.to_string(),
+                edits: kept,
+            }
+        })
+        .filter(|fe| !fe.edits.is_empty())
+        .collect()
+}
+
+/// Applies sorted, non-overlapping `edits` to `source` and fixes up the
+/// `std::collections` import line if the rewrite changed which
+/// collection types the file references.
+pub fn apply(source: &str, edits: &[Edit]) -> String {
+    let mut lines: Vec<String> = source.split('\n').map(str::to_string).collect();
+    // Rightmost-first within a line keeps earlier columns stable.
+    for e in edits.iter().rev() {
+        let Some(line) = lines.get_mut(e.line - 1) else {
+            continue;
+        };
+        let chars: Vec<char> = line.chars().collect();
+        if e.col_start < 1 || e.col_end < e.col_start || e.col_end > chars.len() + 1 {
+            continue; // stale span; leave the line untouched
+        }
+        let head: String = chars[..e.col_start - 1].iter().collect();
+        let tail: String = chars[e.col_end - 1..].iter().collect();
+        *line = format!("{head}{}{tail}", e.replacement);
+    }
+    fix_collection_imports(&lines.join("\n"))
+}
+
+/// The four rewrite-affected `std::collections` names.
+const SWAPPED: &[&str] = &["HashMap", "HashSet", "BTreeMap", "BTreeSet"];
+
+/// Recomputes `use std::collections::…;` lines: drops hash/btree names
+/// the file no longer uses outside the import itself, adds the ones it
+/// now does, and leaves every other imported name (and every non-import
+/// line) alone.
+fn fix_collection_imports(source: &str) -> String {
+    let cleaned = crate::lexer::clean(source);
+    let code_lines: Vec<&str> = cleaned.code.iter().map(String::as_str).collect();
+    let import_ix: Vec<usize> = code_lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.trim_start().starts_with("use std::collections::"))
+        .map(|(i, _)| i)
+        .collect();
+    if import_ix.is_empty() {
+        return source.to_string();
+    }
+    let used = |name: &str| {
+        code_lines
+            .iter()
+            .enumerate()
+            .any(|(i, l)| !import_ix.contains(&i) && has_word(l, name))
+    };
+    let lines: Vec<&str> = source.split('\n').collect();
+    let mut out: Vec<String> = Vec::with_capacity(lines.len());
+    for (i, raw) in lines.iter().enumerate() {
+        if !import_ix.contains(&i) {
+            out.push(raw.to_string());
+            continue;
+        }
+        let Some(mut names) = parse_collections_import(raw) else {
+            out.push(raw.to_string());
+            continue;
+        };
+        names.retain(|n| !SWAPPED.contains(&n.as_str()) || used(n));
+        for n in SWAPPED {
+            if used(n) && !names.iter().any(|x| x == n) {
+                names.push(n.to_string());
+            }
+        }
+        names.sort();
+        let indent: String = raw.chars().take_while(|c| c.is_whitespace()).collect();
+        match names.len() {
+            0 => {} // drop the now-empty import line entirely
+            1 => out.push(format!("{indent}use std::collections::{};", names[0])),
+            _ => out.push(format!(
+                "{indent}use std::collections::{{{}}};",
+                names.join(", ")
+            )),
+        }
+    }
+    out.join("\n")
+}
+
+/// Imported names from `use std::collections::X;` or
+/// `use std::collections::{A, B};` — `None` for shapes this pass does
+/// not rewrite (nested paths, aliases, glob).
+fn parse_collections_import(line: &str) -> Option<Vec<String>> {
+    let rest = line
+        .trim()
+        .strip_prefix("use std::collections::")?
+        .strip_suffix(';')?;
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or(rest);
+    let mut names = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if !part.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return None; // `hash_map::Entry`, `HashMap as Map`, `*`, …
+        }
+        names.push(part.to_string());
+    }
+    Some(names)
+}
+
+/// Whole-word occurrence of `name` in `line`.
+fn has_word(line: &str, name: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(name) {
+        let start = from + pos;
+        let end = start + name.len();
+        let pre = start
+            .checked_sub(1)
+            .map(|i| bytes[i] as char)
+            .unwrap_or(' ');
+        let post = bytes.get(end).map(|&b| b as char).unwrap_or(' ');
+        let word = |c: char| c.is_alphanumeric() || c == '_';
+        if !word(pre) && !word(post) {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// A unified-style diff of one file's pending rewrite: only changed
+/// lines, `-`/`+` pairs with 1-indexed line numbers.
+pub fn diff(rel_path: &str, before: &str, after: &str) -> String {
+    let mut out = format!("--- {rel_path}\n+++ {rel_path} (fixed)\n");
+    let b: Vec<&str> = before.split('\n').collect();
+    let a: Vec<&str> = after.split('\n').collect();
+    // Line counts can differ only when import fixup drops a line; walk
+    // both sides keeping unchanged lines aligned greedily.
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < b.len() || j < a.len() {
+        match (b.get(i), a.get(j)) {
+            (Some(x), Some(y)) if x == y => {
+                i += 1;
+                j += 1;
+            }
+            (Some(x), Some(y)) => {
+                // Dropped line: the next original line matches the
+                // current fixed one.
+                if b.get(i + 1) == Some(y) {
+                    let _ = writeln!(out, "-{:>5} {x}", i + 1);
+                    i += 1;
+                } else {
+                    let _ = writeln!(out, "-{:>5} {x}", i + 1);
+                    let _ = writeln!(out, "+{:>5} {y}", j + 1);
+                    i += 1;
+                    j += 1;
+                }
+            }
+            (Some(x), None) => {
+                let _ = writeln!(out, "-{:>5} {x}", i + 1);
+                i += 1;
+            }
+            (None, Some(y)) => {
+                let _ = writeln!(out, "+{:>5} {y}", j + 1);
+                j += 1;
+            }
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edit(line: usize, a: usize, b: usize, rep: &str) -> Edit {
+        Edit {
+            line,
+            col_start: a,
+            col_end: b,
+            replacement: rep.to_string(),
+        }
+    }
+
+    #[test]
+    fn apply_splices_by_char_columns() {
+        let src = "let m: HashMap<u32, u32> = HashMap::new();";
+        let fixed = apply(
+            src,
+            &[edit(1, 8, 15, "BTreeMap"), edit(1, 28, 35, "BTreeMap")],
+        );
+        assert_eq!(fixed, "let m: BTreeMap<u32, u32> = BTreeMap::new();");
+    }
+
+    #[test]
+    fn import_fixup_follows_the_rewrite() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u8, u8> = HashMap::new(); }";
+        let fixed = apply(
+            src,
+            &[edit(2, 17, 24, "BTreeMap"), edit(2, 35, 42, "BTreeMap")],
+        );
+        assert_eq!(
+            fixed,
+            "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u8, u8> = BTreeMap::new(); }"
+        );
+    }
+
+    #[test]
+    fn import_fixup_keeps_unrelated_names() {
+        let src = "use std::collections::{HashMap, VecDeque};\n\
+                   fn f(q: &VecDeque<u8>) { let m: HashMap<u8, u8> = HashMap::new(); let _n = q.len(); }";
+        let fixed = apply(
+            src,
+            &[edit(2, 33, 40, "BTreeMap"), edit(2, 51, 58, "BTreeMap")],
+        );
+        assert!(fixed.starts_with("use std::collections::{BTreeMap, VecDeque};"));
+    }
+
+    #[test]
+    fn aliased_and_nested_imports_are_left_alone() {
+        for line in [
+            "use std::collections::HashMap as Map;",
+            "use std::collections::hash_map::Entry;",
+        ] {
+            assert_eq!(parse_collections_import(line), None);
+        }
+    }
+
+    #[test]
+    fn overlapping_edits_keep_the_first() {
+        let d = |edits: Vec<Edit>| Diagnostic {
+            rule: crate::rules::Rule::FloatSoundness,
+            rel_path: "x.rs".to_string(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+            notes: Vec::new(),
+            marker_missing_reason: false,
+            fix: Some(crate::rules::Fix {
+                description: String::new(),
+                edits,
+            }),
+        };
+        let diags = vec![
+            d(vec![edit(1, 5, 10, "a")]),
+            d(vec![edit(1, 8, 12, "b")]), // overlaps the first — dropped
+            d(vec![edit(1, 5, 10, "a")]), // exact duplicate — collapsed
+            d(vec![edit(1, 12, 14, "c")]),
+        ];
+        let fe = collect(&diags);
+        assert_eq!(fe.len(), 1);
+        assert_eq!(fe[0].edits, vec![edit(1, 5, 10, "a"), edit(1, 12, 14, "c")]);
+    }
+
+    #[test]
+    fn diff_shows_only_changed_lines() {
+        let before = "a\nb\nc";
+        let after = "a\nB\nc";
+        let d = diff("f.rs", before, after);
+        assert!(d.contains("-    2 b") && d.contains("+    2 B"));
+        assert!(!d.contains("    1 a"));
+    }
+}

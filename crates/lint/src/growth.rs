@@ -1,0 +1,377 @@
+//! The `unbounded-growth` rule: collection fields of long-lived types
+//! with reachable insert paths but no reachable eviction path.
+//!
+//! PR 5 added the serve job-record retention cap and PR 8 the result
+//! cache's byte budget — both *after* the collections had shipped
+//! unbounded. This pass detects the class statically instead:
+//!
+//! 1. Candidate fields: struct fields whose declared type mentions a
+//!    growable collection, in the workspace's flow crates.
+//! 2. Long-lived evidence: the owning struct's name appears wrapped in
+//!    `Arc<…>`/`Mutex<…>`/`RwLock<…>`/`OnceLock<…>`/`LazyLock<…>` or in
+//!    a `static` item somewhere in the same crate — the type outlives a
+//!    request.
+//! 3. Sites: `field.method(…)` / `field).method(…)` (the second form is
+//!    the `lock(&self.field).method(…)` guard idiom) where `method` is
+//!    an insert (`insert`/`push`/`extend`/`entry`…) or an eviction
+//!    (`remove`/`pop`/`clear`/`truncate`/`drain`/`retain`…), attributed
+//!    to the enclosing function's call-graph node. Constructor-shaped
+//!    functions (`new`, `open`, `default`, `from_*`, `with_*`) are not
+//!    insert evidence — filling a collection while building the value
+//!    is not growth.
+//! 4. Reachability: from the flow roots plus the serve-shaped handler
+//!    names (`handle_*`, `route*`, `run`, `serve`, `submit`, `main`). A
+//!    field is flagged when an insert is reachable and no eviction is.
+//!
+//! Matching on the field *name* (not a resolved receiver type) is an
+//! over-approximation in both directions; colliding names across
+//! structs in one crate can only add eviction evidence, which errs
+//! toward silence — the sound direction for a growth lint's precision.
+
+use crate::callgraph::{enclosing_fn, Graph, NodeId};
+use crate::lexer::Tok;
+use crate::rules::{diag_if_unsuppressed, in_ranges, test_mod_lines, Diagnostic, Rule};
+use std::collections::BTreeMap;
+
+/// Growable collection types that accumulate entries.
+const COLLECTION_TYPES: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+];
+
+/// Wrappers that keep a value alive across requests.
+const LONG_LIVED_WRAPPERS: &[&str] = &["Arc", "Mutex", "RwLock", "OnceLock", "LazyLock"];
+
+/// Methods that add entries.
+const INSERT_METHODS: &[&str] = &[
+    "insert",
+    "push",
+    "push_back",
+    "push_front",
+    "extend",
+    "append",
+    "entry",
+    "get_or_insert_with",
+];
+
+/// Methods that remove entries or cap growth.
+const EVICT_METHODS: &[&str] = &[
+    "remove",
+    "remove_entry",
+    "pop",
+    "pop_front",
+    "pop_back",
+    "pop_first",
+    "pop_last",
+    "clear",
+    "truncate",
+    "drain",
+    "retain",
+    "split_off",
+    "swap_remove",
+    "take",
+];
+
+/// Exact fn names treated as request/flow roots for growth.
+const ROOT_NAMES: &[&str] = &["run", "serve", "submit", "main"];
+/// Fn-name prefixes treated as request handlers.
+const ROOT_PREFIXES: &[&str] = &["handle", "route"];
+
+/// Fn names (and prefixes) whose inserts are construction, not growth.
+const CTOR_NAMES: &[&str] = &["new", "default", "open", "build", "with_capacity"];
+const CTOR_PREFIXES: &[&str] = &["from_", "with_"];
+
+/// One candidate collection field.
+struct FieldRec {
+    crate_name: String,
+    struct_name: String,
+    field: String,
+    file_ix: usize,
+    /// Token index of the field name in its declaration.
+    tok_ix: usize,
+}
+
+/// One insert/eviction site attributed to a graph node.
+struct Site {
+    node: NodeId,
+    qual: String,
+    is_ctor: bool,
+}
+
+/// Runs the `unbounded-growth` rule over the workspace graph.
+pub fn check_unbounded_growth(graph: &Graph<'_>, out: &mut Vec<Diagnostic>) {
+    let files = graph.files();
+    let nodes = graph.nodes();
+
+    // 1. Candidate fields + per-crate long-lived struct evidence.
+    let mut fields: Vec<FieldRec> = Vec::new();
+    let mut wrapped: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (file_ix, f) in files.iter().enumerate() {
+        if !crate::callgraph::in_graph(&f.ctx) {
+            continue;
+        }
+        let skip = test_mod_lines(&f.toks);
+        for (struct_name, field, tok_ix) in collection_fields(&f.toks) {
+            if in_ranges(f.toks[tok_ix].line, &skip) {
+                continue;
+            }
+            fields.push(FieldRec {
+                crate_name: f.ctx.crate_name.clone(),
+                struct_name,
+                field,
+                file_ix,
+                tok_ix,
+            });
+        }
+        let w = wrapped.entry(f.ctx.crate_name.clone()).or_default();
+        for name in wrapped_names(&f.toks, &skip) {
+            if !w.contains(&name) {
+                w.push(name);
+            }
+        }
+    }
+    fields.retain(|fr| {
+        wrapped
+            .get(&fr.crate_name)
+            .is_some_and(|w| w.contains(&fr.struct_name))
+    });
+    if fields.is_empty() {
+        return;
+    }
+
+    // 2. Insert/evict sites per (crate, field name).
+    let mut inserts: BTreeMap<(String, String), Vec<Site>> = BTreeMap::new();
+    let mut evicts: BTreeMap<(String, String), Vec<Site>> = BTreeMap::new();
+    for (file_ix, f) in files.iter().enumerate() {
+        if !crate::callgraph::in_graph(&f.ctx) {
+            continue;
+        }
+        let crate_fields: Vec<&str> = fields
+            .iter()
+            .filter(|fr| fr.crate_name == f.ctx.crate_name)
+            .map(|fr| fr.field.as_str())
+            .collect();
+        if crate_fields.is_empty() {
+            continue;
+        }
+        for k in 0..f.toks.len() {
+            if !crate_fields.contains(&f.toks[k].text.as_str()) {
+                continue;
+            }
+            let Some(method_ix) = site_method(&f.toks, k) else {
+                continue;
+            };
+            let m = f.toks[method_ix].text.as_str();
+            let bucket = if INSERT_METHODS.contains(&m) {
+                &mut inserts
+            } else if EVICT_METHODS.contains(&m) {
+                &mut evicts
+            } else {
+                continue;
+            };
+            let Some((fn_ix, item)) = enclosing_fn(f, k) else {
+                continue;
+            };
+            let Some(node) = graph.node_id(file_ix, fn_ix) else {
+                continue;
+            };
+            bucket
+                .entry((f.ctx.crate_name.clone(), f.toks[k].text.clone()))
+                .or_default()
+                .push(Site {
+                    node,
+                    qual: item.qual.clone(),
+                    is_ctor: is_ctor_name(&item.name),
+                });
+        }
+    }
+
+    // 3. Reachability from flow roots + handler-shaped names.
+    let roots: Vec<NodeId> = (0..nodes.len())
+        .filter(|&id| {
+            if nodes[id].is_root {
+                return true;
+            }
+            let name = graph.source(id).1.name.as_str();
+            ROOT_NAMES.contains(&name) || ROOT_PREFIXES.iter().any(|p| name.starts_with(p))
+        })
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let (reach, pred) = graph.reach_from(&roots, true);
+
+    // 4. Flag fields with reachable growth and no reachable eviction.
+    for fr in &fields {
+        let key = (fr.crate_name.clone(), fr.field.clone());
+        let Some(ins) = inserts.get(&key) else {
+            continue;
+        };
+        let Some(grow) = ins.iter().find(|s| reach[s.node] && !s.is_ctor) else {
+            continue;
+        };
+        let evict_sites = evicts.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+        if evict_sites.iter().any(|s| reach[s.node]) {
+            continue;
+        }
+        let f = &files[fr.file_ix];
+        let chain = graph.chain_through(&pred, grow.node);
+        let mut notes = vec![if chain.len() == 1 {
+            format!("grows in `{}`, itself a request/flow root", grow.qual)
+        } else {
+            format!("grows via: {}", chain.join(" \u{2192} "))
+        }];
+        if let Some(e) = evict_sites.first() {
+            notes.push(format!(
+                "an eviction path exists in `{}` but is not reachable from any \
+                 request/flow root",
+                e.qual
+            ));
+        } else {
+            notes.push(format!(
+                "no eviction/cap/clear call on `{}` anywhere in crate `{}`",
+                fr.field, fr.crate_name
+            ));
+        }
+        out.extend(diag_if_unsuppressed(
+            &f.file,
+            &f.ctx,
+            Rule::UnboundedGrowth,
+            &f.toks[fr.tok_ix],
+            format!(
+                "collection field `{}.{}` in a long-lived type grows on a reachable \
+                 path with no reachable eviction",
+                fr.struct_name, fr.field
+            ),
+            notes,
+        ));
+    }
+}
+
+/// `(struct name, field name, field-name token index)` for every struct
+/// field whose declared type mentions a growable collection.
+fn collection_fields(toks: &[Tok]) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text != "struct" {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        let struct_name = name_tok.text.clone();
+        let mut j = i + 2;
+        while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].text != "{" {
+            i = j.max(i + 1);
+            continue;
+        }
+        let end = crate::rules::matching_brace(toks, j);
+        let mut depth = 0i32;
+        let mut seg_start = j + 1;
+        for k in j..=end {
+            let s = toks[k].text.as_str();
+            if matches!(s, "(" | "[" | "{") {
+                depth += 1;
+            } else if matches!(s, ")" | "]" | "}") {
+                depth -= 1;
+            } else if s == "," && depth == 1 {
+                if let Some((field, ix)) = field_site(toks, seg_start, k) {
+                    out.push((struct_name.clone(), field, ix));
+                }
+                seg_start = k + 1;
+            }
+        }
+        if let Some((field, ix)) = field_site(toks, seg_start, end) {
+            out.push((struct_name.clone(), field, ix));
+        }
+        i = end + 1;
+    }
+    out
+}
+
+/// `[pub] name : …CollType…` in `toks[seg_start..seg_end]` → the field
+/// name and its token index.
+fn field_site(toks: &[Tok], seg_start: usize, seg_end: usize) -> Option<(String, usize)> {
+    if seg_start >= seg_end {
+        return None;
+    }
+    let colon = (seg_start..seg_end).find(|&k| toks[k].text == ":")?;
+    if !(colon..seg_end).any(|k| COLLECTION_TYPES.contains(&toks[k].text.as_str())) {
+        return None;
+    }
+    (seg_start..colon)
+        .rev()
+        .find(|&k| {
+            let s = toks[k].text.as_str();
+            crate::callgraph::is_ident(s) && !matches!(s, "pub" | "crate" | "super")
+        })
+        .map(|k| (toks[k].text.clone(), k))
+}
+
+/// Struct names with long-lived evidence in this file: wrapped in
+/// `Arc<…>`-family generics or mentioned inside a `static` item.
+fn wrapped_names(toks: &[Tok], skip: &[(usize, usize)]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut push = |s: &str| {
+        if !out.iter().any(|x| x == s) {
+            out.push(s.to_string());
+        }
+    };
+    for k in 0..toks.len() {
+        if in_ranges(toks[k].line, skip) {
+            continue;
+        }
+        if LONG_LIVED_WRAPPERS.contains(&toks[k].text.as_str())
+            && toks.get(k + 1).map(|t| t.text.as_str()) == Some("<")
+            && toks
+                .get(k + 2)
+                .is_some_and(|t| crate::callgraph::is_ident(&t.text))
+        {
+            push(&toks[k + 2].text);
+        }
+        if toks[k].text == "static" {
+            let end = crate::rules::statement_end(toks, k);
+            for t in &toks[k + 1..end.min(toks.len())] {
+                if crate::callgraph::is_ident(&t.text) {
+                    push(&t.text);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The method token of a growth/eviction site at field occurrence `k`:
+/// `field . m (` or `field ) . m (` (the guard idiom). `None` when `k`
+/// is not a method receiver — including when it is a field of an
+/// unrelated value (`x.field.…`, unless via `self`/a guard local).
+fn site_method(toks: &[Tok], k: usize) -> Option<usize> {
+    let m = if toks.get(k + 1).map(|t| t.text.as_str()) == Some(".") {
+        k + 2
+    } else if toks.get(k + 1).map(|t| t.text.as_str()) == Some(")")
+        && toks.get(k + 2).map(|t| t.text.as_str()) == Some(".")
+    {
+        k + 3
+    } else {
+        return None;
+    };
+    if toks.get(m + 1).map(|t| t.text.as_str()) != Some("(") {
+        return None;
+    }
+    Some(m)
+}
+
+/// Construction-shaped fn names whose inserts are not growth.
+fn is_ctor_name(name: &str) -> bool {
+    CTOR_NAMES.contains(&name) || CTOR_PREFIXES.iter().any(|p| name.starts_with(p))
+}

@@ -34,10 +34,10 @@ pub const HOT_ROOTS: &[&str] = &["minimize_nesterov", "minimize_cg"];
 const HOT_CRATE: &str = "gp";
 
 /// One lexical loop region: the keyword, and the body braces.
-struct LoopSpan {
-    kw: usize,
-    body_open: usize,
-    body_close: usize,
+pub(crate) struct LoopSpan {
+    pub(crate) kw: usize,
+    pub(crate) body_open: usize,
+    pub(crate) body_close: usize,
 }
 
 /// Runs the `hot-loop-alloc` rule over the workspace graph.
@@ -143,18 +143,18 @@ pub fn check_hot_loop_alloc(graph: &Graph<'_>, out: &mut Vec<Diagnostic>) {
 }
 
 /// `true` when `k` is inside the body braces of some loop.
-fn in_loop_body(k: usize, spans: &[LoopSpan]) -> bool {
+pub(crate) fn in_loop_body(k: usize, spans: &[LoopSpan]) -> bool {
     spans.iter().any(|s| k > s.body_open && k < s.body_close)
 }
 
 /// `true` when `k` is in a `for`/`while` header (between keyword and
 /// body `{`).
-fn in_loop_header(k: usize, spans: &[LoopSpan]) -> bool {
+pub(crate) fn in_loop_header(k: usize, spans: &[LoopSpan]) -> bool {
     spans.iter().any(|s| k > s.kw && k < s.body_open)
 }
 
 /// Lexical loop regions (`for`/`while`/`loop`) in a fn body.
-fn loop_spans(toks: &[Tok], open: usize, close: usize) -> Vec<LoopSpan> {
+pub(crate) fn loop_spans(toks: &[Tok], open: usize, close: usize) -> Vec<LoopSpan> {
     let mut out = Vec::new();
     for kw in open + 1..close {
         match toks[kw].text.as_str() {

@@ -7,7 +7,7 @@
 //! properties *build-time guarantees* instead of conventions: it scans
 //! every workspace source file at the token level (the workspace is
 //! offline, so `syn` is unavailable; a small lexer strips comments and
-//! literals first) and enforces nine named, allowlistable rules:
+//! literals first) and enforces twelve named, allowlistable rules:
 //!
 //! | rule | scope | invariant |
 //! |------|-------|-----------|
@@ -20,13 +20,24 @@
 //! | `lock-discipline` | call graph | consistent lock-acquisition order; no guard held across `Condvar::wait` on another mutex, `join`, or blocking channel ops |
 //! | `determinism-taint` | call graph | no nondeterminism source (hash iteration, clock, entropy, thread identity) reachable from a result-affecting entry point |
 //! | `hot-loop-alloc` | call graph | no heap allocation inside solver inner loops or the functions they call |
+//! | `quadratic-scan` | call graph | no linear-time collection work inside collection-sized loops on flow-reachable paths |
+//! | `unbounded-growth` | call graph | long-lived collections with reachable inserts need a reachable eviction/cap path |
+//! | `swallowed-error` | flow crates | no `let _ = <call>;` / statement-form `.ok();` discarding a fallible result |
 //!
 //! A site is suppressed by `// sdp-lint: allow(<rule>) -- <reason>` on
 //! the same line or up to five lines above; the reason is mandatory.
 //! Test code (`#[cfg(test)]` modules, `tests/` directories) is exempt
 //! from the determinism rules but not from `undocumented-unsafe`.
+//!
+//! Diagnostics in the mechanically fixable subset carry span-based
+//! edits; `sdp-lint --fix` applies them (idempotently — see
+//! [`fix`]), `--fix --dry-run` prints them as diffs and fails CI on any
+//! pending edit, and the SARIF writer embeds them as `fixes`.
 
 pub mod callgraph;
+pub mod complexity;
+pub mod fix;
+pub mod growth;
 pub mod hot;
 pub mod items;
 pub mod lexer;
@@ -188,6 +199,8 @@ pub fn lint_sources(files: &[SourceFile]) -> Vec<Diagnostic> {
     locks::check_lock_discipline(&graph, &mut diags);
     taint::check_determinism_taint(&graph, &mut diags);
     hot::check_hot_loop_alloc(&graph, &mut diags);
+    complexity::check_quadratic_scan(&graph, &mut diags);
+    growth::check_unbounded_growth(&graph, &mut diags);
     diags.sort_by(|a, b| {
         (&a.rel_path, a.line, a.col, a.rule).cmp(&(&b.rel_path, b.line, b.col, b.rule))
     });

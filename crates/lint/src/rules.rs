@@ -58,10 +58,27 @@ pub enum Rule {
     /// as reachable from the Nesterov/CG iteration bodies. Per-iteration
     /// allocation is the hot-path bug class PR 6 fixed by hand.
     HotLoopAlloc,
+    /// A linear-time collection operation (`contains`, `iter().position`,
+    /// `remove(idx)`, `insert(idx, _)`, repeated `sort`/whole-collection
+    /// `collect`) inside a loop whose iteration domain is itself
+    /// collection-sized — or nested loops over the same collection-sized
+    /// domain — in a function reachable from a flow entry point. O(n²)
+    /// on netlist-scale inputs (ROADMAP item 4).
+    QuadraticScan,
+    /// A collection field of a long-lived type (a struct held in
+    /// `Arc`/`Mutex`/`RwLock`/`static`) with an insert path reachable
+    /// from a request handler or flow root but no reachable
+    /// eviction/cap/clear path — the retention-cap and cache-budget bug
+    /// class PRs 5 and 8 fixed by hand.
+    UnboundedGrowth,
+    /// `let _ = expr;` over a call, or a statement-form `.ok();`, in a
+    /// flow crate: a fallible result vanishes without a trace (the
+    /// fsync-path bug class in the serve job store).
+    SwallowedError,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 12] = [
         Rule::NondeterministicIter,
         Rule::WallClockInLibrary,
         Rule::UnchunkedFloatReduction,
@@ -71,6 +88,9 @@ impl Rule {
         Rule::LockDiscipline,
         Rule::DeterminismTaint,
         Rule::HotLoopAlloc,
+        Rule::QuadraticScan,
+        Rule::UnboundedGrowth,
+        Rule::SwallowedError,
     ];
 
     /// The kebab-case name used in diagnostics and allow-markers.
@@ -85,6 +105,9 @@ impl Rule {
             Rule::LockDiscipline => "lock-discipline",
             Rule::DeterminismTaint => "determinism-taint",
             Rule::HotLoopAlloc => "hot-loop-alloc",
+            Rule::QuadraticScan => "quadratic-scan",
+            Rule::UnboundedGrowth => "unbounded-growth",
+            Rule::SwallowedError => "swallowed-error",
         }
     }
 
@@ -127,6 +150,18 @@ impl Rule {
                 "hoist the buffer into a reused scratch field (see gp::wirelength::NetScratch), \
                  or add `// sdp-lint: allow(hot-loop-alloc) -- <reason>`"
             }
+            Rule::QuadraticScan => {
+                "use a set/map keyed lookup, hoist the scan out of the loop, or add \
+                 `// sdp-lint: allow(quadratic-scan) -- <reason>` stating the size bound"
+            }
+            Rule::UnboundedGrowth => {
+                "add a reachable eviction/cap path (budget, retention window, clear), or add \
+                 `// sdp-lint: allow(unbounded-growth) -- <reason>` stating the bound"
+            }
+            Rule::SwallowedError => {
+                "propagate with `?`, handle the `Err` (metric + log at minimum), or add \
+                 `// sdp-lint: allow(swallowed-error) -- <reason>`"
+            }
         }
     }
 
@@ -158,6 +193,17 @@ impl Rule {
             }
             Rule::HotLoopAlloc => {
                 "No per-iteration heap allocation in functions called from solver inner loops"
+            }
+            Rule::QuadraticScan => {
+                "No linear-time collection scans inside collection-sized loops on flow-reachable \
+                 paths"
+            }
+            Rule::UnboundedGrowth => {
+                "Long-lived collections with reachable inserts need a reachable eviction or cap \
+                 path"
+            }
+            Rule::SwallowedError => {
+                "No silently discarded Results (let _ = call, statement-form .ok()) in flow crates"
             }
         }
     }
@@ -287,6 +333,60 @@ impl Rule {
                  per item) can carry\n\
                  `// sdp-lint: allow(hot-loop-alloc) -- <reason>`."
             }
+            Rule::QuadraticScan => {
+                "ROADMAP item 4 targets 100k–1M-cell designs, where an accidental \
+                 O(n²) scan is the difference between seconds and hours. The \
+                 analysis walks every function the call graph shows is reachable \
+                 from a flow entry point, finds loops whose iteration domain is a \
+                 growable collection (a `Vec`/map/set local, parameter, field, or \
+                 slice), and flags linear-time work inside them: \
+                 `contains`/`remove(idx)`/`insert(idx, _)` on vector-like values, \
+                 `iter().position(…)`, repeated whole-collection `sort`/`collect`, \
+                 and nested loops ranging over the *same* collection-sized domain. \
+                 The diagnostic prints the flow-root→function chain like \
+                 panic-reachability does, plus the loop and its domain.\n\
+                 \n\
+                 Fix with a keyed lookup (`HashSet`/`BTreeSet` membership, a \
+                 position map built once), by hoisting the scan out of the loop, or \
+                 by restructuring to a single pass. A scan whose domain is provably \
+                 small (a fixed stage list, a per-group bound) can carry\n\
+                 `// sdp-lint: allow(quadratic-scan) -- <reason>` stating the bound."
+            }
+            Rule::UnboundedGrowth => {
+                "PR 5 added the job-record retention cap and PR 8 the result-cache \
+                 byte budget — both after the collections had already shipped \
+                 unbounded. This rule detects the class statically: a struct field \
+                 holding a growable collection, in a type the crate keeps alive \
+                 (wrapped in `Arc`/`Mutex`/`RwLock`/`OnceLock` or stored in a \
+                 `static`), whose insert path (`insert`/`push`/`extend`/`entry`…) \
+                 is reachable from a request handler or flow root while no \
+                 eviction path (`remove`/`pop`/`clear`/`truncate`/`drain`/`retain`…) \
+                 is. Each finding names the growing field, the insert chain from \
+                 its root, and whether an eviction exists but is unreachable.\n\
+                 \n\
+                 Fix by capping at insert time (LRU byte budget, retention window) \
+                 or wiring the eviction into the live path. A collection that is \
+                 bounded by construction (one entry per worker, per preset) can \
+                 carry\n\
+                 `// sdp-lint: allow(unbounded-growth) -- <reason>` stating the bound."
+            }
+            Rule::SwallowedError => {
+                "`let _ = file.sync_data();` made the serve job store lie about \
+                 durability: the fsync failed, the record was gone after a crash, \
+                 and nothing was logged. In flow crates (everything except `bench` \
+                 and `lint` itself) this rule flags the two discard idioms that \
+                 erase a fallible call's outcome: `let _ = <call>;` and a \
+                 statement-form `.ok();`. Adapter uses — `.ok()?`, \
+                 `.ok().and_then(…)`, `let x = ….ok();` — consume the value and \
+                 are not flagged; `#[cfg(test)]` modules are skipped.\n\
+                 \n\
+                 Fix by propagating with `?`, matching on the `Err`, or — for \
+                 best-effort paths — recording a metric and logging once (see \
+                 `sdp_serve_store_errors_total`). A discard that is genuinely \
+                 inconsequential (a double-shutdown race, a best-effort wake) can \
+                 carry\n\
+                 `// sdp-lint: allow(swallowed-error) -- <reason>`."
+            }
         }
     }
 }
@@ -318,6 +418,27 @@ pub struct FileCtx {
     pub test_code: bool,
 }
 
+/// One span-based text replacement: on `line`, replace the 1-indexed
+/// char columns `[col_start, col_end)` with `replacement`. Edits never
+/// span lines — the lexer's cleaned text maps 1:1 onto the original
+/// source, so token (line, col) pairs address original bytes exactly.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edit {
+    pub line: usize,
+    pub col_start: usize,
+    pub col_end: usize,
+    pub replacement: String,
+}
+
+/// A machine-applicable fix: a description plus the edits that realize
+/// it. Applying every edit and re-linting must clear the diagnostic
+/// (idempotence is enforced by `--fix` tests).
+#[derive(Debug, Clone)]
+pub struct Fix {
+    pub description: String,
+    pub edits: Vec<Edit>,
+}
+
 /// One reported violation.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
@@ -331,6 +452,9 @@ pub struct Diagnostic {
     pub notes: Vec<String>,
     /// Set when an allow-marker was found but carried no `-- <reason>`.
     pub marker_missing_reason: bool,
+    /// A machine-applicable rewrite, applied by `--fix` and embedded in
+    /// the SARIF `fixes` property.
+    pub fix: Option<Fix>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -348,6 +472,13 @@ impl fmt::Display for Diagnostic {
                 f,
                 "   = note: an allow-marker is present but has no `-- <reason>`; \
                  a reason is required to suppress"
+            )?;
+        }
+        if let Some(fix) = &self.fix {
+            writeln!(
+                f,
+                "   = note: machine-applicable fix available (--fix): {}",
+                fix.description
             )?;
         }
         write!(f, "   = help: {}", self.rule.help())
@@ -429,6 +560,9 @@ fn lint_tokens(toks: &[Tok], file: &CleanFile, ctx: &FileCtx) -> Vec<Diagnostic>
     if ctx.library && !ctx.test_code {
         rule_wall_clock(toks, file, ctx, &skip, &mut out);
     }
+    if crate::callgraph::in_graph(ctx) {
+        rule_swallowed_error(toks, file, ctx, &skip, &mut out);
+    }
     rule_undocumented_unsafe(toks, file, ctx, &mut out);
 
     out.sort_by_key(|d| (d.line, d.col, d.rule));
@@ -439,7 +573,7 @@ fn lint_tokens(toks: &[Tok], file: &CleanFile, ctx: &FileCtx) -> Vec<Diagnostic>
 // shared machinery
 
 /// Line ranges covered by `#[cfg(test)] mod … { … }` blocks.
-fn test_mod_lines(toks: &[Tok]) -> Vec<(usize, usize)> {
+pub(crate) fn test_mod_lines(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -469,7 +603,7 @@ fn test_mod_lines(toks: &[Tok]) -> Vec<(usize, usize)> {
     ranges
 }
 
-fn in_ranges(line: usize, ranges: &[(usize, usize)]) -> bool {
+pub(crate) fn in_ranges(line: usize, ranges: &[(usize, usize)]) -> bool {
     ranges.iter().any(|&(a, b)| line >= a && line <= b)
 }
 
@@ -632,6 +766,7 @@ pub(crate) fn diag_if_unsuppressed(
             message,
             notes,
             marker_missing_reason: matches!(state, MarkerState::MissingReason),
+            fix: None,
         }),
     }
 }
@@ -877,8 +1012,7 @@ fn rule_nondeterministic_iter(
         if in_ranges(t.line, skip) {
             continue;
         }
-        report(
-            out,
+        let mut d = diag_if_unsuppressed(
             file,
             ctx,
             Rule::NondeterministicIter,
@@ -887,7 +1021,12 @@ fn rule_nondeterministic_iter(
                 "iteration over hash-ordered container `{}` in a kernel crate",
                 t.text
             ),
+            Vec::new(),
         );
+        if let Some(d) = d.as_mut() {
+            d.fix = btree_fix(toks, &t.text);
+        }
+        out.extend(d);
     }
 }
 
@@ -1050,15 +1189,19 @@ fn rule_float_soundness(
                     ),
                     (Some("."), Some("unwrap") | Some("expect"))
                 ) {
-                    report(
-                        out,
+                    let mut d = diag_if_unsuppressed(
                         file,
                         ctx,
                         Rule::FloatSoundness,
                         t,
                         "`partial_cmp(..).unwrap()` ordering panics on NaN — use `total_cmp`"
                             .to_string(),
+                        Vec::new(),
                     );
+                    if let Some(d) = d.as_mut() {
+                        d.fix = total_cmp_fix(toks, k, close);
+                    }
+                    out.extend(d);
                 }
             }
             // `x == 0.0` / `0.5 != y` / `tracked == tracked`: NaN makes
@@ -1209,6 +1352,261 @@ pub(crate) fn matching_paren(toks: &[Tok], open: usize) -> usize {
         }
     }
     toks.len().saturating_sub(1)
+}
+
+// ---------------------------------------------------------------------
+// fix builders (shared by per-file rules and the taint pass)
+
+/// Token indices of `HashMap`/`HashSet` occurrences inside the
+/// declarations (let statements, fn params, struct fields) that make
+/// `name` hash-tracked — the spans the `--fix` engine rewrites to
+/// `BTreeMap`/`BTreeSet`.
+pub(crate) fn hash_decl_sites(toks: &[Tok], name: &str) -> Vec<usize> {
+    let mut sites: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "let" => {
+                let mut j = i + 1;
+                if toks.get(j).map(|t| t.text.as_str()) == Some("mut") {
+                    j += 1;
+                }
+                let end = statement_end(toks, i);
+                if toks.get(j).is_some_and(|t| t.text == name) {
+                    for (k, t) in toks.iter().enumerate().take(end.min(toks.len())).skip(j) {
+                        if matches!(t.text.as_str(), "HashMap" | "HashSet") {
+                            sites.push(k);
+                        }
+                    }
+                }
+                i = j + 1;
+            }
+            "fn" | "struct" => {
+                let head = toks[i].text == "fn";
+                let (open_s, close_s) = if head { ("(", ")") } else { ("{", "}") };
+                let stop = if head { "{" } else { ";" };
+                let mut j = i + 1;
+                while j < toks.len() && toks[j].text != open_s && toks[j].text != stop {
+                    j += 1;
+                }
+                if j >= toks.len() || toks[j].text != open_s {
+                    i = j.max(i + 1);
+                    continue;
+                }
+                let mut depth = 0i32;
+                let mut seg_start = j + 1;
+                let mut k = j;
+                while k < toks.len() {
+                    let s = toks[k].text.as_str();
+                    if is_open(s) {
+                        depth += 1;
+                    } else if is_close(s) {
+                        depth -= 1;
+                        if depth == 0 && s == close_s {
+                            break;
+                        }
+                    } else if s == "," && depth == 1 {
+                        seg_hash_sites(toks, seg_start, k, name, &mut sites);
+                        seg_start = k + 1;
+                    }
+                    k += 1;
+                }
+                seg_hash_sites(toks, seg_start, k.min(toks.len()), name, &mut sites);
+                i = k + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    sites.sort_unstable();
+    sites.dedup();
+    sites
+}
+
+/// Collects `HashMap`/`HashSet` token indices from one `name : Type…`
+/// param/field segment when the declared name matches `name`.
+fn seg_hash_sites(
+    toks: &[Tok],
+    seg_start: usize,
+    seg_end: usize,
+    name: &str,
+    sites: &mut Vec<usize>,
+) {
+    if seg_start >= seg_end {
+        return;
+    }
+    let seg = &toks[seg_start..seg_end];
+    let Some(colon) = seg.iter().position(|t| t.text == ":") else {
+        return;
+    };
+    let always = |_: &[Tok]| true;
+    let declared = param_name(seg, &always);
+    if declared.as_deref() != Some(name) {
+        return;
+    }
+    for (k, t) in toks
+        .iter()
+        .enumerate()
+        .take(seg_end)
+        .skip(seg_start + colon)
+    {
+        if matches!(t.text.as_str(), "HashMap" | "HashSet") {
+            sites.push(k);
+        }
+    }
+}
+
+/// The `--fix` rewrite for a hash-iteration finding on `name`: replace
+/// the `HashMap`/`HashSet` tokens in `name`'s declarations with their
+/// ordered equivalents. `None` when no declaration is in this file.
+pub(crate) fn btree_fix(toks: &[Tok], name: &str) -> Option<Fix> {
+    let sites = hash_decl_sites(toks, name);
+    if sites.is_empty() {
+        return None;
+    }
+    let edits = sites
+        .iter()
+        .map(|&k| {
+            let t = &toks[k];
+            let ordered = if t.text == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            Edit {
+                line: t.line,
+                col_start: t.col,
+                col_end: t.col + t.text.chars().count(),
+                replacement: ordered.to_string(),
+            }
+        })
+        .collect();
+    Some(Fix {
+        description: format!("declare `{name}` as ordered `BTreeMap`/`BTreeSet`"),
+        edits,
+    })
+}
+
+/// The `--fix` rewrite for `partial_cmp(..).unwrap()`: rename to
+/// `total_cmp` and delete the `.unwrap()`/`.expect(…)` tail. `pc` is the
+/// `partial_cmp` token, `close` its argument list's `)`. `None` when the
+/// tail spans lines (edits are single-line by construction).
+fn total_cmp_fix(toks: &[Tok], pc: usize, close: usize) -> Option<Fix> {
+    let open = close + 3;
+    if toks.get(open).map(|t| t.text.as_str()) != Some("(") {
+        return None;
+    }
+    let uclose = matching_paren(toks, open);
+    let dot = toks.get(close + 1)?;
+    let endtok = toks.get(uclose)?;
+    if dot.line != endtok.line {
+        return None;
+    }
+    let pc_tok = &toks[pc];
+    Some(Fix {
+        description: "replace `partial_cmp(..).unwrap()` with the total order `total_cmp(..)`"
+            .to_string(),
+        edits: vec![
+            Edit {
+                line: pc_tok.line,
+                col_start: pc_tok.col,
+                col_end: pc_tok.col + "partial_cmp".chars().count(),
+                replacement: "total_cmp".to_string(),
+            },
+            Edit {
+                line: dot.line,
+                col_start: dot.col,
+                col_end: endtok.col + 1,
+                replacement: String::new(),
+            },
+        ],
+    })
+}
+
+// ---------------------------------------------------------------------
+// rule: swallowed-error (flow crates)
+
+/// Is token `j` the head of a call — an ident followed by `(`, or a
+/// macro ident followed by `!(`?
+fn is_call_head(toks: &[Tok], j: usize) -> bool {
+    if !is_ident(&toks[j].text) {
+        return false;
+    }
+    match toks.get(j + 1).map(|t| t.text.as_str()) {
+        Some("(") => true,
+        Some("!") => toks.get(j + 2).map(|t| t.text.as_str()) == Some("("),
+        _ => false,
+    }
+}
+
+/// `=` that is a plain assignment — not `==`, `!=`, `<=`, `>=`, `=>`, or
+/// a compound-assign tail.
+fn is_plain_assign(toks: &[Tok], k: usize) -> bool {
+    toks[k].text == "="
+        && !matches!(
+            toks.get(k + 1).map(|t| t.text.as_str()),
+            Some("=") | Some(">")
+        )
+        && (k == 0
+            || !matches!(
+                toks[k - 1].text.as_str(),
+                "=" | "!" | "<" | ">" | "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+            ))
+}
+
+/// Flags the two discard idioms that erase a fallible call's outcome in
+/// flow crates: `let _ = <call>;` and a statement-form `.ok();`.
+/// Adapter uses (`.ok()?`, `.ok().and_then(…)`, `let x = ….ok();`) keep
+/// the value and pass; `#[cfg(test)]` modules are skipped.
+fn rule_swallowed_error(
+    toks: &[Tok],
+    file: &CleanFile,
+    ctx: &FileCtx,
+    skip: &[(usize, usize)],
+    out: &mut Vec<Diagnostic>,
+) {
+    for k in 0..toks.len() {
+        let t = &toks[k];
+        if in_ranges(t.line, skip) {
+            continue;
+        }
+        // `let _ = expr;` where the expr performs a call.
+        if t.text == "let"
+            && toks.get(k + 1).map(|t| t.text.as_str()) == Some("_")
+            && toks.get(k + 2).map(|t| t.text.as_str()) == Some("=")
+        {
+            let end = statement_end(toks, k + 3);
+            if (k + 3..end.min(toks.len())).any(|j| is_call_head(toks, j)) {
+                report(
+                    out,
+                    file,
+                    ctx,
+                    Rule::SwallowedError,
+                    t,
+                    "`let _ =` discards a fallible call's result without a trace".to_string(),
+                );
+            }
+        }
+        // Statement-form `.ok();`.
+        if t.text == "ok"
+            && k > 0
+            && toks[k - 1].text == "."
+            && matches_seq(toks, k + 1, &["(", ")", ";"])
+        {
+            let start = statement_start(toks, k);
+            let consumed = matches!(toks[start].text.as_str(), "let" | "return")
+                || (start..k).any(|j| is_plain_assign(toks, j));
+            if !consumed {
+                report(
+                    out,
+                    file,
+                    ctx,
+                    Rule::SwallowedError,
+                    t,
+                    "statement-form `.ok();` silently discards a `Result`".to_string(),
+                );
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

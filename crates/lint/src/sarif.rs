@@ -6,7 +6,11 @@
 //! schema's minimum for a static-analysis run: one `run` with the tool's
 //! rule metadata and one `result` per diagnostic, each carrying a
 //! `physicalLocation` with `startLine`/`startColumn` and the full
-//! message (reachability chain notes included) as text.
+//! message (reachability chain notes included) as text. Diagnostics
+//! with machine-applicable rewrites also carry the SARIF `fixes`
+//! property — the same `(line, col_start, col_end, replacement)` spans
+//! the `--fix` engine applies, as `deletedRegion`/`insertedContent`
+//! replacements.
 
 use crate::rules::{Diagnostic, Rule};
 use std::fmt::Write as _;
@@ -71,20 +75,44 @@ pub fn to_sarif(diags: &[Diagnostic]) -> String {
         if d.marker_missing_reason {
             text.push_str("; an allow-marker is present but has no `-- <reason>`");
         }
-        let _ = writeln!(
+        let uri = esc(&d.rel_path.replace('\\', "/"));
+        let _ = write!(
             s,
             "        {{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"error\", \
              \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
-             {{\"artifactLocation\": {{\"uri\": \"{}\", \"uriBaseId\": \"SRCROOT\"}}, \
-             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}{}",
+             {{\"artifactLocation\": {{\"uri\": \"{uri}\", \"uriBaseId\": \"SRCROOT\"}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]",
             esc(d.rule.name()),
             rule_index,
             esc(&text),
-            esc(&d.rel_path.replace('\\', "/")),
             d.line.max(1),
             d.col.max(1),
-            if i + 1 < diags.len() { "," } else { "" }
         );
+        if let Some(fix) = &d.fix {
+            let _ = write!(
+                s,
+                ", \"fixes\": [{{\"description\": {{\"text\": \"{}\"}}, \
+                 \"artifactChanges\": [{{\"artifactLocation\": {{\"uri\": \"{uri}\", \
+                 \"uriBaseId\": \"SRCROOT\"}}, \"replacements\": [",
+                esc(&fix.description),
+            );
+            for (j, e) in fix.edits.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "{{\"deletedRegion\": {{\"startLine\": {}, \"startColumn\": {}, \
+                     \"endLine\": {}, \"endColumn\": {}}}, \
+                     \"insertedContent\": {{\"text\": \"{}\"}}}}{}",
+                    e.line,
+                    e.col_start,
+                    e.line,
+                    e.col_end,
+                    esc(&e.replacement),
+                    if j + 1 < fix.edits.len() { ", " } else { "" }
+                );
+            }
+            s.push_str("]}]}]");
+        }
+        let _ = writeln!(s, "}}{}", if i + 1 < diags.len() { "," } else { "" });
     }
     s.push_str("      ],\n");
     s.push_str(

@@ -77,7 +77,7 @@ pub fn check_determinism_taint(graph: &Graph<'_>, out: &mut Vec<Diagnostic>) {
             format!("result-affecting call chain: {}", chain.join(" → "))
         };
         for (tok_ix, what) in sources {
-            if let Some(d) = diag_if_unsuppressed(
+            if let Some(mut d) = diag_if_unsuppressed(
                 &f.file,
                 &f.ctx,
                 Rule::DeterminismTaint,
@@ -85,6 +85,11 @@ pub fn check_determinism_taint(graph: &Graph<'_>, out: &mut Vec<Diagnostic>) {
                 format!("{what} inside the result cone (in `{}`)", item.qual),
                 vec![note.clone()],
             ) {
+                // A hash-iteration source is mechanically fixable the
+                // same way the local rule is: re-declare as BTree.
+                if what.starts_with("iteration over hash-ordered") {
+                    d.fix = crate::rules::btree_fix(&f.toks, &f.toks[tok_ix].text);
+                }
                 out.push(d);
             }
         }

@@ -22,10 +22,12 @@ fn expectations(source: &str) -> BTreeSet<(usize, String)> {
     source
         .lines()
         .enumerate()
-        .filter_map(|(i, line)| {
+        .flat_map(|(i, line)| {
             line.split("//~ ERROR ")
                 .nth(1)
-                .map(|r| (i + 1, r.trim().to_string()))
+                .into_iter()
+                .flat_map(|r| r.split(','))
+                .map(move |r| (i + 1, r.trim().to_string()))
         })
         .collect()
 }

@@ -20,10 +20,12 @@ fn expectations(source: &str) -> BTreeSet<(usize, String)> {
     source
         .lines()
         .enumerate()
-        .filter_map(|(i, line)| {
+        .flat_map(|(i, line)| {
             line.split("//~ ERROR ")
                 .nth(1)
-                .map(|r| (i + 1, r.trim().to_string()))
+                .into_iter()
+                .flat_map(|r| r.split(','))
+                .map(move |r| (i + 1, r.trim().to_string()))
         })
         .collect()
 }
@@ -73,6 +75,11 @@ fn undocumented_unsafe_fires_and_suppresses() {
 #[test]
 fn float_soundness_fires_and_suppresses() {
     check("float_soundness.rs");
+}
+
+#[test]
+fn swallowed_error_fires_and_suppresses() {
+    check("swallowed_error.rs");
 }
 
 #[test]
@@ -245,7 +252,7 @@ fn catch_unwind_is_a_panic_boundary() {
         "crates/core/src/lib.rs",
         "pub fn entry(spec: &str) {\n\
              execute(spec);\n\
-             let _ = std::panic::catch_unwind(|| execute(spec));\n\
+             let _caught = std::panic::catch_unwind(|| execute(spec));\n\
          }\n\
          fn execute(spec: &str) { panic!(\"chaos: {spec}\"); }\n",
     );

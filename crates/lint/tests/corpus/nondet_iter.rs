@@ -25,8 +25,8 @@ impl Holder {
 
 fn good_sites(map: HashMap<u32, f64>, set: HashSet<u32>) {
     // Lookups and membership tests never observe hash order.
-    let _ = map.get(&3);
-    let _ = set.contains(&7);
+    let _got = map.get(&3);
+    let _has = set.contains(&7);
     // Collect-then-sort: the sort in the next statement neutralizes.
     let mut keys: Vec<u32> = map.keys().copied().collect();
     keys.sort_unstable();

@@ -1,0 +1,119 @@
+//! Seeded quadratic-scan corpus: every `//~ ERROR` line must fire and
+//! nothing else. Linted as crate `gp` through the full graph pipeline —
+//! `pub fn`s of a flow-root crate anchor reachability, and `orphan` at
+//! the bottom proves the reachability gate (same pattern, no finding).
+
+// Membership scan per inserted element: the classic accidental O(n²).
+pub fn dedup(xs: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for x in xs {
+        if !out.contains(x) { //~ ERROR quadratic-scan
+            out.push(*x);
+        }
+    }
+    out
+}
+
+// Front removal shifts the whole tail on every iteration.
+pub fn drop_front(queue: &mut Vec<u64>, limit: usize) -> u64 {
+    let mut sum = 0;
+    while queue.len() > limit {
+        sum += queue.remove(0); //~ ERROR quadratic-scan
+    }
+    sum
+}
+
+// A linear search per element of the same slice.
+pub fn rank_all(order: &[u64]) -> Vec<usize> {
+    let mut ranks = Vec::new();
+    for v in order {
+        let at = order.iter().position(|x| x == v); //~ ERROR quadratic-scan
+        if let Some(at) = at {
+            ranks.push(at);
+        }
+    }
+    ranks
+}
+
+// Re-sorting the whole score vector once per pass.
+pub fn resort_each(scores: &mut Vec<u64>, passes: &[u32]) -> u64 {
+    let mut best = 0;
+    for _pass in passes {
+        scores.sort(); //~ ERROR quadratic-scan
+        best += scores.first().copied().unwrap_or(0);
+    }
+    best
+}
+
+// Materializing a whole-collection snapshot per iteration.
+pub fn snapshot_each(nets: &[u64]) -> usize {
+    let mut n = 0;
+    for _net in nets {
+        let all: Vec<u64> = nets.iter().copied().collect(); //~ ERROR quadratic-scan
+        n += all.len();
+    }
+    n
+}
+
+// Nested loops ranging over the same collection-sized domain.
+pub fn count_pairs(cells: &[u32]) -> usize {
+    let mut n = 0;
+    for a in cells {
+        for b in cells { //~ ERROR quadratic-scan
+            if a == b {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+// Pinned negative: the loop ranges over a constant-size array — its
+// trip count is 3 no matter how large the netlist gets, so the linear
+// scan inside is O(1) amortized, not O(n) per element.
+pub fn smooth(w: &[u64; 3], acc: &mut Vec<u64>) -> u64 {
+    let mut s = 0;
+    for coef in w {
+        if acc.contains(coef) {
+            s += *coef;
+        }
+    }
+    s
+}
+
+// Negative: the sorted buffer is declared inside the loop body — the
+// sort is over per-iteration data, not the whole collection each time.
+pub fn bucketize(xs: &[u64]) -> usize {
+    let mut n = 0;
+    for x in xs {
+        let mut buf: Vec<u64> = Vec::with_capacity(4);
+        buf.push(*x);
+        buf.sort();
+        n += buf.len();
+    }
+    n
+}
+
+// A documented bounded scan carries a reasoned marker.
+pub fn tiny_scan(keys: &[u64], legal: &[u64]) -> usize {
+    let mut n = 0;
+    for k in keys {
+        // sdp-lint: allow(quadratic-scan) -- `legal` is a fixed table of at most eight entries
+        if legal.contains(k) {
+            n += 1;
+        }
+    }
+    n
+}
+
+// Reachability gate: nothing calls this, so the same membership-scan
+// pattern stays silent — dead code cannot burn production time.
+fn orphan(xs: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for x in xs {
+        if !out.contains(x) {
+            out.push(*x);
+        }
+    }
+    out
+}

@@ -1,0 +1,45 @@
+//! Seeded swallowed-error corpus: every `//~ ERROR` line must fire and
+//! nothing else. The rule is lexical (per-file), so this fixture runs
+//! through `lint_source` like the determinism corpora.
+
+use std::io::Write;
+
+// The bug class: fallible I/O whose Result evaporates.
+pub fn append_line(out: &mut impl Write, line: &str) {
+    let _ = out.write_all(line.as_bytes()); //~ ERROR swallowed-error
+    let _ = out.flush(); //~ ERROR swallowed-error
+}
+
+// Statement-form `.ok();` is the same discard in different clothes.
+pub fn fire_and_forget(out: &mut impl Write) {
+    out.flush().ok(); //~ ERROR swallowed-error
+}
+
+// Propagation is the fix.
+pub fn propagated(out: &mut impl Write, line: &str) -> std::io::Result<()> {
+    out.write_all(line.as_bytes())?;
+    out.flush()
+}
+
+// Negative: `.ok()` feeding a binding is an adapter, not a discard.
+pub fn parse_maybe(token: &str) -> Option<u32> {
+    let v = token.parse::<u32>().ok();
+    v
+}
+
+// Negative: `.ok()` assigned into existing storage is consumed too.
+pub fn reuse(slot: &mut Option<u32>, s: &str) {
+    *slot = s.parse().ok();
+}
+
+// Negative: discarding a plain value is the unused-binding idiom —
+// there is no Result being lost.
+pub fn plain_discard(x: u32) {
+    let _ = x;
+}
+
+// A documented best-effort path carries a reasoned marker.
+pub fn sanctioned(out: &mut impl Write) {
+    // sdp-lint: allow(swallowed-error) -- best-effort trace line; the caller's own result is unaffected
+    let _ = out.write_all(b"tick\n");
+}

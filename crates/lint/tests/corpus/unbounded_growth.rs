@@ -1,0 +1,48 @@
+//! Seeded unbounded-growth corpus: every `//~ ERROR` line must fire and
+//! nothing else. Linted as crate `serve`; `handle_submit` is a request
+//! handler root by name, `sweep` is not — so its eviction exists but is
+//! unreachable, which is exactly the leak class the rule hunts.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+pub struct Registry {
+    records: BTreeMap<u64, u64>, //~ ERROR unbounded-growth
+    stale: Vec<u64>, //~ ERROR unbounded-growth
+    recent: VecDeque<u64>,
+}
+
+pub struct Audit {
+    // sdp-lint: allow(unbounded-growth) -- flushed wholesale by the operator's retention task
+    log: Vec<u64>,
+}
+
+pub struct Shared {
+    inner: Mutex<Registry>,
+    audit: Mutex<Audit>,
+}
+
+impl Shared {
+    pub fn handle_submit(&self, id: u64) {
+        let mut reg = self.inner.lock().unwrap();
+        // Grows on every request; no eviction for `records` exists
+        // anywhere, and `stale`'s eviction lives in unreachable `sweep`.
+        reg.records.insert(id, id);
+        reg.stale.push(id);
+        // Pinned negative: `recent` is bounded — the insert path itself
+        // evicts down to a cap, the LRU shape the result cache uses.
+        reg.recent.push_back(id);
+        while reg.recent.len() > 16 {
+            reg.recent.pop_front();
+        }
+        // Marker-suppressed: grows here, documented retention elsewhere.
+        self.audit.lock().unwrap().log.push(id);
+    }
+
+    // Eviction for `stale` — but nothing reachable ever calls this.
+    pub fn sweep(&self) {
+        let mut reg = self.inner.lock().unwrap();
+        reg.stale.clear();
+    }
+}

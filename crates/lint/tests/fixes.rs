@@ -1,0 +1,98 @@
+//! End-to-end tests for the `--fix` engine: diagnostics carry
+//! machine-applicable edits, applying them resolves the finding
+//! (fix → re-lint → clean), applying them twice is a no-op
+//! (idempotence), and the edits surface in SARIF as `fixes`.
+
+use sdp_lint::{fix, lint_source, FileCtx, Rule};
+
+fn kernel_ctx() -> FileCtx {
+    FileCtx {
+        rel_path: "crates/gp/src/sortkey.rs".into(),
+        crate_name: "gp".into(),
+        kernel: true,
+        library: true,
+        test_code: false,
+    }
+}
+
+#[test]
+fn partial_cmp_unwrap_fix_round_trips() {
+    let src = "pub fn order(xs: &mut [f64]) {\n\
+               \x20   xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+               }\n";
+    let diags = lint_source(src, &kernel_ctx());
+    let d = diags
+        .iter()
+        .find(|d| d.rule == Rule::FloatSoundness && d.fix.is_some())
+        .unwrap_or_else(|| panic!("no fixable float-soundness finding: {diags:#?}"));
+    assert!(
+        d.fix.as_ref().unwrap().description.contains("total_cmp"),
+        "{:#?}",
+        d.fix
+    );
+
+    let file_edits = fix::collect(&diags);
+    assert_eq!(file_edits.len(), 1);
+    let fixed = fix::apply(src, &file_edits[0].edits);
+    assert!(
+        fixed.contains("a.total_cmp(b));"),
+        "rewrite renames and drops the unwrap: {fixed}"
+    );
+    assert!(!fixed.contains("partial_cmp") && !fixed.contains("unwrap"));
+
+    // fix → re-lint → clean; fix twice → no-op.
+    let rediags = lint_source(&fixed, &kernel_ctx());
+    assert!(
+        rediags.iter().all(|d| d.rule != Rule::FloatSoundness),
+        "{rediags:#?}"
+    );
+    assert!(fix::collect(&rediags).is_empty());
+}
+
+#[test]
+fn hash_iter_fix_rewrites_declaration_and_import() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn widths(m: &HashMap<u64, u64>) -> Vec<u64> {\n\
+               \x20   m.values().copied().collect()\n\
+               }\n";
+    let diags = lint_source(src, &kernel_ctx());
+    let d = diags
+        .iter()
+        .find(|d| d.rule == Rule::NondeterministicIter)
+        .unwrap_or_else(|| panic!("no nondeterministic-iter finding: {diags:#?}"));
+    assert!(d.fix.is_some(), "hash iteration is mechanically fixable");
+
+    let file_edits = fix::collect(&diags);
+    let fixed = fix::apply(src, &file_edits[0].edits);
+    assert!(
+        fixed.contains("m: &BTreeMap<u64, u64>"),
+        "declaration rewritten: {fixed}"
+    );
+    assert!(
+        fixed.starts_with("use std::collections::BTreeMap;"),
+        "import follows the rewrite: {fixed}"
+    );
+    assert!(!fixed.contains("HashMap"));
+
+    let rediags = lint_source(&fixed, &kernel_ctx());
+    assert!(
+        rediags.is_empty(),
+        "fix \u{2192} re-lint \u{2192} clean: {rediags:#?}"
+    );
+    assert!(
+        fix::collect(&rediags).is_empty(),
+        "fix twice \u{2192} no-op"
+    );
+}
+
+#[test]
+fn fixes_surface_in_sarif() {
+    let src = "pub fn order(xs: &mut [f64]) {\n\
+               \x20   xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+               }\n";
+    let diags = lint_source(src, &kernel_ctx());
+    let doc = sdp_lint::sarif::to_sarif(&diags);
+    assert!(doc.contains("\"fixes\""), "{doc}");
+    assert!(doc.contains("\"insertedContent\""), "{doc}");
+    assert!(doc.contains("total_cmp"), "{doc}");
+}

@@ -257,8 +257,25 @@ impl Shared {
         }
         let mut store = lock(store);
         for rec in recs {
-            let _ = store.append(rec);
+            if let Err(e) = store.append(rec) {
+                note_store_error(&self.metrics, "append", &e);
+            }
         }
+    }
+}
+
+/// Counts every job-store write failure in
+/// `sdp_serve_store_errors_total` and logs the first one per process —
+/// durability degradation must be observable, not silent, even though
+/// it never fails serving.
+fn note_store_error(metrics: &Metrics, what: &str, e: &std::io::Error) {
+    static LOGGED: AtomicBool = AtomicBool::new(false);
+    metrics.store_errors.fetch_add(1, Ordering::Relaxed);
+    if !LOGGED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "sdp-serve: job store {what} failed: {e} \
+             (durability degraded; see sdp_serve_store_errors_total)"
+        );
     }
 }
 
@@ -312,16 +329,18 @@ impl Engine {
         // Retention spans restarts: an old log must not resurrect more
         // records than a live server would have kept.
         prune_terminal(&mut jobs, cfg.retain_terminal);
+        let metrics = Metrics::default();
+        metrics.replayed.store(replayed, Ordering::Relaxed);
         if let Some(store) = &store {
             let survivors: Vec<StoredRecord> = jobs
                 .records
                 .iter()
                 .map(|(&id, r)| stored_record(id, r))
                 .collect();
-            let _ = lock(store).rewrite(survivors.iter());
+            if let Err(e) = lock(store).rewrite(survivors.iter()) {
+                note_store_error(&metrics, "startup compaction", &e);
+            }
         }
-        let metrics = Metrics::default();
-        metrics.replayed.store(replayed, Ordering::Relaxed);
 
         let shared = Arc::new(Shared {
             cfg: cfg.clone(),
@@ -633,6 +652,9 @@ impl Engine {
         // must never block behind worker drain time.
         let handles: Vec<_> = lock(&self.workers).drain(..).collect();
         for handle in handles {
+            // sdp-lint: allow(swallowed-error) -- a join error only means
+            // the worker panicked, which the per-job catch_unwind already
+            // recorded in jobs_failed; shutdown must drain regardless.
             let _ = handle.join();
         }
     }

@@ -81,6 +81,9 @@ fn arm_read_timeout(stream: &TcpStream, deadline: Instant) -> Result<(), HttpErr
             "request wall deadline exceeded",
         )));
     }
+    // sdp-lint: allow(swallowed-error) -- set_read_timeout only fails on
+    // a zero Duration, which the is_zero guard above already excluded; a
+    // missing timeout degrades to a blocking read, not a wrong response.
     let _ = stream.set_read_timeout(Some(remaining.min(READ_TIMEOUT)));
     Ok(())
 }

@@ -88,6 +88,10 @@ pub struct Metrics {
     pub coalesced: AtomicU64,
     /// Terminal records replayed from the state dir at startup.
     pub replayed: AtomicU64,
+    /// Job-store write failures (append or compaction). Durability is
+    /// best-effort by design, but a dying disk must show up on a
+    /// dashboard, not vanish into a discarded `Result`.
+    pub store_errors: AtomicU64,
     /// Live worker threads — a panic escaping a worker loop (the bug
     /// class the deadline regression test pins) shows up here as a gauge
     /// below the configured pool size.
@@ -188,6 +192,12 @@ impl Metrics {
             "Terminal records replayed from the state dir at startup.",
             &self.replayed,
         );
+        counter(
+            &mut out,
+            "sdp_serve_store_errors_total",
+            "Job-store write failures (append or compaction).",
+            &self.store_errors,
+        );
         out.push_str(&format!(
             "# HELP sdp_serve_cache_bytes Result-body bytes held by the cache.\n# TYPE sdp_serve_cache_bytes gauge\nsdp_serve_cache_bytes {cache_bytes}\n"
         ));
@@ -261,6 +271,9 @@ mod tests {
         assert!(text.contains("sdp_serve_cache_misses_total 0"));
         assert!(text.contains("sdp_serve_coalesced_total 0"));
         assert!(text.contains("sdp_serve_replayed_total 0"));
+        m.store_errors.fetch_add(1, Ordering::Relaxed);
+        let text = m.render(1, 8, 4, 12345);
+        assert!(text.contains("sdp_serve_store_errors_total 1"));
         assert!(text.contains("sdp_serve_cache_bytes 12345"));
         assert!(text.contains("sdp_serve_workers_live 4"));
         assert!(text.contains("phase=\"global\",le=\"0.5\"}"));
