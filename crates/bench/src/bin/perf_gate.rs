@@ -11,8 +11,9 @@
 //!
 //! Gated metrics: `gp.evals_per_sec`, `extract.cells_per_sec`,
 //! `serve.jobs_per_sec`, `serve_soak.jobs_per_sec`,
-//! `serve_soak.hit_ratio`, and `lint.files_per_sec` (higher is better)
-//! and `peak_rss_bytes` (lower is better). A metric that is
+//! `serve_soak.hit_ratio`, `lint.files_per_sec`,
+//! `route_loop.overflow_reduction`, and `route_loop.gcells_per_sec`
+//! (higher is better) and `peak_rss_bytes` (lower is better). A metric that is
 //! zero or missing on either side is reported and skipped — peak RSS is
 //! unavailable off Linux, and a hand-edited baseline may predate a
 //! metric. The baseline is refreshed deliberately, never by CI: rerun
@@ -53,6 +54,14 @@ const METRICS: &[Metric] = &[
     },
     Metric {
         path: &["lint", "files_per_sec"],
+        higher_is_better: true,
+    },
+    Metric {
+        path: &["route_loop", "overflow_reduction"],
+        higher_is_better: true,
+    },
+    Metric {
+        path: &["route_loop", "gcells_per_sec"],
         higher_is_better: true,
     },
     Metric {

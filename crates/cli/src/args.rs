@@ -10,7 +10,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["baseline", "rigid", "fast", "abacus"];
+const BOOL_FLAGS: &[&str] = &["baseline", "rigid", "fast", "abacus", "route"];
 
 impl Args {
     /// Parses a raw argument list.

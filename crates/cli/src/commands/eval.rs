@@ -35,6 +35,25 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         "row y-spread (rows)",
         &format!("{:.2}", align.mean_row_y_spread),
     ]);
+    if args.flag("route") {
+        let rep = sdp_route::route(
+            &case.netlist,
+            &case.placement,
+            &case.design,
+            &sdp_route::RouteConfig::default(),
+        );
+        let (nx, ny) = rep.grid;
+        let lb =
+            sdp_route::grid_hpwl_lower_bound(&case.netlist, &case.placement, &case.design, nx, ny);
+        t.row(["routed WL", &format!("{:.0}", rep.wirelength)]);
+        t.row([
+            "routed WL / grid HPWL bound",
+            &format!("{:.3}", rep.wirelength / lb.max(1.0)),
+        ]);
+        t.row(["routed overflow", &rep.overflow.to_string()]);
+        t.row(["max utilization", &format!("{:.3}", rep.max_utilization)]);
+        t.row(["RRR iterations", &rep.iterations.to_string()]);
+    }
     t.row(["legal violations", &violations.len().to_string()]);
     t.row(["netlist issues", &structure.len().to_string()]);
     println!("{t}");

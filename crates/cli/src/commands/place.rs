@@ -39,6 +39,13 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         config.gp.solver = sdp_gp::GpSolver::parse(name)
             .ok_or_else(|| format!("unknown --solver '{name}' (expected cg or nesterov)"))?;
     }
+    if let Some(name) = args.value("mode") {
+        config.mode = match name {
+            "hpwl" => sdp_core::FlowMode::Hpwl,
+            "route" => sdp_core::FlowMode::Route,
+            other => return Err(format!("unknown --mode '{other}' (expected hpwl or route)")),
+        };
+    }
 
     let out = StructurePlacer::new(config).place(&case.netlist, &case.design, &case.placement);
     let r = &out.report;
@@ -55,6 +62,20 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         &format!("{:.0}%", 100.0 * r.alignment.aligned_row_fraction),
     ]);
     t.row(["legal violations", &out.legal_violations.to_string()]);
+    if let Some(route) = &r.route {
+        let (nx, ny) = route.grid;
+        let lb =
+            sdp_route::grid_hpwl_lower_bound(&case.netlist, &out.placement, &case.design, nx, ny);
+        t.row(["routed WL", &format!("{:.0}", route.wirelength)]);
+        t.row([
+            "routed WL / grid HPWL bound",
+            &format!("{:.3}", route.wirelength / lb.max(1.0)),
+        ]);
+        t.row(["routed overflow", &route.overflow.to_string()]);
+        t.row(["max utilization", &format!("{:.3}", route.max_utilization)]);
+        t.row(["RRR iterations", &route.iterations.to_string()]);
+        t.row(["feedback rounds", &r.route_rounds.to_string()]);
+    }
     t.row(["runtime", &format!("{:.2}s", r.times.total())]);
     println!("{t}");
 

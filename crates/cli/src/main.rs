@@ -25,9 +25,10 @@ USAGE:
   sdplace gen <preset | --gates N --fraction F> [--seed S] --out PATH
   sdplace extract <case.aux> [--rounds K]
   sdplace place <case.aux> [--baseline | --rigid] [--fast] [--abacus]
-                [--seed S] [--threads T] [--out PATH] [--svg FILE]
+                [--mode hpwl|route] [--seed S] [--threads T]
+                [--out PATH] [--svg FILE]
   sdplace route <case.aux> [--tracks N]
-  sdplace eval <case.aux>
+  sdplace eval <case.aux> [--route]
   sdplace serve [--port P] [--workers N] [--queue-depth D] [--retain R]
                 [--cache-bytes B] [--state-dir DIR] [--threads T]
 
@@ -50,6 +51,10 @@ OPTIONS:
   --rigid         maximal-regularity profile (snap + row-lock groups)
   --fast          reduced-effort placer profile
   --abacus        Abacus legalizer (displacement-optimal rows)
+  --mode M        place: `hpwl` (default) or `route` — route mode runs the
+                  RUDY-feedback inflation loop and reports routed metrics
+  --route         eval: also globally route the bundle and report routed
+                  wirelength, overflow, and utilization
   --threads T     placement kernel threads; 0 = all cores, 1 = sequential
                   (results are bitwise identical)        [default: 0]
   --rounds K      signature refinement depth for extract   [default: 1]

@@ -6,15 +6,22 @@ use crate::align::{AlignConfig, AlignTerm};
 use sdp_eval::{alignment_report, hpwl_breakdown, AlignmentReport, HpwlBreakdown};
 use sdp_extract::{extract_observed, ExtractConfig};
 use sdp_geom::{GroupAxis, Point};
-use sdp_gp::{ExtraTerm, GlobalPlacer, GpConfig, PlaceStats};
+use sdp_gp::{Executor, ExtraTerm, GlobalPlacer, GpConfig, PlaceStats};
 use sdp_legal::{
     check_legal, detailed_place, legalize, legalize_abacus, DetailedOptions, DetailedStats,
     LegalStats, LegalizeOptions, RowSpace,
 };
 use sdp_netlist::{CellId, DatapathGroup, Design, Netlist, Placement};
 use sdp_progress::{Cancelled, Observer, Phase};
-use sdp_route::rudy_map;
+use sdp_route::{
+    inflate_cells, route_observed, rudy_map_exec, InflateConfig, RouteConfig, RouteReport,
+};
 use std::collections::HashSet;
+
+/// Maximum feedback rounds of the route-mode loop. Convergence — routed
+/// overflow stops improving, nothing left to inflate, or zero overflow —
+/// usually stops it earlier.
+const ROUTE_MAX_ROUNDS: usize = 5;
 
 /// Which legalization algorithm the flow uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -24,6 +31,28 @@ pub enum LegalizerKind {
     Tetris,
     /// Abacus row clustering (displacement-optimal per row, slower).
     Abacus,
+}
+
+/// What the flow optimizes and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlowMode {
+    /// Place only and report HPWL-proxy metrics (the default).
+    #[default]
+    Hpwl,
+    /// Routability-driven: after placement, run the congestion-feedback
+    /// inflation loop against *routed* overflow and carry a
+    /// [`RouteReport`] in the flow report.
+    Route,
+}
+
+impl FlowMode {
+    /// Stable lowercase name (used in specs and canonical hashing).
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowMode::Hpwl => "hpwl",
+            FlowMode::Route => "route",
+        }
+    }
 }
 
 /// Configuration of the whole flow.
@@ -66,6 +95,11 @@ pub struct FlowConfig {
     pub routability_rounds: usize,
     /// Legalization algorithm.
     pub legalizer: LegalizerKind,
+    /// What the flow optimizes and reports ([`FlowMode`]). `Route` runs
+    /// the routed-overflow feedback loop after placement: route → inflate
+    /// cells under RUDY hotspots → re-spread → re-legalize, keeping the
+    /// best routed result (DESIGN.md §9).
+    pub mode: FlowMode,
 }
 
 impl Default for FlowConfig {
@@ -89,6 +123,7 @@ impl Default for FlowConfig {
             detailed_passes: 2,
             routability_rounds: 0,
             legalizer: LegalizerKind::default(),
+            mode: FlowMode::default(),
         }
     }
 }
@@ -138,12 +173,14 @@ pub struct PhaseTimes {
     pub legalize: f64,
     /// Detailed placement.
     pub detailed: f64,
+    /// Global routing (route-mode flows only; zero otherwise).
+    pub route: f64,
 }
 
 impl PhaseTimes {
     /// Total flow time.
     pub fn total(&self) -> f64 {
-        self.extract + self.global + self.legalize + self.detailed
+        self.extract + self.global + self.legalize + self.detailed + self.route
     }
 }
 
@@ -167,6 +204,16 @@ pub struct FlowReport {
     /// Group cells that found no slot on their aligned row and fell back
     /// to ordinary legalization.
     pub group_rows_fallback: usize,
+    /// Routed metrics of the final placement (`Some` in route mode only).
+    pub route: Option<RouteReport>,
+    /// Feedback rounds the route-mode loop ran (0 in HPWL mode, and in
+    /// route mode when the initial placement already routes best).
+    pub route_rounds: usize,
+    /// Routed result of every round the loop evaluated (route mode
+    /// only). Index 0 is the one-shot route of the plain HPWL-flow
+    /// placement, so `route_trace.first()` vs `route` is exactly the
+    /// feedback loop's overflow/wirelength win.
+    pub route_trace: Vec<RouteReport>,
     /// Per-phase wall-clock times.
     pub times: PhaseTimes,
 }
@@ -360,53 +407,101 @@ impl StructurePlacer {
             gp_stats =
                 self.routability_spread(gp_netlist, design, &mut placement, gp_stats, obs)?;
         }
-        let gp_stats = gp_stats;
         let groups = align_term.groups().to_vec();
         times.global = obs.seconds_since(t0);
 
-        // Phase 3: structure-first legalization.
-        obs.checkpoint()?;
-        let t0 = obs.now();
-        let (locked, rows_fallback) = if self.config.structure_aware && self.config.rigid_groups {
-            snap_groups(netlist, design, &mut placement, &groups)
-        } else {
-            (HashSet::new(), 0)
-        };
-        let legal_options = LegalizeOptions {
-            locked: locked.clone(),
-            ..LegalizeOptions::default()
-        };
-        let legal_stats = match self.config.legalizer {
-            LegalizerKind::Tetris => legalize(netlist, design, &mut placement, &legal_options),
-            LegalizerKind::Abacus => {
-                legalize_abacus(netlist, design, &mut placement, &legal_options)
-            }
-        };
-        obs.report(Phase::Legalize, 1.0);
-        times.legalize = obs.seconds_since(t0);
+        // Phases 3–4: legalization + detailed placement. Route mode keeps
+        // the pre-legal global placement around — the feedback loop
+        // re-spreads it with inflated cells and re-runs these phases.
+        let global = (self.config.mode == FlowMode::Route).then(|| placement.clone());
+        let (mut rows_fallback, mut legal_stats, mut detailed_stats) =
+            self.finish_placement(netlist, design, &mut placement, &groups, &mut times, obs)?;
 
-        // Phase 4: detailed placement.
-        obs.checkpoint()?;
-        let t0 = obs.now();
-        let detailed_stats = detailed_place(
-            netlist,
-            design,
-            &mut placement,
-            &DetailedOptions {
-                passes: self.config.detailed_passes,
-                // Snapped group cells may still slide within their row —
-                // that preserves the alignment while recovering the x
-                // freedom the snap gave up.
-                row_locked: if self.config.lock_groups_in_detailed {
-                    locked
+        // Phase 5 (route mode only): the routed-overflow feedback loop
+        // (DESIGN.md §9). Route the legal placement, inflate cells under
+        // the RUDY hotspots of the *global* placement, re-spread,
+        // re-legalize, and keep the best routed result; converge when
+        // routed overflow stops improving.
+        let mut route_report = None;
+        let mut route_rounds = 0;
+        let mut route_trace = Vec::new();
+        if let Some(mut working) = global {
+            let route_cfg = RouteConfig::default();
+            let t0 = obs.now();
+            let mut best = route_observed(netlist, &placement, design, &route_cfg, obs)?;
+            times.route += obs.seconds_since(t0);
+            route_trace.push(best.clone());
+            let exec = Executor::new(self.config.gp.threads);
+            let res = 2 * sdp_gp::DensityModel::default_resolution(netlist.num_movable());
+            let mut factors = vec![1.0f64; netlist.num_cells()];
+            // More aggressive than the GP-overflow spreading defaults:
+            // the loop is judged by *routed* overflow and keeps only
+            // improving rounds, so overshooting a round is recoverable
+            // while under-inflating stalls the trajectory.
+            let inflate_cfg = InflateConfig {
+                hot_factor: 1.5,
+                budget: 0.25,
+                ..InflateConfig::default()
+            };
+            let spreader = GlobalPlacer::new(GpConfig {
+                max_outer: 6,
+                inner_iters: self.config.gp.inner_iters.min(40),
+                cluster_threshold: 0,
+                ..self.config.gp
+            });
+            for round in 1..=ROUTE_MAX_ROUNDS {
+                if best.overflow == 0 {
+                    break;
+                }
+                obs.checkpoint()?;
+                let (grid, demand) = rudy_map_exec(netlist, &working, design, res, res, &exec);
+                let inf = inflate_cells(
+                    netlist,
+                    &working,
+                    &grid,
+                    &demand,
+                    &inflate_cfg,
+                    &mut factors,
+                    &exec,
+                );
+                if inf.grown == 0 {
+                    break;
+                }
+                let r = spreader.place_inflated_observed(
+                    gp_netlist,
+                    design,
+                    &mut working,
+                    None,
+                    Some(&factors),
+                    Some(netlist),
+                    obs,
+                )?;
+                gp_stats.outer_iters += r.outer_iters;
+                gp_stats.seconds += r.seconds;
+                gp_stats.evals += r.evals;
+                let mut trial = working.clone();
+                let (fb, legal, det) =
+                    self.finish_placement(netlist, design, &mut trial, &groups, &mut times, obs)?;
+                let t0 = obs.now();
+                let rep = route_observed(netlist, &trial, design, &route_cfg, obs)?;
+                times.route += obs.seconds_since(t0);
+                route_trace.push(rep.clone());
+                route_rounds = round;
+                // Overflow first, wirelength breaks ties; the loop stops
+                // at the first round that fails to improve.
+                if (rep.overflow, rep.wirelength) < (best.overflow, best.wirelength) {
+                    best = rep;
+                    placement = trial;
+                    rows_fallback = fb;
+                    legal_stats = legal;
+                    detailed_stats = det;
                 } else {
-                    HashSet::new()
-                },
-                ..DetailedOptions::default()
-            },
-        );
-        obs.report(Phase::Detailed, 1.0);
-        times.detailed = obs.seconds_since(t0);
+                    break;
+                }
+            }
+            gp_stats.final_hpwl = sdp_gp::hpwl(netlist, placement.positions());
+            route_report = Some(best);
+        }
 
         // Metrics.
         let hpwl = hpwl_breakdown(netlist, &placement, &groups);
@@ -424,11 +519,70 @@ impl StructurePlacer {
                 num_groups: groups.len(),
                 num_group_cells: groups.iter().map(|g| g.num_cells()).sum(),
                 group_rows_fallback: rows_fallback,
+                route: route_report,
+                route_rounds,
+                route_trace,
                 times,
             },
             groups,
             placement,
         })
+    }
+
+    /// Phases 3–4: structure-first legalization and detailed placement,
+    /// in place. Phase wall-clock accumulates into `times` (route mode
+    /// runs these phases once per feedback round).
+    fn finish_placement(
+        &self,
+        netlist: &Netlist,
+        design: &Design,
+        placement: &mut Placement,
+        groups: &[DatapathGroup],
+        times: &mut PhaseTimes,
+        obs: &Observer,
+    ) -> Result<(usize, LegalStats, DetailedStats), Cancelled> {
+        // Phase 3: structure-first legalization.
+        obs.checkpoint()?;
+        let t0 = obs.now();
+        let (locked, rows_fallback) = if self.config.structure_aware && self.config.rigid_groups {
+            snap_groups(netlist, design, placement, groups)
+        } else {
+            (HashSet::new(), 0)
+        };
+        let legal_options = LegalizeOptions {
+            locked: locked.clone(),
+            ..LegalizeOptions::default()
+        };
+        let legal_stats = match self.config.legalizer {
+            LegalizerKind::Tetris => legalize(netlist, design, placement, &legal_options),
+            LegalizerKind::Abacus => legalize_abacus(netlist, design, placement, &legal_options),
+        };
+        obs.report(Phase::Legalize, 1.0);
+        times.legalize += obs.seconds_since(t0);
+
+        // Phase 4: detailed placement.
+        obs.checkpoint()?;
+        let t0 = obs.now();
+        let detailed_stats = detailed_place(
+            netlist,
+            design,
+            placement,
+            &DetailedOptions {
+                passes: self.config.detailed_passes,
+                // Snapped group cells may still slide within their row —
+                // that preserves the alignment while recovering the x
+                // freedom the snap gave up.
+                row_locked: if self.config.lock_groups_in_detailed {
+                    locked
+                } else {
+                    HashSet::new()
+                },
+                ..DetailedOptions::default()
+            },
+        );
+        obs.report(Phase::Detailed, 1.0);
+        times.detailed += obs.seconds_since(t0);
+        Ok((rows_fallback, legal_stats, detailed_stats))
     }
 }
 
@@ -558,26 +712,20 @@ impl StructurePlacer {
         let mut best = placement.clone();
         let mut best_score = score(placement);
         let mut inflation = vec![1.0f64; netlist.num_cells()];
+        let exec = Executor::new(self.config.gp.threads);
         for _round in 0..self.config.routability_rounds {
             obs.checkpoint()?;
-            let (grid, demand) = rudy_map(netlist, placement, design, res, res);
-            let mean = demand.iter().sum::<f64>() / demand.len().max(1) as f64;
-            if mean <= 0.0 {
-                break;
-            }
-            let hot = 2.0 * mean;
-            let mut any_hot = false;
-            for c in netlist.movable_ids() {
-                let bin = grid.bin_of(placement.get(c));
-                let d = demand[grid.flat(bin)];
-                if d > hot {
-                    // Grow by up to 25 % per round, capped at 2x.
-                    let grow = 1.0 + 0.25 * ((d / hot - 1.0).min(1.0));
-                    inflation[c.ix()] = (inflation[c.ix()] * grow).min(2.0);
-                    any_hot = true;
-                }
-            }
-            if !any_hot {
+            let (grid, demand) = rudy_map_exec(netlist, placement, design, res, res, &exec);
+            let inf = inflate_cells(
+                netlist,
+                placement,
+                &grid,
+                &demand,
+                &InflateConfig::default(),
+                &mut inflation,
+                &exec,
+            );
+            if inf.grown == 0 {
                 break;
             }
             let spreader = GlobalPlacer::new(GpConfig {
@@ -943,6 +1091,70 @@ mod tests {
         let out = StructurePlacer::new(cfg).place(&d.netlist, &d.design, &d.placement);
         assert_eq!(out.legal_violations, 0);
         assert!(out.report.hpwl.total > 0.0);
+    }
+
+    #[test]
+    fn route_mode_reports_routed_metrics_and_stays_legal() {
+        let d = generate(&GenConfig::named("dp_tiny", 11).unwrap());
+        let mut cfg = FlowConfig::fast();
+        cfg.mode = FlowMode::Route;
+        let out = StructurePlacer::new(cfg).place(&d.netlist, &d.design, &d.placement);
+        assert_eq!(out.legal_violations, 0);
+        let r = out.report.route.expect("route mode carries a RouteReport");
+        assert!(r.wirelength > 0.0);
+        assert!(r.segments > 0);
+        assert!(out.report.route_rounds <= ROUTE_MAX_ROUNDS);
+        // HPWL mode never routes.
+        let base = run("dp_tiny", 11, true);
+        assert!(base.report.route.is_none());
+        assert_eq!(base.report.route_rounds, 0);
+        assert_eq!(base.report.times.route, 0.0);
+    }
+
+    #[test]
+    fn route_mode_is_deterministic_across_thread_counts() {
+        let d = generate(&GenConfig::named("dp_tiny", 13).unwrap());
+        let mut cfg = FlowConfig::fast();
+        cfg.mode = FlowMode::Route;
+        let a = StructurePlacer::new(cfg.clone().with_threads(1)).place(
+            &d.netlist,
+            &d.design,
+            &d.placement,
+        );
+        let b =
+            StructurePlacer::new(cfg.with_threads(4)).place(&d.netlist, &d.design, &d.placement);
+        assert_eq!(a.placement.positions(), b.placement.positions());
+        assert_eq!(a.report.route, b.report.route);
+        assert_eq!(a.report.route_rounds, b.report.route_rounds);
+        assert_eq!(a.report.route_trace, b.report.route_trace);
+    }
+
+    #[test]
+    fn route_mode_feedback_does_not_worsen_overflow() {
+        // The kept result can never route worse than the one-shot
+        // placement: round 0 *is* the one-shot and only improvements
+        // replace it.
+        let d = generate(&GenConfig::named("dp_small", 3).unwrap());
+        let mut cfg = FlowConfig::fast();
+        cfg.mode = FlowMode::Route;
+        let looped = StructurePlacer::new(cfg.clone())
+            .place(&d.netlist, &d.design, &d.placement)
+            .report;
+        cfg.mode = FlowMode::Hpwl;
+        let one_shot = StructurePlacer::new(cfg).place(&d.netlist, &d.design, &d.placement);
+        let one_shot_routed = sdp_route::route(
+            &d.netlist,
+            &one_shot.placement,
+            &d.design,
+            &sdp_route::RouteConfig::default(),
+        );
+        let r = looped.route.expect("route mode reports");
+        assert!(
+            r.overflow <= one_shot_routed.overflow,
+            "feedback loop must not regress overflow: {} -> {}",
+            one_shot_routed.overflow,
+            r.overflow
+        );
     }
 
     #[test]

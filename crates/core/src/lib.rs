@@ -42,7 +42,9 @@ pub mod align;
 pub mod flow;
 
 pub use align::{AlignConfig, AlignTerm};
-pub use flow::{FlowConfig, FlowOutput, FlowReport, LegalizerKind, PhaseTimes, StructurePlacer};
+pub use flow::{
+    FlowConfig, FlowMode, FlowOutput, FlowReport, LegalizerKind, PhaseTimes, StructurePlacer,
+};
 // Re-exported so downstream crates (serve, bench) can name every type
 // that appears in `FlowConfig` — the serve crate canonicalizes the full
 // resolved config for content-address hashing — without depending on
@@ -53,3 +55,4 @@ pub use sdp_progress::{
     CancelToken, Cancelled, Clock, ManualClock, MonotonicClock, NullSink, Observer, Phase,
     ProgressSink, TokenSink,
 };
+pub use sdp_route::RouteReport;

@@ -22,7 +22,8 @@ use crate::rules::{Diagnostic, FileCtx, Rule};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Crates whose `pub fn`s are flow entry points besides the CLI.
-pub const ROOT_API_CRATES: &[&str] = &["core", "gp", "extract", "legal", "eval", "netlist"];
+pub const ROOT_API_CRATES: &[&str] =
+    &["core", "gp", "extract", "legal", "eval", "netlist", "route"];
 
 /// Crates excluded from the graph and from panic-reachability entirely:
 /// the experiment harness and this tool are driver code that may panic.

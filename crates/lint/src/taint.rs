@@ -44,6 +44,10 @@ pub const SINK_ROOTS: &[&str] = &[
     "minimize_nesterov",
     "result_body",
     "generate",
+    "route",
+    "route_observed",
+    "rudy_map_exec",
+    "inflate_cells",
 ];
 
 /// Runs the `determinism-taint` rule over the workspace graph.

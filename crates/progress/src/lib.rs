@@ -33,15 +33,18 @@ pub enum Phase {
     Legalize,
     /// Detailed placement.
     Detailed,
+    /// Global routing (route-mode flows: RUDY feedback loop + final route).
+    Route,
 }
 
 impl Phase {
     /// All phases in execution order.
-    pub const ALL: [Phase; 4] = [
+    pub const ALL: [Phase; 5] = [
         Phase::Extract,
         Phase::Global,
         Phase::Legalize,
         Phase::Detailed,
+        Phase::Route,
     ];
 
     /// Stable lowercase name (used in status reports and metric labels).
@@ -51,6 +54,7 @@ impl Phase {
             Phase::Global => "global",
             Phase::Legalize => "legalize",
             Phase::Detailed => "detailed",
+            Phase::Route => "route",
         }
     }
 }
@@ -332,6 +336,9 @@ mod tests {
     #[test]
     fn phase_names_are_stable() {
         let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
-        assert_eq!(names, ["extract", "global", "legalize", "detailed"]);
+        assert_eq!(
+            names,
+            ["extract", "global", "legalize", "detailed", "route"]
+        );
     }
 }

@@ -13,7 +13,15 @@
 //!   reroute** (a compact PathFinder) with history costs and maze routing
 //!   ([`router`]);
 //! * the **RUDY** congestion estimate straight from a placement, no
-//!   routing needed ([`rudy`]).
+//!   routing needed ([`rudy`]);
+//! * **congestion-feedback cell inflation** — the per-round
+//!   utilization-weighted area scaling (with budget and decay) that
+//!   routability-driven placement loops feed back into global placement
+//!   ([`inflate`]).
+//!
+//! Routing is cancellable and phase-reported like the placement phases:
+//! [`route_observed`] threads an `sdp_progress::Observer` through the
+//! rip-up & reroute loop.
 //!
 //! Absolute numbers are not comparable to a commercial router, but the
 //! *relative* routed wirelength and overflow of two placements of the same
@@ -32,9 +40,11 @@
 //! ```
 
 pub mod grid;
+pub mod inflate;
 pub mod router;
 pub mod rudy;
 
 pub use grid::RoutingGrid;
-pub use router::{route, RouteConfig, RouteReport};
-pub use rudy::rudy_map;
+pub use inflate::{inflate_cells, InflateConfig, InflateStats};
+pub use router::{grid_hpwl_lower_bound, route, route_observed, RouteConfig, RouteReport};
+pub use rudy::{rudy_map, rudy_map_exec};

@@ -4,7 +4,13 @@
 use crate::grid::{Dir, RoutingGrid};
 use sdp_geom::Point;
 use sdp_netlist::{Design, Netlist, Placement};
+use sdp_progress::{Cancelled, Observer, Phase};
 use std::collections::BinaryHeap;
+
+/// Segments between cancellation checkpoints in the per-segment loops.
+/// Small enough that a `DELETE /jobs/:id` lands within milliseconds even
+/// on congested designs, large enough that the atomic poll is free.
+const CHECKPOINT_STRIDE: usize = 256;
 
 /// Router configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +54,8 @@ pub struct RouteReport {
     pub iterations: usize,
     /// Number of 2-pin segments routed.
     pub segments: usize,
+    /// Gcell grid dimensions actually used (explicit or auto-sized).
+    pub grid: (usize, usize),
 }
 
 /// One routed 2-pin segment: the sequence of gcells it passes through.
@@ -69,6 +77,25 @@ pub fn route(
     design: &Design,
     config: &RouteConfig,
 ) -> RouteReport {
+    match route_observed(netlist, placement, design, config, &Observer::noop()) {
+        Ok(r) => r,
+        Err(Cancelled) => unreachable!("the noop observer never cancels"),
+    }
+}
+
+/// [`route`] with progress reporting and cooperative cancellation:
+/// `obs` is polled every [`CHECKPOINT_STRIDE`] segments and at every
+/// rip-up & reroute iteration boundary, and [`Phase::Route`] progress is
+/// reported against the configured `rrr_iters` maximum. On
+/// `Err(Cancelled)` no partial report escapes.
+pub fn route_observed(
+    netlist: &Netlist,
+    placement: &Placement,
+    design: &Design,
+    config: &RouteConfig,
+    obs: &Observer,
+) -> Result<RouteReport, Cancelled> {
+    obs.checkpoint()?;
     let region = design.region();
     let (nx, ny) = config.grid.unwrap_or_else(|| {
         let pitch = design.row_height() * 4.0;
@@ -113,7 +140,10 @@ pub fn route(
 
     // Initial routing: best of the two L shapes by current congestion.
     let mut history = vec![0.0f64; nx * ny * 2]; // per edge: [h..., v...]
-    for seg in &mut segments {
+    for (i, seg) in segments.iter_mut().enumerate() {
+        if i % CHECKPOINT_STRIDE == 0 {
+            obs.checkpoint()?;
+        }
         let path = best_l_path(seg.a, seg.b, &grid, config, &history);
         commit(&mut grid, &path, 1);
         seg.path = path;
@@ -124,7 +154,9 @@ pub fn route(
     type SavedPaths = Vec<Vec<(usize, usize)>>;
     let mut iterations = 0;
     let mut best_paths: Option<(u64, SavedPaths)> = None;
-    for _iter in 0..config.rrr_iters {
+    for iter in 0..config.rrr_iters {
+        obs.checkpoint()?;
+        obs.report(Phase::Route, iter as f64 / config.rrr_iters.max(1) as f64);
         let (overflow, _) = grid.total_overflow();
         if best_paths.as_ref().is_none_or(|&(b, _)| overflow < b) {
             best_paths = Some((overflow, segments.iter().map(|s| s.path.clone()).collect()));
@@ -149,7 +181,10 @@ pub fn route(
             }
         }
         // Rip up and reroute segments crossing overflowed edges.
-        for seg in &mut segments {
+        for (i, seg) in segments.iter_mut().enumerate() {
+            if i % CHECKPOINT_STRIDE == 0 {
+                obs.checkpoint()?;
+            }
             if !crosses_overflow(&grid, &seg.path) {
                 continue;
             }
@@ -171,15 +206,17 @@ pub fn route(
         }
     }
 
+    obs.report(Phase::Route, 1.0);
     let (overflow, overflowed_edges) = grid.total_overflow();
-    RouteReport {
+    Ok(RouteReport {
         wirelength: grid.total_wirelength(),
         overflow,
         overflowed_edges,
         max_utilization: grid.max_utilization(),
         iterations,
         segments: segments.len(),
-    }
+        grid: (nx, ny),
+    })
 }
 
 fn h_hist(nx: usize, x: usize, y: usize) -> usize {
@@ -483,6 +520,41 @@ mod tests {
         if before.overflow > 0 {
             assert!(after.iterations > 0);
         }
+    }
+
+    #[test]
+    fn cancellation_aborts_mid_route() {
+        use sdp_progress::{CancelToken, ManualClock, TokenSink};
+        use std::sync::Arc;
+        let (nl, design, pl) = placed(4);
+        let token = CancelToken::new();
+        token.cancel();
+        let sink = TokenSink::new(token, |_, _| {});
+        let obs = Observer::new(Arc::new(ManualClock::new()), Arc::new(sink));
+        let r = route_observed(&nl, &pl, &design, &RouteConfig::default(), &obs);
+        assert_eq!(r, Err(Cancelled));
+    }
+
+    #[test]
+    fn observed_route_reports_progress_and_matches_unobserved() {
+        use sdp_progress::{CancelToken, ManualClock, TokenSink};
+        use std::sync::{Arc, Mutex};
+        let (nl, design, pl) = placed(2);
+        let starved = RouteConfig {
+            tracks_per_gcell: 2,
+            ..RouteConfig::default()
+        };
+        let seen: Arc<Mutex<Vec<(Phase, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let sink = TokenSink::new(CancelToken::new(), move |p, f| {
+            seen2.lock().unwrap().push((p, f));
+        });
+        let obs = Observer::new(Arc::new(ManualClock::new()), Arc::new(sink));
+        let observed = route_observed(&nl, &pl, &design, &starved, &obs).unwrap();
+        assert_eq!(observed, route(&nl, &pl, &design, &starved));
+        let seen = seen.lock().unwrap();
+        assert!(seen.iter().all(|&(p, _)| p == Phase::Route));
+        assert_eq!(seen.last(), Some(&(Phase::Route, 1.0)));
     }
 
     #[test]

@@ -6,7 +6,14 @@
 //! routability-driven placement.
 
 use sdp_geom::{BinGrid, Rect};
-use sdp_netlist::{Design, Netlist, Placement};
+use sdp_gp::exec::chunk_ranges;
+use sdp_gp::Executor;
+use sdp_netlist::{Design, NetId, Netlist, Placement};
+
+/// Nets per fixed chunk in the parallel RUDY reduction. Chunk boundaries
+/// depend only on the net count — never on the thread count — so the
+/// in-order partial-map merge is bitwise identical at any parallelism.
+const NET_CHUNK: usize = 2048;
 
 /// Computes a RUDY map over an `nx × ny` grid. Returns the grid and the
 /// per-bin demand density (wirelength per unit area).
@@ -21,26 +28,63 @@ pub fn rudy_map(
     nx: usize,
     ny: usize,
 ) -> (BinGrid, Vec<f64>) {
+    rudy_map_exec(netlist, placement, design, nx, ny, &Executor::new(1))
+}
+
+/// [`rudy_map`] with the reduction parallelized over `exec` under the
+/// fixed-chunk discipline: nets are split into [`NET_CHUNK`]-sized chunks,
+/// each chunk accumulates a private demand map, and the partial maps are
+/// summed in chunk order — the result is bitwise identical to the
+/// sequential map at every thread count.
+pub fn rudy_map_exec(
+    netlist: &Netlist,
+    placement: &Placement,
+    design: &Design,
+    nx: usize,
+    ny: usize,
+    exec: &Executor,
+) -> (BinGrid, Vec<f64>) {
     let grid = BinGrid::new(design.region(), nx, ny);
+    let chunks = chunk_ranges(netlist.num_nets(), NET_CHUNK);
+    let partials = exec.map(chunks.len(), |ci| {
+        let mut local = vec![0.0f64; grid.len()];
+        for n in chunks[ci].clone().map(NetId::new) {
+            splat_net(netlist, placement, &grid, n, &mut local);
+        }
+        local
+    });
     let mut demand = vec![0.0f64; grid.len()];
-    for n in netlist.net_ids() {
-        let Some(bbox) = placement.net_bbox(netlist, n) else {
-            continue;
-        };
-        let Some(clipped) = bbox.intersection(&grid.region()) else {
-            continue;
-        };
-        // Degenerate boxes still carry wire: pad to one unit.
-        let w = clipped.width().max(1.0);
-        let h = clipped.height().max(1.0);
-        let r = Rect::with_size(clipped.lo(), w, h);
-        let wire = netlist.net(n).weight * (bbox.width() + bbox.height());
-        let density = wire / (w * h);
-        grid.splat_area(&r, |bix, area| {
-            demand[grid.flat(bix)] += density * area / grid.bin_area();
-        });
+    for local in &partials {
+        for (d, l) in demand.iter_mut().zip(local) {
+            *d += l;
+        }
     }
     (grid, demand)
+}
+
+/// Adds one net's RUDY contribution to `demand`.
+fn splat_net(
+    netlist: &Netlist,
+    placement: &Placement,
+    grid: &BinGrid,
+    n: NetId,
+    demand: &mut [f64],
+) {
+    let Some(bbox) = placement.net_bbox(netlist, n) else {
+        return;
+    };
+    let Some(clipped) = bbox.intersection(&grid.region()) else {
+        return;
+    };
+    // Degenerate boxes still carry wire: pad to one unit.
+    let w = clipped.width().max(1.0);
+    let h = clipped.height().max(1.0);
+    let r = Rect::with_size(clipped.lo(), w, h);
+    let wire = netlist.net(n).weight * (bbox.width() + bbox.height());
+    let density = wire / (w * h);
+    grid.splat_area(&r, |bix, area| {
+        demand[grid.flat(bix)] += density * area / grid.bin_area();
+    });
 }
 
 /// Summary statistics of a RUDY map: `(max, mean)` demand density.

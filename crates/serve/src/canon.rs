@@ -100,6 +100,7 @@ fn canonical_flow(flow: &FlowConfig) -> Json {
         detailed_passes,
         routability_rounds,
         legalizer,
+        mode,
     } = flow;
     Json::obj([
         ("align", canonical_align(align)),
@@ -114,6 +115,7 @@ fn canonical_flow(flow: &FlowConfig) -> Json {
                 LegalizerKind::Abacus => "abacus",
             }),
         ),
+        ("mode", Json::str(mode.name())),
         (
             "lock_groups_in_detailed",
             Json::Bool(*lock_groups_in_detailed),
@@ -259,6 +261,7 @@ mod tests {
             r#"{"design": {"preset": "dp_tiny", "seed": 11}, "flow": {"routability_rounds": 2}}"#,
             r#"{"design": {"preset": "dp_tiny", "seed": 11}, "flow": {"dp_net_weight": 3.5}}"#,
             r#"{"design": {"preset": "dp_tiny", "seed": 11}, "flow": {"solver": "cg"}}"#,
+            r#"{"design": {"preset": "dp_tiny", "seed": 11}, "flow": {"mode": "route"}}"#,
             r#"{"design": {"preset": "dp_tiny", "seed": 11}, "chaos": "panic"}"#,
         ] {
             assert_ne!(

@@ -492,6 +492,7 @@ impl Engine {
                     ("global", Json::num(t.global)),
                     ("legalize", Json::num(t.legalize)),
                     ("detailed", Json::num(t.detailed)),
+                    ("route", Json::num(t.route)),
                 ]),
             ));
         }
@@ -989,7 +990,7 @@ fn result_body(netlist: &Netlist, out: &FlowOutput) -> String {
             Json::str(format!("{} {} {}", netlist.cell(c).name, p.x, p.y))
         })
         .collect();
-    Json::obj([
+    let mut members: Vec<(&str, Json)> = vec![
         (
             "alignment",
             Json::obj([
@@ -1034,8 +1035,32 @@ fn result_body(netlist: &Netlist, out: &FlowOutput) -> String {
             Json::num(out.report.gp.outer_iters as f64),
         ),
         ("gp_evals", Json::num(out.report.gp.evals as f64)),
-        ("placement", Json::Arr(placement)),
-    ])
+    ];
+    // Routed metrics appear only for route-mode specs, keeping every
+    // existing spec's body byte-identical to what it was.
+    if let Some(r) = &out.report.route {
+        members.push((
+            "route",
+            Json::obj([
+                ("wirelength", Json::num(r.wirelength)),
+                ("overflow", Json::num(r.overflow as f64)),
+                ("overflowed_edges", Json::num(r.overflowed_edges as f64)),
+                ("max_utilization", Json::num(r.max_utilization)),
+                ("rrr_iterations", Json::num(r.iterations as f64)),
+                ("segments", Json::num(r.segments as f64)),
+                ("feedback_rounds", Json::num(out.report.route_rounds as f64)),
+                ("grid_x", Json::num(r.grid.0 as f64)),
+                ("grid_y", Json::num(r.grid.1 as f64)),
+            ]),
+        ));
+    }
+    members.push(("placement", Json::Arr(placement)));
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
     .to_string()
 }
 

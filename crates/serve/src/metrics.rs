@@ -111,6 +111,7 @@ impl Metrics {
                 Phase::Global => times.global,
                 Phase::Legalize => times.legalize,
                 Phase::Detailed => times.detailed,
+                Phase::Route => times.route,
             };
             self.phase_seconds[ix].observe(seconds);
         }
@@ -260,6 +261,7 @@ mod tests {
             global: 0.2,
             legalize: 0.005,
             detailed: 0.03,
+            route: 0.0,
         });
         m.observe_queue_wait(0.002);
         m.cache_hits.fetch_add(3, Ordering::Relaxed);

@@ -247,6 +247,7 @@ fn parse_flow(flow: Option<&Json>) -> Result<FlowConfig, SpecError> {
             "routability_rounds",
             "dp_net_weight",
             "solver",
+            "mode",
         ],
         "flow",
     )?;
@@ -306,6 +307,20 @@ fn parse_flow(flow: Option<&Json>) -> Result<FlowConfig, SpecError> {
         cfg.gp.solver = sdp_core::GpSolver::parse(name)
             .ok_or_else(|| SpecError(format!("unknown `solver` `{name}` (cg | nesterov)")))?;
     }
+    if let Some(m) = flow.get("mode") {
+        let name = m
+            .as_str()
+            .ok_or_else(|| SpecError("`mode` must be a string".into()))?;
+        cfg.mode = match name {
+            "hpwl" => sdp_core::FlowMode::Hpwl,
+            "route" => sdp_core::FlowMode::Route,
+            other => {
+                return Err(SpecError(format!(
+                    "unknown `mode` `{other}` (hpwl | route)"
+                )))
+            }
+        };
+    }
     if let Some(w) = flow.get("dp_net_weight") {
         cfg.dp_net_weight = w
             .as_f64()
@@ -343,6 +358,24 @@ mod tests {
         assert_eq!(s.flow.detailed_passes, 0);
         assert_eq!(s.flow.gp.solver, sdp_core::GpSolver::Cg);
         assert_eq!(s.deadline_ms, Some(5000));
+    }
+
+    #[test]
+    fn mode_parses_and_rejects_unknown() {
+        let s = parse_spec(r#"{"design": {"preset": "dp_tiny"}}"#).unwrap();
+        assert_eq!(s.flow.mode, sdp_core::FlowMode::Hpwl);
+        let s =
+            parse_spec(r#"{"design": {"preset": "dp_tiny"}, "flow": {"mode": "route"}}"#).unwrap();
+        assert_eq!(s.flow.mode, sdp_core::FlowMode::Route);
+        let s =
+            parse_spec(r#"{"design": {"preset": "dp_tiny"}, "flow": {"mode": "hpwl"}}"#).unwrap();
+        assert_eq!(s.flow.mode, sdp_core::FlowMode::Hpwl);
+        for bad in [
+            r#"{"design": {"preset": "dp_tiny"}, "flow": {"mode": "steiner"}}"#,
+            r#"{"design": {"preset": "dp_tiny"}, "flow": {"mode": 1}}"#,
+        ] {
+            assert!(parse_spec(bad).is_err(), "must reject {bad}");
+        }
     }
 
     #[test]

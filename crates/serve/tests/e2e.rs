@@ -453,3 +453,155 @@ fn graceful_shutdown_drains_the_queue() {
         assert!(has_result);
     }
 }
+
+const ROUTE_SMALL: &str =
+    r#"{"design": {"preset": "dp_small", "seed": 3}, "flow": {"fast": true, "mode": "route"}}"#;
+
+#[test]
+fn route_mode_results_are_identical_across_workers_and_threads() {
+    // Cache disabled on both servers so every submission really runs
+    // placement + the feedback loop: this pins the route-mode
+    // determinism invariant (fixed-chunk RUDY/inflation reductions),
+    // not the cache shortcut built on it.
+    let s1 = start_cfg(ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        cache_bytes: 0,
+        ..ServerConfig::default()
+    });
+    let s4 = start_cfg(ServerConfig {
+        workers: 4,
+        queue_depth: 8,
+        cache_bytes: 0,
+        ..ServerConfig::default()
+    });
+
+    let body_of = |port: u16, spec: &str| {
+        let id = submit(port, spec);
+        let s = wait_for_job(port, id, Duration::from_secs(300)).unwrap();
+        assert!(s.contains(r#""state":"done""#), "{s}");
+        let (status, body) = request(port, "GET", &format!("/jobs/{id}/result"), "").unwrap();
+        assert_eq!(status, 200);
+        body
+    };
+
+    let a = body_of(s1.port(), ROUTE_SMALL);
+    // Same spec, explicit kernel thread count: threads are excluded from
+    // the canonical form because they may not change result bytes.
+    let threaded = ROUTE_SMALL.replace(r#""mode": "route""#, r#""mode": "route", "threads": 4"#);
+    let b = body_of(s1.port(), &threaded);
+    let c = body_of(s4.port(), ROUTE_SMALL);
+    assert_eq!(a, b, "route-mode bytes must not depend on --threads");
+    assert_eq!(a, c, "route-mode bytes must not depend on worker count");
+    assert!(
+        a.contains(r#""route":{"feedback_rounds""#)
+            && a.contains("max_utilization")
+            && a.contains("rrr_iterations")
+            && a.contains("wirelength"),
+        "route-mode results carry routed metrics: {a}"
+    );
+    // HPWL-mode results stay route-free (byte-stable vs older servers).
+    let plain = body_of(s1.port(), TINY);
+    assert!(!plain.contains(r#""route""#), "{plain}");
+}
+
+#[test]
+fn route_mode_repeat_submission_is_a_cache_hit() {
+    let server = start(1, 8);
+    let port = server.port();
+
+    let a = submit(port, ROUTE_SMALL);
+    let sa = wait_for_job(port, a, Duration::from_secs(300)).unwrap();
+    assert!(sa.contains(r#""state":"done""#), "{sa}");
+    let (_, ra) = request(port, "GET", &format!("/jobs/{a}/result"), "").unwrap();
+
+    let t0 = std::time::Instant::now();
+    let b = submit(port, ROUTE_SMALL);
+    let (_, sb) = request(port, "GET", &format!("/jobs/{b}"), "").unwrap();
+    let hit_latency = t0.elapsed();
+    assert!(
+        sb.contains(r#""state":"done""#),
+        "route-mode cache hit is done at submit time: {sb}"
+    );
+    assert!(
+        hit_latency < Duration::from_millis(250),
+        "submit+status of a hit took {hit_latency:?} — it must not re-run the loop"
+    );
+    let (status, rb) = request(port, "GET", &format!("/jobs/{b}/result"), "").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        ra, rb,
+        "cached route-mode bytes identical to the placed bytes"
+    );
+    let (_, metrics) = request(port, "GET", "/metrics", "").unwrap();
+    assert!(
+        metrics.contains("sdp_serve_cache_hits_total 1"),
+        "{metrics}"
+    );
+}
+
+#[test]
+fn route_mode_cancellation_lands_mid_route() {
+    let server = start(1, 4);
+    let port = server.port();
+    // dp_medium overflows under the default track budget, so the RRR
+    // loop reroutes through the maze router — long enough that the
+    // status poll below reliably observes the route phase.
+    let id = submit(
+        port,
+        r#"{"design": {"preset": "dp_medium", "seed": 1}, "flow": {"fast": true, "mode": "route"}}"#,
+    );
+
+    // Wait until the job reports the route phase specifically…
+    let deadline = std::time::Instant::now() + Duration::from_secs(300);
+    loop {
+        let (_, body) = request(port, "GET", &format!("/jobs/{id}"), "").unwrap();
+        if body.contains(r#""phase":"route""#) {
+            break;
+        }
+        assert!(
+            !body.contains(r#""state":"done""#),
+            "job finished before the route phase was observed: {body}"
+        );
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job never reached the route phase: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // …then cancel it mid-route: the router's checkpoint stride must
+    // surface the token promptly even inside rip-up-and-reroute.
+    let t0 = std::time::Instant::now();
+    let (status, body) = request(port, "DELETE", &format!("/jobs/{id}"), "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let final_body = wait_for_job(port, id, Duration::from_secs(60)).unwrap();
+    let cancel_latency = t0.elapsed();
+    assert!(
+        final_body.contains(r#""state":"cancelled""#),
+        "{final_body}"
+    );
+    assert!(
+        cancel_latency < Duration::from_secs(30),
+        "cancellation took {cancel_latency:?} — checkpoints must fire inside routing"
+    );
+    let (rs, rb) = request(port, "GET", &format!("/jobs/{id}/result"), "").unwrap();
+    assert_eq!(rs, 409, "cancelled jobs have no result: {rb}");
+}
+
+#[test]
+fn malformed_route_mode_is_a_structured_400() {
+    let server = start(0, 2);
+    let port = server.port();
+    for bad in [
+        r#"{"design": {"preset": "dp_tiny"}, "flow": {"mode": "steiner"}}"#,
+        r#"{"design": {"preset": "dp_tiny"}, "flow": {"mode": 7}}"#,
+    ] {
+        let (status, body) = request(port, "POST", "/jobs", bad).unwrap();
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("mode"), "{body}");
+    }
+    // The queue stayed empty: rejected specs never become jobs.
+    let (_, metrics) = request(port, "GET", "/metrics", "").unwrap();
+    assert!(metrics.contains("sdp_serve_queue_depth 0"), "{metrics}");
+}
